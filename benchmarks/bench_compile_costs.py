@@ -1,0 +1,12 @@
+"""§4.6: code-size growth and compile-time overhead of the pipeline."""
+
+from bench_util import run_experiment
+
+from repro.bench import compile_costs
+
+
+def test_compile_costs(benchmark):
+    result = run_experiment(benchmark, compile_costs)
+    sizes = result.get("code size (x)").values
+    assert all(s >= 1.0 for s in sizes)
+    assert sizes[-1] < 3.0

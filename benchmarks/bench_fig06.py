@@ -1,0 +1,12 @@
+"""Fig. 6 (E1 prerequisite): the loop-chunking cost-model crossover."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig06
+
+
+def test_fig06_chunking_crossover(benchmark):
+    result = run_experiment(benchmark, fig06)
+    emp = result.get("empirical").values
+    xs = result.x_values
+    assert emp[xs.index(512)] < 1.0 < emp[xs.index(896)]

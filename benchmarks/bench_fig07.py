@@ -1,0 +1,13 @@
+"""Fig. 7 / E1 / C1: loop chunking eliminates fast-path guards (STREAM)."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig07
+
+
+def test_fig07_stream_chunking_speedup(benchmark):
+    result = run_experiment(benchmark, fig07)
+    for kernel in ("Sum", "Copy"):
+        values = result.get(kernel).values
+        assert all(v > 1.2 for v in values)
+        assert values[-1] > values[0]  # rises toward full local memory

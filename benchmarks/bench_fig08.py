@@ -1,0 +1,11 @@
+"""Fig. 8 / E2 / C2: selective loop chunking on k-means."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig08
+
+
+def test_fig08_kmeans_selective_chunking(benchmark):
+    result = run_experiment(benchmark, fig08)
+    assert all(v < 0.4 for v in result.get("all loops").values)
+    assert all(v > 1.8 for v in result.get("high-density loops only").values)

@@ -1,0 +1,12 @@
+"""Fig. 9 / E3 / C3: fine-grained access favours small object sizes."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig09
+
+
+def test_fig09_hashmap_object_size(benchmark):
+    result = run_experiment(benchmark, fig09)
+    # At every memory-constrained point, smaller objects win.
+    for i in range(len(result.x_values) - 1):
+        assert result.get("256B").values[i] > result.get("4KB").values[i]

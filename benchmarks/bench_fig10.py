@@ -1,0 +1,11 @@
+"""Fig. 10 / E4 / C4: spatial locality favours large object sizes."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig10
+
+
+def test_fig10_stream_object_size(benchmark):
+    result = run_experiment(benchmark, fig10)
+    for i in range(len(result.x_values)):
+        assert result.get("4KB").values[i] > result.get("256B").values[i]

@@ -1,0 +1,13 @@
+"""Fig. 11 / E5 / C5: prefetching coupled with loop chunking."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig11
+
+
+def test_fig11_prefetch_speedup(benchmark):
+    result = run_experiment(benchmark, fig11)
+    for kernel in ("Sum", "Copy"):
+        values = result.get(kernel).values
+        assert values[0] > 2.0  # biggest win when remote-bound
+        assert values[0] > values[-1]

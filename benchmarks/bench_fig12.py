@@ -1,0 +1,11 @@
+"""Fig. 12 / E6 / C6: TrackFM vs Fastswap on STREAM."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig12
+
+
+def test_fig12_trackfm_vs_fastswap(benchmark):
+    result = run_experiment(benchmark, fig12)
+    for kernel in ("Sum", "Copy"):
+        assert result.get(kernel).values[0] > 2.0

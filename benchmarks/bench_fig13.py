@@ -1,0 +1,13 @@
+"""Fig. 13 / E7 / C7: I/O amplification at small access granularity."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig13
+
+
+def test_fig13_io_amplification(benchmark):
+    result = run_experiment(benchmark, fig13)
+    tfm = result.get("TrackFM 64B data (GB)").values
+    fsw = result.get("Fastswap data (GB)").values
+    for t, f in zip(tfm[:-1], fsw[:-1]):
+        assert f > 20 * t

@@ -1,0 +1,15 @@
+"""Fig. 14 / E8 / C8: the analytics application across all three systems."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig14
+
+
+def test_fig14_analytics(benchmark):
+    result = run_experiment(benchmark, fig14)
+    tfm = result.get("TrackFM").values
+    fsw = result.get("Fastswap").values
+    aifm = result.get("AIFM").values
+    # TrackFM near AIFM parity, well ahead of Fastswap under pressure.
+    assert tfm[0] / aifm[0] < 1.3
+    assert fsw[0] / tfm[0] > 1.8

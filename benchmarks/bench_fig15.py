@@ -1,0 +1,14 @@
+"""Fig. 15 / E9 / C9: chunking low-density loops hurts the analytics app."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig15
+
+
+def test_fig15_chunking_policies(benchmark):
+    result = run_experiment(benchmark, fig15)
+    filt = result.get("high-density loops only").values
+    base = result.get("baseline").values
+    alll = result.get("all loops").values
+    assert all(f < b for f, b in zip(filt, base))
+    assert alll[-1] > base[-1]

@@ -1,0 +1,14 @@
+"""Fig. 16 / E10 / C10: memcached under a zipf skew sweep."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig16
+
+
+def test_fig16_memcached(benchmark):
+    result = run_experiment(benchmark, fig16)
+    tfm = result.get("TrackFM KOps/s").values
+    fsw = result.get("Fastswap KOps/s").values
+    assert all(t > f for t, f in zip(tfm, fsw))
+    # Fastswap converges at high skew (amortized faults).
+    assert tfm[0] / fsw[0] > tfm[-1] / fsw[-1]

@@ -1,0 +1,22 @@
+"""Fig. 17 / E11 / C11: NAS benchmarks at 25% local memory, plus O1."""
+
+from bench_util import run_experiment
+
+from repro.bench import fig17a, fig17b
+
+
+def test_fig17a_nas_slowdowns(benchmark):
+    result = run_experiment(benchmark, fig17a)
+    fsw = result.get("Fastswap").values
+    tfm = result.get("TrackFM").values
+    gm = result.x_values.index("GeoM.")
+    assert tfm[gm] < fsw[gm]
+    ft = result.x_values.index("FT")
+    assert tfm[ft] > fsw[ft]  # the FT outlier
+
+
+def test_fig17b_o1_preoptimization(benchmark):
+    result = run_experiment(benchmark, fig17b)
+    tfm = result.get("TFM").values
+    o1 = result.get("TFM/O1").values
+    assert all(a > 3 * b for a, b in zip(tfm, o1))

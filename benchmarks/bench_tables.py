@@ -1,0 +1,21 @@
+"""Tables 1, 2 and 4: guard/fault microcosts and the system matrix."""
+
+from bench_util import run_experiment
+
+from repro.bench import table1, table2, table4
+
+
+def test_table1_guard_costs(benchmark):
+    result = run_experiment(benchmark, table1)
+    assert result.get("Cached").values == [21, 21, 144, 159]
+
+
+def test_table2_primitive_overheads(benchmark):
+    result = run_experiment(benchmark, table2)
+    assert result.get("Local Cost").values[0] == 1300
+
+
+def test_table4_system_matrix(benchmark):
+    result = run_experiment(benchmark, table4)
+    idx = result.x_values.index("TrackFM (this work)")
+    assert all(s.values[idx] == 1 for s in result.series)

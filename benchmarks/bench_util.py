@@ -1,0 +1,27 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark runs its experiment once per measured round (the
+experiments are deterministic simulations — variance comes only from
+the host, so one round with a few iterations is plenty) and attaches
+the reproduced rows/series to ``benchmark.extra_info`` so the numbers
+appear in pytest-benchmark's JSON output.  Each benchmark also prints
+the experiment's table so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the paper's figures as text.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` and record its ExperimentResult."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["series"] = {
+        s.name: s.values for s in result.series
+    }
+    benchmark.extra_info["notes"] = result.notes
+    print()
+    print(result.to_text())
+    return result

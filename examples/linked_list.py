@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Pointer-chase prefetching on a far-memory linked list (§5 extension).
+
+The paper's future work: "We expect greater benefits when we can
+capture information about recursive data structures."  The reproduction
+implements it — the compiler detects the ``node = node->next``
+recurrence and rewrites the walk to greedily prefetch each node's
+successor while the current node is being processed.
+
+Run:  python examples/linked_list.py
+"""
+
+from repro import CompilerConfig, PoolConfig, TrackFMProgram, TrackFMRuntime, TrackFMCompiler
+from repro.compiler import ChunkingPolicy
+from repro.ir import IRBuilder, I64, PTR, Module
+from repro.ir.values import Constant, null_ptr
+from repro.machine.costs import GuardKind
+from repro.units import KB, MB, fmt_cycles
+
+N_NODES = 8192
+NODE_BYTES = 64  # {i64 value, ptr next, payload...}: one cache line
+
+
+def build_list_program() -> Module:
+    """Builds an N-node list, then walks it summing values."""
+    m = Module("list")
+    f = m.add_function("main", I64)
+    entry, bh, bb, mid, wh, wb, done = (
+        f.add_block(x) for x in ("entry", "bh", "bb", "mid", "wh", "wb", "done")
+    )
+    b = IRBuilder(entry)
+    base = b.call(PTR, "malloc", [Constant(I64, N_NODES * NODE_BYTES)], name="base")
+    b.br(bh)
+    b.set_block(bh)
+    i = b.phi(I64, name="i")
+    b.condbr(b.icmp("slt", i, N_NODES), bb, mid)
+    b.set_block(bb)
+    node = b.gep(base, i, NODE_BYTES)
+    b.store(i, node)
+    i2 = b.add(i, 1)
+    nxt = b.select(
+        b.icmp("eq", i2, N_NODES), null_ptr(), b.gep(base, i2, NODE_BYTES)
+    )
+    b.store(nxt, b.gep(node, 1, 8))
+    b.br(bh)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, bb)
+    b.set_block(mid)
+    b.br(wh)
+    b.set_block(wh)
+    p = b.phi(PTR, name="p")
+    s = b.phi(I64, name="s")
+    b.condbr(b.icmp("ne", p, null_ptr()), wb, done)
+    b.set_block(wb)
+    s2 = b.add(s, b.load(I64, p))
+    nextp = b.load(PTR, b.gep(p, 1, 8))
+    b.br(wh)
+    p.add_incoming(base, mid)
+    p.add_incoming(nextp, wb)
+    s.add_incoming(Constant(I64, 0), mid)
+    s.add_incoming(s2, wb)
+    b.set_block(done)
+    b.ret(s)
+    return m
+
+
+def run(chase: bool) -> None:
+    config = CompilerConfig(
+        chunking=ChunkingPolicy.NONE, enable_chase_prefetch=chase
+    )
+    compiled = TrackFMCompiler(config).compile(build_list_program())
+    runtime = TrackFMRuntime(
+        PoolConfig(object_size=4 * KB, local_memory=16 * KB, heap_size=2 * MB)
+    )
+    result = TrackFMProgram(compiled.module, runtime).run("main")
+    expected = N_NODES * (N_NODES - 1) // 2
+    m = runtime.metrics
+    label = "with chase prefetch" if chase else "plain guards       "
+    print(
+        f"{label}: sum={result.value} ({'ok' if result.value == expected else 'WRONG'}), "
+        f"{fmt_cycles(m.cycles)} cycles, slow guards {m.guard_count(GuardKind.SLOW)}, "
+        f"useful prefetches {m.prefetches_useful}"
+    )
+    return m.cycles
+
+
+def main() -> None:
+    print(f"walking a {N_NODES}-node far-memory linked list "
+          f"({N_NODES * NODE_BYTES // 1024}KB of nodes, 16KB local)\n")
+    without = run(chase=False)
+    with_chase = run(chase=True)
+    print(f"\nchase prefetching speedup: {without / with_chase:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The NAS mini-kernels under the TrackFM compiler (§4.5 in miniature).
+
+Each kernel is real IR with the suite's defining access pattern; this
+script compiles all five, runs them on far memory, verifies the results
+against pure-Python references, and shows *what the compiler did* to
+each — the per-pattern story behind Fig. 17:
+
+* MG's unit-stride stencil gets chunked;
+* CG's gather and IS's scatter stay under full guards;
+* FT's column-major traversal confounds the loop analysis entirely.
+
+Run:  python examples/nas_kernels.py
+"""
+
+from repro import CompilerConfig, PoolConfig, TrackFMCompiler, TrackFMProgram, TrackFMRuntime
+from repro.machine.costs import GuardKind
+from repro.units import KB, MB, fmt_cycles
+from repro.workloads.nas_kernels import (
+    build_cg_kernel,
+    build_ft_kernel,
+    build_is_kernel,
+    build_mg_kernel,
+    build_sp_kernel,
+    cg_reference,
+    ft_reference,
+    is_reference,
+    mg_reference,
+    sp_reference,
+)
+
+#: Sizes big enough that the chunking cost model has something to chunk.
+KERNELS = {
+    "CG": (lambda: build_cg_kernel(2048, 4), lambda: cg_reference(2048, 4)),
+    "IS": (lambda: build_is_kernel(8192, 64), lambda: is_reference(8192, 64)),
+    "MG": (lambda: build_mg_kernel(16384), lambda: mg_reference(16384)),
+    "SP": (lambda: build_sp_kernel(8192), lambda: sp_reference(8192)),
+    "FT": (lambda: build_ft_kernel(64, 64), lambda: ft_reference(64, 64)),
+}
+
+
+def main() -> None:
+    header = (
+        f"{'kernel':<7} {'result':>10} {'ok':>3} {'chunked':>8} {'guards':>7} "
+        f"{'fast':>7} {'slow':>6} {'boundary':>9} {'cycles':>9}"
+    )
+    print("NAS mini-kernels, compiled for far memory (32KB local)\n")
+    print(header)
+    print("-" * len(header))
+    for name, (build, reference) in KERNELS.items():
+        module = build()
+        compiled = TrackFMCompiler(CompilerConfig()).compile(module)
+        runtime = TrackFMRuntime(
+            PoolConfig(object_size=4 * KB, local_memory=32 * KB, heap_size=2 * MB)
+        )
+        result = TrackFMProgram(
+            compiled.module, runtime, max_steps=20_000_000
+        ).run("main")
+        m = runtime.metrics
+        ok = "yes" if result.value == reference() else "NO!"
+        print(
+            f"{name:<7} {result.value:>10} {ok:>3} "
+            f"{compiled.loops_chunked:>8} {compiled.guards_inserted:>7} "
+            f"{m.guard_count(GuardKind.FAST):>7} {m.guard_count(GuardKind.SLOW):>6} "
+            f"{m.guard_count(GuardKind.BOUNDARY):>9} {fmt_cycles(m.cycles):>9}"
+        )
+    print(
+        "\n'chunked' includes each kernel's sequential data-fill loops; the\n"
+        "kernel-specific accesses split exactly as §4.5 describes: MG/SP's\n"
+        "IV-strided sweeps chunk, CG's gather and IS's scatter keep full\n"
+        "guards ('guards' column), and FT's affine column-major index\n"
+        "escapes the loop analysis — every one of its traversal accesses\n"
+        "runs a full guard ('fast' column)."
+    )
+
+
+if __name__ == "__main__":
+    main()

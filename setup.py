@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on environments whose setuptools
+predates PEP 660 editable installs (and offline boxes without the
+``wheel`` package, via ``python setup.py develop``).  Configuration
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

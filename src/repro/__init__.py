@@ -1,0 +1,86 @@
+"""repro — a Python reproduction of TrackFM (ASPLOS 2024).
+
+TrackFM is a *compiler-based* far-memory system: unmodified programs
+are recompiled so that heap memory becomes remotable at AIFM-object
+granularity, with compiler-injected guards, loop chunking and
+prefetching recovering the performance that kernel-paging approaches
+give up.  This package rebuilds the whole stack as a calibrated
+simulation: the IR + compiler passes are real program transformations;
+the runtimes (TrackFM, AIFM, Fastswap) are cycle-cost simulators
+anchored to the paper's measurements.
+
+Quick start::
+
+    from repro import (
+        CompilerConfig, TrackFMCompiler, PoolConfig, TrackFMRuntime,
+        TrackFMProgram,
+    )
+    # build a Module with repro.ir, compile it, run it:
+    result = TrackFMCompiler(CompilerConfig(object_size=4096)).compile(module)
+    runtime = TrackFMRuntime(PoolConfig(object_size=4096,
+                                        local_memory=8 << 20,
+                                        heap_size=64 << 20))
+    program = TrackFMProgram(result.module, runtime)
+    program.run("main")
+
+See ``examples/`` for complete programs and ``benchmarks/`` for the
+scripts that regenerate every table and figure of the paper.
+"""
+
+from repro.machine import (
+    AccessKind,
+    CostTable,
+    DEFAULT_COSTS,
+    GuardKind,
+    ScaleModel,
+)
+from repro.ir import IRBuilder, Module
+from repro.compiler import (
+    ChunkingPolicy,
+    CompilerConfig,
+    CompileResult,
+    TrackFMCompiler,
+    ChunkingCostModel,
+    LoopShape,
+)
+from repro.aifm import AIFMRuntime, PoolConfig, RemoteArray, RemoteHashMap
+from repro.trackfm import TrackFMRuntime, GuardStrategy, MultiPoolRuntime
+from repro.fastswap import FastswapConfig, FastswapRuntime
+from repro.hybrid import HybridRuntime, Placement
+from repro.sim import LocalRuntime, Metrics
+from repro.sim.irrun import TrackFMProgram
+from repro.analysis import profile_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "CostTable",
+    "DEFAULT_COSTS",
+    "GuardKind",
+    "ScaleModel",
+    "IRBuilder",
+    "Module",
+    "ChunkingPolicy",
+    "CompilerConfig",
+    "CompileResult",
+    "TrackFMCompiler",
+    "ChunkingCostModel",
+    "LoopShape",
+    "AIFMRuntime",
+    "PoolConfig",
+    "RemoteArray",
+    "RemoteHashMap",
+    "TrackFMRuntime",
+    "GuardStrategy",
+    "MultiPoolRuntime",
+    "FastswapConfig",
+    "FastswapRuntime",
+    "HybridRuntime",
+    "Placement",
+    "LocalRuntime",
+    "Metrics",
+    "TrackFMProgram",
+    "profile_module",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""AIFM runtime substrate (Ruan et al., OSDI '20), rebuilt for simulation.
+
+TrackFM reuses AIFM as its backend (§2): objects are fixed-size chunks
+of remotable memory, tracked by per-object metadata, kept local by an
+evacuator with hotness bits and a DerefScope barrier, fetched over a
+Shenango TCP backend with a stride prefetcher.  This package implements
+those mechanisms; :mod:`repro.trackfm` layers the compiler-facing
+pointer encoding and guards on top, and :mod:`repro.aifm.datastructures`
+provides the library-style remote data structures used by the AIFM
+baseline in Figs. 14.
+"""
+
+from repro.aifm.objectmeta import (
+    ObjectMeta,
+    LOCAL_BIT,
+    EVACUATING_BIT,
+    DIRTY_BIT,
+    HOT_BIT,
+    SHARED_BIT,
+    UNSAFE_MASK,
+    encode_local,
+    encode_remote,
+)
+from repro.aifm.allocator import RegionAllocator, Allocation
+from repro.aifm.pool import ObjectPool, PoolConfig
+from repro.aifm.evacuator import Evacuator
+from repro.aifm.prefetcher import StridePrefetcher
+from repro.aifm.scope import DerefScope
+from repro.aifm.runtime import AIFMRuntime
+from repro.aifm.datastructures import RemoteArray, RemoteHashMap, RemoteList
+
+__all__ = [
+    "ObjectMeta",
+    "LOCAL_BIT",
+    "EVACUATING_BIT",
+    "DIRTY_BIT",
+    "HOT_BIT",
+    "SHARED_BIT",
+    "UNSAFE_MASK",
+    "encode_local",
+    "encode_remote",
+    "RegionAllocator",
+    "Allocation",
+    "ObjectPool",
+    "PoolConfig",
+    "Evacuator",
+    "StridePrefetcher",
+    "DerefScope",
+    "AIFMRuntime",
+    "RemoteArray",
+    "RemoteHashMap",
+    "RemoteList",
+]

@@ -1,0 +1,185 @@
+"""AIFM object metadata: the two 8-byte formats of Fig. 3.
+
+AIFM keeps per-object metadata in one of two formats depending on the
+object's state.  TrackFM's fast-path guard tests a mask against this
+word ("test $0x10580, %eax" in Fig. 4b): when none of the *unsafe* bits
+are set the object is guaranteed local and the guarded access may
+proceed.
+
+Layouts (one 64-bit word):
+
+* **local**:  bit 63 = 0 (local), bit 62 = evacuating, bit 61 = dirty,
+  bit 60 = hot, bit 59 = shared, bits 0–46 = object data address.
+* **remote**: bit 63 = 1 (remote), bits 55–62 = DS id (8b), bit 54 =
+  shared, bits 38–53 = object size (16b), bits 0–37 = object id (38b).
+
+The unsafe mask is {remote, evacuating}: a set bit means the fast path
+must not touch the object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PointerError
+
+REMOTE_SHIFT = 63
+EVACUATING_SHIFT = 62
+DIRTY_SHIFT = 61
+HOT_SHIFT = 60
+SHARED_LOCAL_SHIFT = 59
+
+LOCAL_BIT = 0  # local format is flagged by bit 63 being clear
+REMOTE_BIT = 1 << REMOTE_SHIFT
+EVACUATING_BIT = 1 << EVACUATING_SHIFT
+DIRTY_BIT = 1 << DIRTY_SHIFT
+HOT_BIT = 1 << HOT_SHIFT
+SHARED_BIT = 1 << SHARED_LOCAL_SHIFT
+
+#: Bits that make the fast path bail to the slow path.
+UNSAFE_MASK = REMOTE_BIT | EVACUATING_BIT
+
+ADDR_MASK = (1 << 47) - 1
+
+# Remote-format fields.
+_RF_DSID_SHIFT = 55
+_RF_DSID_MASK = (1 << 8) - 1
+_RF_SHARED_SHIFT = 54
+_RF_SIZE_SHIFT = 38
+_RF_SIZE_MASK = (1 << 16) - 1
+_RF_OBJID_MASK = (1 << 38) - 1
+
+
+def encode_local(
+    data_addr: int,
+    dirty: bool = False,
+    hot: bool = False,
+    shared: bool = False,
+    evacuating: bool = False,
+) -> int:
+    """Pack the local-format metadata word."""
+    if not 0 <= data_addr <= ADDR_MASK:
+        raise PointerError(f"object data address {data_addr:#x} exceeds 47 bits")
+    word = data_addr
+    if evacuating:
+        word |= EVACUATING_BIT
+    if dirty:
+        word |= DIRTY_BIT
+    if hot:
+        word |= HOT_BIT
+    if shared:
+        word |= SHARED_BIT
+    return word
+
+
+def encode_remote(obj_id: int, obj_size: int, ds_id: int = 0, shared: bool = False) -> int:
+    """Pack the remote-format metadata word."""
+    if not 0 <= obj_id <= _RF_OBJID_MASK:
+        raise PointerError(f"object id {obj_id} exceeds 38 bits")
+    if not 0 <= obj_size <= _RF_SIZE_MASK:
+        raise PointerError(f"object size {obj_size} exceeds 16 bits")
+    if not 0 <= ds_id <= _RF_DSID_MASK:
+        raise PointerError(f"DS id {ds_id} exceeds 8 bits")
+    word = REMOTE_BIT
+    word |= ds_id << _RF_DSID_SHIFT
+    if shared:
+        word |= 1 << _RF_SHARED_SHIFT
+    word |= obj_size << _RF_SIZE_SHIFT
+    word |= obj_id
+    return word
+
+
+@dataclass
+class ObjectMeta:
+    """Decoded view of one metadata word."""
+
+    word: int
+
+    # -- state queries ----------------------------------------------------
+
+    @property
+    def is_remote(self) -> bool:
+        return bool(self.word & REMOTE_BIT)
+
+    @property
+    def is_local(self) -> bool:
+        return not self.is_remote
+
+    @property
+    def is_evacuating(self) -> bool:
+        return self.is_local and bool(self.word & EVACUATING_BIT)
+
+    @property
+    def is_dirty(self) -> bool:
+        return self.is_local and bool(self.word & DIRTY_BIT)
+
+    @property
+    def is_hot(self) -> bool:
+        return self.is_local and bool(self.word & HOT_BIT)
+
+    @property
+    def is_safe(self) -> bool:
+        """The fast-path test: no unsafe bits set."""
+        return (self.word & UNSAFE_MASK) == 0
+
+    # -- local-format fields ----------------------------------------------
+
+    @property
+    def data_addr(self) -> int:
+        if self.is_remote:
+            raise PointerError("data_addr of a remote-format word")
+        return self.word & ADDR_MASK
+
+    # -- remote-format fields -----------------------------------------------
+
+    @property
+    def obj_id(self) -> int:
+        if not self.is_remote:
+            raise PointerError("obj_id of a local-format word")
+        return self.word & _RF_OBJID_MASK
+
+    @property
+    def obj_size(self) -> int:
+        if not self.is_remote:
+            raise PointerError("obj_size of a local-format word")
+        return (self.word >> _RF_SIZE_SHIFT) & _RF_SIZE_MASK
+
+    @property
+    def ds_id(self) -> int:
+        if not self.is_remote:
+            raise PointerError("ds_id of a local-format word")
+        return (self.word >> _RF_DSID_SHIFT) & _RF_DSID_MASK
+
+    # -- transitions --------------------------------------------------------
+
+    def with_dirty(self, dirty: bool = True) -> "ObjectMeta":
+        if self.is_remote:
+            raise PointerError("cannot dirty a remote object")
+        word = self.word | DIRTY_BIT if dirty else self.word & ~DIRTY_BIT
+        return ObjectMeta(word)
+
+    def with_hot(self, hot: bool = True) -> "ObjectMeta":
+        if self.is_remote:
+            raise PointerError("cannot mark a remote object hot")
+        word = self.word | HOT_BIT if hot else self.word & ~HOT_BIT
+        return ObjectMeta(word)
+
+    def with_evacuating(self, evac: bool = True) -> "ObjectMeta":
+        if self.is_remote:
+            raise PointerError("cannot set evacuating on a remote object")
+        word = self.word | EVACUATING_BIT if evac else self.word & ~EVACUATING_BIT
+        return ObjectMeta(word)
+
+    def __repr__(self) -> str:
+        if self.is_remote:
+            return f"<ObjectMeta remote id={self.obj_id} size={self.obj_size}>"
+        flags = "".join(
+            c
+            for c, on in (
+                ("E", self.is_evacuating),
+                ("D", self.is_dirty),
+                ("H", self.is_hot),
+            )
+            if on
+        )
+        return f"<ObjectMeta local addr={self.data_addr:#x} {flags or '-'}>"

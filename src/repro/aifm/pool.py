@@ -1,0 +1,239 @@
+"""The unified object pool (TrackFM's abstract data structure, ADS).
+
+§3.2: TrackFM extends AIFM's data-structure base class "with a unified
+abstract data structure (ADS) that the compiler uses to capture all
+remotable allocations ... a pool of objects that represent the total far
+memory that an application can use."
+
+The pool owns:
+
+* the per-object metadata words (Fig. 3 formats) — the source of truth
+  the TrackFM object state table is kept coherent with;
+* the residency set (what is local, LRU/CLOCK with DerefScope pins);
+* the evacuator (writeback accounting) and the remote backend;
+* the metrics bundle every figure reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.aifm.evacuator import Evacuator
+from repro.aifm.objectmeta import (
+    ObjectMeta,
+    UNSAFE_MASK,
+    encode_local,
+    encode_remote,
+)
+from repro.errors import PointerError, RuntimeConfigError
+from repro.machine.costs import CostTable, DEFAULT_COSTS
+from repro.net.backends import RemoteBackend, make_tcp_backend
+from repro.sim.metrics import Metrics
+from repro.sim.residency import ResidencySet
+from repro.units import ceil_div, is_power_of_two, log2_exact
+
+
+@dataclass
+class PoolConfig:
+    """Sizing and policy knobs for one object pool."""
+
+    #: AIFM object (chunk) size in bytes; must be a power of two.
+    object_size: int
+    #: Bytes of local memory available for resident objects (the
+    #: constraint the figures sweep as "% of working set").
+    local_memory: int
+    #: Total remotable heap size in bytes.
+    heap_size: int
+    #: Evacuation policy: CLOCK (AIFM-like hotness) vs plain LRU.
+    use_clock: bool = True
+    #: Evacuator knobs.
+    writeback_depth: int = 8
+    evac_sync_fraction: float = 0.25
+    costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.object_size):
+            raise RuntimeConfigError(
+                f"object size must be a power of two, got {self.object_size}"
+            )
+        if self.local_memory < self.object_size:
+            raise RuntimeConfigError("local memory smaller than one object")
+        if self.heap_size < self.object_size:
+            raise RuntimeConfigError("heap smaller than one object")
+
+    @property
+    def local_capacity_objects(self) -> int:
+        return max(1, self.local_memory // self.object_size)
+
+    @property
+    def num_objects(self) -> int:
+        return ceil_div(self.heap_size, self.object_size)
+
+
+class ObjectPool:
+    """All remotable objects of one application."""
+
+    def __init__(
+        self,
+        config: PoolConfig,
+        backend: Optional[RemoteBackend] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.config = config
+        self.backend = backend if backend is not None else make_tcp_backend()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.object_size = config.object_size
+        self.object_shift = log2_exact(config.object_size)
+        self.residency = ResidencySet(
+            config.local_capacity_objects, use_clock=config.use_clock
+        )
+        self.evacuator = Evacuator(
+            backend=self.backend,
+            object_size=config.object_size,
+            writeback_depth=config.writeback_depth,
+            sync_fraction=config.evac_sync_fraction,
+        )
+        #: Metadata word per object id; starts in remote format ("not yet
+        #: localized") — first touch is always a miss, as in AIFM.
+        #: Built vectorized: remote word = REMOTE | size << 38 | obj_id.
+        size_field = min(self.object_size, (1 << 16) - 1)
+        base = np.uint64(encode_remote(0, size_field))
+        self._meta = np.arange(config.num_objects, dtype=np.uint64)
+        self._meta |= base  # in place: fast even for multi-GB heaps
+
+    # -- metadata ---------------------------------------------------------
+
+    def meta_word(self, obj_id: int) -> int:
+        self._check_id(obj_id)
+        return int(self._meta[obj_id])
+
+    def meta(self, obj_id: int) -> ObjectMeta:
+        return ObjectMeta(self.meta_word(obj_id))
+
+    def is_safe(self, obj_id: int) -> bool:
+        """The fast-path test on the metadata word (Fig. 4b line 6)."""
+        return (self.meta_word(obj_id) & UNSAFE_MASK) == 0
+
+    def _check_id(self, obj_id: int) -> None:
+        if not 0 <= obj_id < self.config.num_objects:
+            raise PointerError(
+                f"object id {obj_id} out of range [0, {self.config.num_objects})"
+            )
+
+    def _set_local(self, obj_id: int, dirty: bool) -> None:
+        word = encode_local(
+            (obj_id * self.object_size) & ((1 << 47) - 1),
+            dirty=dirty,
+            hot=True,
+        )
+        self._meta[obj_id] = word
+
+    def _set_remote(self, obj_id: int) -> None:
+        self._meta[obj_id] = encode_remote(
+            obj_id, min(self.object_size, (1 << 16) - 1)
+        )
+
+    def object_of_offset(self, heap_offset: int) -> int:
+        """Map a heap byte offset to its object id (a shift, §3.2)."""
+        if heap_offset < 0 or heap_offset >= self.config.heap_size:
+            raise PointerError(f"heap offset {heap_offset:#x} out of range")
+        return heap_offset >> self.object_shift
+
+    # -- the hot path ---------------------------------------------------
+
+    def ensure_local(
+        self, obj_id: int, write: bool = False, depth: int = 1
+    ) -> Tuple[bool, float]:
+        """Localize ``obj_id`` if needed; returns (was_local, cycles).
+
+        The returned cycles cover only the *data movement* (fetch +
+        synchronous share of writebacks); guard/fault CPU costs are the
+        caller's business (they differ between TrackFM and Fastswap).
+        """
+        self._check_id(obj_id)
+        outcome = self.residency.access(obj_id, write=write)
+        cycles = 0.0
+        if not outcome.hit:
+            cycles += self.backend.fetch(self.object_size, depth=depth)
+            self.metrics.remote_fetches += 1
+            self.metrics.bytes_fetched += self.object_size
+        for victim, _dirty in outcome.evicted:
+            self._set_remote(victim)
+        cycles += self.evacuator.process(outcome.evicted, self.metrics)
+        self._set_local(obj_id, dirty=self.residency.is_dirty(obj_id))
+        return outcome.hit, cycles
+
+    def prefetch(self, obj_id: int, depth: Optional[int] = None) -> float:
+        """Asynchronously localize ``obj_id``; returns app-visible cycles.
+
+        With ``depth=None`` (deep stride pipelines) the application only
+        pays wire (bandwidth) time.  A finite ``depth`` models shallow
+        runahead — e.g. greedy pointer-chase prefetching can only see
+        one node ahead (``depth=2``), so a share of the round-trip
+        latency still lands on the critical path.  Useless prefetches
+        (already local) are free.
+        """
+        self._check_id(obj_id)
+        self.metrics.prefetches_issued += 1
+        if obj_id in self.residency:
+            return 0.0
+        evicted = self.residency.insert(obj_id)
+        if depth is None:
+            cost = self.backend.link.wire_cycles(self.object_size)
+        else:
+            cost = self.backend.link.pipelined_cycles(self.object_size, depth)
+        self.backend.link.stats.messages += 1
+        self.backend.link.stats.bytes_fetched += self.object_size
+        self.metrics.bytes_fetched += self.object_size
+        self.metrics.prefetches_useful += 1
+        for victim, _dirty in evicted:
+            self._set_remote(victim)
+        cost += self.evacuator.process(evicted, self.metrics)
+        self._set_local(obj_id, dirty=False)
+        return cost
+
+    def materialize(self, obj_id: int, pinned: bool = False) -> float:
+        """Make a *fresh* object resident without remote traffic.
+
+        Newly-allocated memory has no remote copy to fetch; this is the
+        allocation-time path (used by the heap-pruning extension's
+        pinned local heap).  Displaced objects are still evacuated
+        normally; returns the app-visible eviction cycles.
+        """
+        self._check_id(obj_id)
+        outcome = self.residency.access(obj_id)
+        for victim, _dirty in outcome.evicted:
+            self._set_remote(victim)
+        cycles = self.evacuator.process(outcome.evicted, self.metrics)
+        self._set_local(obj_id, dirty=False)
+        if pinned:
+            self.residency.pin(obj_id)
+        return cycles
+
+    def free_object(self, obj_id: int) -> None:
+        """Drop an object (its allocation died); no writeback needed."""
+        self._check_id(obj_id)
+        self.residency.discard(obj_id)
+        self._set_remote(obj_id)
+
+    # -- pinning (DerefScope plumbing) ----------------------------------------
+
+    def pin(self, obj_id: int) -> None:
+        self._check_id(obj_id)
+        self.residency.pin(obj_id)
+
+    def unpin(self, obj_id: int) -> None:
+        self.residency.unpin(obj_id)
+
+    # -- stats ----------------------------------------------------------
+
+    @property
+    def resident_objects(self) -> int:
+        return len(self.residency)
+
+    @property
+    def local_bytes_in_use(self) -> int:
+        return self.resident_objects * self.object_size

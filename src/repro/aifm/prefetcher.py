@@ -1,0 +1,79 @@
+"""AIFM's stride prefetcher.
+
+§4.3: "we use AIFM's existing stride prefetcher, and we prefetch
+pointers operating on induction variables as identified by TrackFM's
+loop chunking pass."  The prefetcher watches the stream of object ids a
+pointer dereferences; once the same stride repeats enough times it
+issues asynchronous fetches ``depth`` objects ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import RuntimeConfigError
+
+
+@dataclass
+class _StreamState:
+    last_id: Optional[int] = None
+    stride: Optional[int] = None
+    confidence: int = 0
+    #: Highest object id already requested, to avoid re-issuing.
+    issued_up_to: Optional[int] = None
+
+
+class StridePrefetcher:
+    """Per-stream stride detection with confidence threshold."""
+
+    def __init__(self, depth: int = 8, confidence_threshold: int = 2) -> None:
+        if depth < 1:
+            raise RuntimeConfigError("prefetch depth must be >= 1")
+        if confidence_threshold < 1:
+            raise RuntimeConfigError("confidence threshold must be >= 1")
+        self.depth = depth
+        self.confidence_threshold = confidence_threshold
+        self._streams: Dict[int, _StreamState] = {}
+
+    def observe(self, obj_id: int, stream: int = 0) -> List[int]:
+        """Record an access; return object ids to prefetch (may be empty)."""
+        state = self._streams.get(stream)
+        if state is None:
+            state = _StreamState()
+            self._streams[stream] = state
+        targets: List[int] = []
+        if state.last_id is not None:
+            stride = obj_id - state.last_id
+            if stride == 0:
+                # Same object; no new information.
+                state.last_id = obj_id
+                return []
+            if stride == state.stride:
+                state.confidence += 1
+            else:
+                state.stride = stride
+                state.confidence = 1
+                state.issued_up_to = None
+            if state.confidence >= self.confidence_threshold:
+                start = obj_id + state.stride
+                if state.issued_up_to is not None and state.stride > 0:
+                    start = max(start, state.issued_up_to + state.stride)
+                elif state.issued_up_to is not None and state.stride < 0:
+                    start = min(start, state.issued_up_to + state.stride)
+                for k in range(self.depth):
+                    target = start + k * state.stride
+                    if target < 0:
+                        break
+                    targets.append(target)
+                if targets:
+                    state.issued_up_to = targets[-1]
+        state.last_id = obj_id
+        return targets
+
+    def reset(self, stream: Optional[int] = None) -> None:
+        """Forget one stream's state (or all of them)."""
+        if stream is None:
+            self._streams.clear()
+        else:
+            self._streams.pop(stream, None)

@@ -1,0 +1,149 @@
+"""The AIFM runtime facade: the library-based baseline.
+
+This is far memory as AIFM ships it: the *programmer* places data in
+remote data structures, every dereference goes through a smart pointer
+(cheap, no guard), iterators know the data structure's layout and drive
+the stride prefetcher, and object sizes are chosen per data structure by
+the developer.  TrackFM reuses everything below the smart-pointer layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aifm.allocator import Allocation, RegionAllocator
+from repro.aifm.pool import ObjectPool, PoolConfig
+from repro.aifm.prefetcher import StridePrefetcher
+from repro.aifm.scope import DerefScope
+from repro.errors import PointerError
+from repro.machine.costs import AccessKind
+from repro.net.backends import RemoteBackend
+from repro.sim.metrics import Metrics
+from repro.units import ceil_div
+
+#: Cycles of AIFM's smart-pointer indirection on a hot (local) deref.
+#: §4.1: "AIFM does incur overhead for smart pointer indirection" — it
+#: is cheaper than a TrackFM fast-path guard (21 cycles) because there
+#: is no custody check or state-table load; the unique pointer embeds
+#: the state.
+AIFM_DEREF_OVERHEAD = 9.0
+
+
+class AIFMRuntime:
+    """Object-granular far memory with library (not compiler) knowledge."""
+
+    def __init__(
+        self,
+        config: PoolConfig,
+        backend: Optional[RemoteBackend] = None,
+        prefetch_depth: int = 8,
+        deref_overhead: float = AIFM_DEREF_OVERHEAD,
+    ) -> None:
+        self.config = config
+        self.pool = ObjectPool(config, backend=backend)
+        self.allocator = RegionAllocator(config.heap_size, config.object_size)
+        self.prefetcher = StridePrefetcher(depth=prefetch_depth) if prefetch_depth else None
+        self.deref_overhead = deref_overhead
+        self.object_size = config.object_size
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.pool.metrics
+
+    # -- allocation -----------------------------------------------------
+
+    def allocate(self, size: int) -> Allocation:
+        """Carve a remotable allocation out of the pool's heap."""
+        return self.allocator.allocate(size)
+
+    def free(self, alloc: Allocation) -> None:
+        freed = self.allocator.free(alloc.offset)
+        first, last = freed.object_range(self.object_size)
+        for obj_id in range(first, last):
+            # Only whole-object frees drop residency; shared regions stay.
+            if self.allocator.allocation_at(obj_id * self.object_size) is None:
+                self.pool.free_object(obj_id)
+
+    def scope(self) -> DerefScope:
+        """A DerefScope over this runtime's pool (Listing 1 style)."""
+        return DerefScope(self.pool)
+
+    # -- the deref path ----------------------------------------------------
+
+    def access(
+        self,
+        offset: int,
+        kind: AccessKind = AccessKind.READ,
+        size: int = 8,
+        stream: int = 0,
+        scope: Optional[DerefScope] = None,
+        prefetch: bool = True,
+        depth: int = 1,
+    ) -> float:
+        """Dereference ``size`` bytes at heap ``offset``; returns cycles.
+
+        Objects spanned by the access are localized; the stride
+        prefetcher observes the leading object.  Smart-pointer overhead
+        plus the local access cost are always charged.
+        """
+        if size <= 0:
+            raise PointerError("access size must be positive")
+        costs = self.config.costs
+        cycles = self.deref_overhead + costs.local_access
+        write = kind is AccessKind.WRITE
+        first = self.pool.object_of_offset(offset)
+        last = self.pool.object_of_offset(offset + size - 1)
+        for obj_id in range(first, last + 1):
+            _hit, move = self.pool.ensure_local(obj_id, write=write, depth=depth)
+            cycles += move
+            if scope is not None:
+                scope.pin(obj_id)
+        if self.prefetcher is not None and prefetch:
+            for target in self.prefetcher.observe(first, stream=stream):
+                if 0 <= target < self.pool.config.num_objects:
+                    cycles += self.pool.prefetch(target)
+        self.metrics.accesses += 1
+        self.metrics.cycles += cycles
+        return cycles
+
+    # -- bulk helper used by the executor for closed-form scans --------------
+
+    def sequential_scan(
+        self,
+        offset: int,
+        n_elems: int,
+        elem_size: int,
+        kind: AccessKind = AccessKind.READ,
+        resident_fraction: float = 0.0,
+    ) -> float:
+        """Closed-form cost of a sequential scan (library iterator).
+
+        AIFM's iterators localize object-by-object and prefetch ahead,
+        so per element: smart-pointer overhead + local access, plus per
+        object: a pipelined fetch for the non-resident fraction.
+        ``resident_fraction`` is the probability an object is already
+        local (0 for a cold scan larger than local memory).
+        """
+        costs = self.config.costs
+        total_bytes = n_elems * elem_size
+        n_objects = max(1, ceil_div(total_bytes, self.object_size))
+        per_elem = self.deref_overhead + costs.local_access
+        cycles = n_elems * per_elem
+        misses = int(round(n_objects * (1.0 - resident_fraction)))
+        if misses:
+            wire = self.pool.backend.link.wire_cycles(self.object_size)
+            cycles += misses * wire
+            self.metrics.remote_fetches += misses
+            self.metrics.bytes_fetched += misses * self.object_size
+            self.pool.backend.link.stats.bytes_fetched += misses * self.object_size
+            self.metrics.prefetches_issued += misses
+            self.metrics.prefetches_useful += misses
+            if kind is AccessKind.WRITE:
+                evict = self.pool.backend.link.wire_cycles(self.object_size)
+                cycles += misses * evict * self.pool.evacuator.sync_fraction
+                self.metrics.bytes_evacuated += misses * self.object_size
+                self.metrics.evictions += misses
+        self.metrics.accesses += n_elems
+        self.metrics.cycles += cycles
+        return cycles

@@ -1,0 +1,41 @@
+"""Compiler analyses, standing in for NOELLE's abstractions.
+
+TrackFM consumes four NOELLE facilities (§3): the program dependence
+graph with its alias analyses (to skip stack/global accesses), induction
+variable analysis (for loop chunking), loop structure, and the profiling
+engine (loop coverage for the chunking cost model).  This package
+implements each from scratch over :mod:`repro.ir`.
+"""
+
+from repro.analysis.cfg import CFG, reverse_postorder
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, LoopInfo, find_loops
+from repro.analysis.induction import (
+    InductionVariable,
+    InductionAnalysis,
+)
+from repro.analysis.provenance import (
+    Provenance,
+    ProvenanceAnalysis,
+)
+from repro.analysis.defuse import DefUse
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.profiler import LoopProfile, ProfileData, profile_module
+
+__all__ = [
+    "CFG",
+    "reverse_postorder",
+    "DominatorTree",
+    "Loop",
+    "LoopInfo",
+    "find_loops",
+    "InductionVariable",
+    "InductionAnalysis",
+    "Provenance",
+    "ProvenanceAnalysis",
+    "DefUse",
+    "CallGraph",
+    "LoopProfile",
+    "ProfileData",
+    "profile_module",
+]

@@ -1,0 +1,73 @@
+"""Control-flow graph queries over a function's basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import AnalysisError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+class CFG:
+    """Predecessor/successor maps plus reachability for one function."""
+
+    def __init__(self, func: Function) -> None:
+        if func.is_declaration:
+            raise AnalysisError(f"@{func.name} is a declaration; no CFG")
+        self.function = func
+        self.successors: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.predecessors: Dict[BasicBlock, List[BasicBlock]] = {
+            b: [] for b in func.blocks
+        }
+        for block in func.blocks:
+            succs = list(block.successors())
+            self.successors[block] = succs
+            for s in succs:
+                self.predecessors[s].append(block)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry
+
+    def reachable(self) -> Set[BasicBlock]:
+        """Blocks reachable from the entry."""
+        seen: Set[BasicBlock] = set()
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block in seen:
+                continue
+            seen.add(block)
+            stack.extend(self.successors[block])
+        return seen
+
+    def preds(self, block: BasicBlock) -> List[BasicBlock]:
+        return self.predecessors[block]
+
+    def succs(self, block: BasicBlock) -> List[BasicBlock]:
+        return self.successors[block]
+
+
+def reverse_postorder(cfg: CFG) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (iterative DFS)."""
+    postorder: List[BasicBlock] = []
+    visited: Set[BasicBlock] = set()
+    # Iterative DFS with an explicit state stack so deep CFGs don't
+    # blow Python's recursion limit.
+    stack: List[tuple] = [(cfg.entry, iter(cfg.succs(cfg.entry)))]
+    visited.add(cfg.entry)
+    while stack:
+        block, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(cfg.succs(succ))))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(block)
+            stack.pop()
+    postorder.reverse()
+    return postorder

@@ -1,0 +1,94 @@
+"""The TrackFM compiler: Fig. 2's analysis & transformation pipeline.
+
+Passes, in pipeline order:
+
+1. :class:`O1Pipeline` (optional) — pre-optimization (DCE, redundant
+   load elimination, constant folding); §4.5 found that feeding NOELLE
+   *unoptimized* IR inflates guard counts 4–6x on NAS FT/SP, so the
+   default pipeline runs this first.
+2. :class:`RuntimeInitPass` — hooks ``tfm_runtime_init`` into ``main``.
+3. :class:`GuardAnalysisPass` — marks heap-may loads/stores (via the
+   provenance analysis) as guard candidates.
+4. :class:`ChunkAnalysisPass` — finds loops whose accesses stride an
+   induction variable; applies the cost model (+ profile data when
+   available) to pick chunking candidates.
+5. :class:`ChunkTransformPass` — rewrites chunkable accesses to the
+   boundary-check/locality-guard form of Fig. 5 (with prefetch flags
+   from the prefetch policy).
+6. :class:`GuardTransformPass` — wraps every remaining candidate access
+   in a full guard.
+7. :class:`LibcTransformPass` — retargets malloc/calloc/realloc/free to
+   the TrackFM runtime's allocator.
+"""
+
+from repro.compiler.pass_manager import (
+    Pass,
+    PassContext,
+    PassManager,
+)
+from repro.compiler.cost_model import ChunkingCostModel, LoopShape
+from repro.compiler.optimize import (
+    O1Pipeline,
+    DeadCodeEliminationPass,
+    RedundantLoadEliminationPass,
+    ConstantFoldingPass,
+)
+from repro.compiler.runtime_init import RuntimeInitPass
+from repro.compiler.guard_analysis import GuardAnalysisPass
+from repro.compiler.chunk_analysis import ChunkAnalysisPass, ChunkPlan
+from repro.compiler.chunk_transform import ChunkTransformPass
+from repro.compiler.guard_transform import GuardTransformPass
+from repro.compiler.libc_transform import LibcTransformPass
+from repro.compiler.pipeline import (
+    TrackFMCompiler,
+    CompilerConfig,
+    CompileResult,
+    ChunkingPolicy,
+)
+from repro.compiler.mem2reg import Mem2RegPass
+from repro.compiler.dse import DeadStoreEliminationPass
+from repro.compiler.licm import LICMPass
+from repro.compiler.simplify_cfg import SimplifyCFGPass
+from repro.compiler.heap_pruning import HeapPruningPass
+from repro.compiler.chase_prefetch import ChasePrefetchPass
+from repro.compiler.offload import OffloadPass
+from repro.compiler.autotune import (
+    AutotuneResult,
+    AutotuneTrial,
+    autotune_object_size,
+)
+from repro.compiler.size_classes import recommend_object_sizes
+
+__all__ = [
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "ChunkingCostModel",
+    "LoopShape",
+    "O1Pipeline",
+    "DeadCodeEliminationPass",
+    "RedundantLoadEliminationPass",
+    "ConstantFoldingPass",
+    "RuntimeInitPass",
+    "GuardAnalysisPass",
+    "ChunkAnalysisPass",
+    "ChunkPlan",
+    "ChunkTransformPass",
+    "GuardTransformPass",
+    "LibcTransformPass",
+    "TrackFMCompiler",
+    "CompilerConfig",
+    "CompileResult",
+    "ChunkingPolicy",
+    "Mem2RegPass",
+    "DeadStoreEliminationPass",
+    "LICMPass",
+    "SimplifyCFGPass",
+    "HeapPruningPass",
+    "ChasePrefetchPass",
+    "OffloadPass",
+    "AutotuneResult",
+    "AutotuneTrial",
+    "autotune_object_size",
+    "recommend_object_sizes",
+]

@@ -1,0 +1,110 @@
+"""Object-size autotuning (§3.2 / §5, implemented).
+
+The paper leaves object-size selection to the user but observes: "the
+small search space suggests that an autotuning approach is feasible ...
+an exhaustive search involving recompilation and a short-term execution
+would simply expand the short compile times."  This module is that
+search: for each plausible object size (powers of two, cache line to
+base page), recompile the program, run it briefly under a far-memory
+runtime, and keep the cheapest size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.aifm.pool import PoolConfig
+from repro.compiler.pipeline import CompilerConfig, TrackFMCompiler
+from repro.errors import PassError
+from repro.ir.module import Module
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.units import PLAUSIBLE_OBJECT_SIZES
+
+ModuleFactory = Callable[[], Module]
+
+
+@dataclass
+class AutotuneTrial:
+    """One (object size, recompile, short run) data point."""
+
+    object_size: int
+    cycles: float
+    guards: int
+    bytes_fetched: int
+    compile_seconds: float
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of the exhaustive search."""
+
+    best_size: int
+    trials: Dict[int, AutotuneTrial] = field(default_factory=dict)
+
+    @property
+    def best_trial(self) -> AutotuneTrial:
+        return self.trials[self.best_size]
+
+    def speedup_over_worst(self) -> float:
+        worst = max(t.cycles for t in self.trials.values())
+        best = self.trials[self.best_size].cycles
+        if best <= 0:
+            return 1.0
+        return worst / best
+
+    def summary(self) -> str:
+        rows = ", ".join(
+            f"{size}B={trial.cycles:.0f}cyc"
+            for size, trial in sorted(self.trials.items())
+        )
+        return f"best object size {self.best_size}B ({rows})"
+
+
+def autotune_object_size(
+    module_factory: ModuleFactory,
+    local_memory: int,
+    heap_size: int,
+    sizes: Sequence[int] = PLAUSIBLE_OBJECT_SIZES,
+    base_config: Optional[CompilerConfig] = None,
+    entry: str = "main",
+    max_steps: int = 5_000_000,
+) -> AutotuneResult:
+    """Pick the fastest compile-time object size for a program.
+
+    ``module_factory`` must return a *fresh, untransformed* module per
+    call (compilation mutates in place, and each trial needs its own).
+    The probe runs are short by construction (``max_steps`` bounds
+    them), matching the paper's "short-term execution" framing.
+    """
+    from repro.sim.irrun import TrackFMProgram  # local: avoid sim<->compiler cycle
+
+    if not sizes:
+        raise PassError("autotune needs at least one candidate size")
+    trials: Dict[int, AutotuneTrial] = {}
+    for size in sizes:
+        config = (
+            replace(base_config, object_size=size)
+            if base_config is not None
+            else CompilerConfig(object_size=size)
+        )
+        module = module_factory()
+        compiled = TrackFMCompiler(config).compile(module)
+        runtime = TrackFMRuntime(
+            PoolConfig(
+                object_size=size,
+                local_memory=max(local_memory, size),
+                heap_size=max(heap_size, 2 * size),
+            )
+        )
+        program = TrackFMProgram(compiled.module, runtime, max_steps=max_steps)
+        program.run(entry)
+        trials[size] = AutotuneTrial(
+            object_size=size,
+            cycles=runtime.metrics.cycles,
+            guards=runtime.metrics.total_guards,
+            bytes_fetched=runtime.metrics.bytes_fetched,
+            compile_seconds=compiled.compile_seconds,
+        )
+    best = min(trials.values(), key=lambda t: t.cycles).object_size
+    return AutotuneResult(best_size=best, trials=trials)

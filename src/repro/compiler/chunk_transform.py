@@ -1,0 +1,130 @@
+"""Loop-chunking transformation (Fig. 5's right-hand side).
+
+For each approved :class:`ChunkPlan`:
+
+* the loop's preheader gains a ``tfm_chunk_begin(stream, prefetch)``
+  call (Fig. 5's ``tfm_init``/``tfm_rw`` — the chunk-state setup whose
+  cost the cost model charges per loop entry);
+* each candidate access's pointer is routed through
+  ``tfm_chunk_deref(ptr, stream)``, which performs the 3-instruction
+  boundary check and, at object boundaries, the locality-invariant
+  guard that pins the next object;
+* every exit edge is split and gains ``tfm_chunk_end(stream)`` so the
+  pinned object is released when the loop is left.
+
+Chunked accesses lose their ``tfm.guard`` mark so the later guard
+transformation leaves them alone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.cfg import CFG
+from repro.compiler.chunk_analysis import ChunkPlan
+from repro.compiler.guard_analysis import GUARD_MD
+from repro.compiler.pass_manager import Pass, PassContext
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Br, Call, CondBr, Load, Store
+from repro.ir.module import Module
+from repro.ir.types import I64, PTR, VOID
+from repro.ir.values import Constant
+
+CHUNKED_MD = "tfm.chunked"
+
+CHUNK_BEGIN = "tfm_chunk_begin"
+CHUNK_DEREF = "tfm_chunk_deref"
+CHUNK_DEREF_WRITE = "tfm_chunk_deref_write"
+CHUNK_END = "tfm_chunk_end"
+
+
+def split_edge(func: Function, pred: BasicBlock, succ: BasicBlock) -> BasicBlock:
+    """Insert a fresh block on the edge ``pred -> succ``; returns it.
+
+    The new block unconditionally branches to ``succ``; ``pred``'s
+    terminator is retargeted and ``succ``'s phis are updated to receive
+    their old ``pred`` values from the new block.
+    """
+    edge = func.insert_block_after(pred, name=func.unique_name("edge"))
+    term = pred.terminator
+    assert term is not None
+    if isinstance(term, Br):
+        if term.target is succ:
+            term.target = edge
+    elif isinstance(term, CondBr):
+        if term.if_true is succ:
+            term.if_true = edge
+        if term.if_false is succ:
+            term.if_false = edge
+    edge.append(Br(succ))
+    for phi in succ.phis():
+        phi.incoming = [
+            (value, edge if blk is pred else blk) for value, blk in phi.incoming
+        ]
+    return edge
+
+
+class ChunkTransformPass(Pass):
+    """Apply the approved chunk plans to the IR."""
+
+    name = "chunk-transform"
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        plans: List[ChunkPlan] = ctx.results.get("chunk_plans", [])
+        next_stream = 0
+        for plan in plans:
+            if not plan.apply:
+                continue
+            if self._apply_plan(plan, next_stream, ctx):
+                plan.stream_base = next_stream
+                next_stream += len(plan.candidates)
+                ctx.bump(f"{self.name}.loops_chunked")
+
+    def _apply_plan(
+        self, plan: ChunkPlan, stream_base: int, ctx: PassContext
+    ) -> bool:
+        func = plan.function
+        loop = plan.loop
+        cfg = CFG(func)
+        preheader = loop.preheader(cfg)
+        if preheader is None:
+            ctx.bump(f"{self.name}.skipped_no_preheader")
+            return False
+        prefetch_flag = Constant(I64, 1 if plan.prefetch else 0)
+
+        # One stream per candidate pointer, set up in the preheader.
+        term = preheader.terminator
+        assert term is not None
+        for i, _cand in enumerate(plan.candidates):
+            begin = Call(
+                VOID, CHUNK_BEGIN, [Constant(I64, stream_base + i), prefetch_flag]
+            )
+            preheader.insert_before(term, begin)
+
+        # Route each access's pointer through the chunk deref.
+        for i, cand in enumerate(plan.candidates):
+            access = cand.access
+            block = access.parent
+            assert block is not None
+            assert isinstance(access, (Load, Store))
+            ptr = access.pointer
+            callee = CHUNK_DEREF_WRITE if isinstance(access, Store) else CHUNK_DEREF
+            deref = Call(PTR, callee, [ptr, Constant(I64, stream_base + i)])
+            deref.name = func.unique_name("chunkptr")
+            block.insert_before(access, deref)
+            access.replace_uses_of(ptr, deref)
+            access.metadata[CHUNKED_MD] = True
+            access.metadata.pop(GUARD_MD, None)
+            ctx.bump(f"{self.name}.accesses_chunked")
+
+        # Tear down on every exit edge (split so out-of-loop paths that
+        # never entered the loop are unaffected).
+        for inside, outside in loop.exit_edges(cfg):
+            edge = split_edge(func, inside, outside)
+            edge_term = edge.terminator
+            assert edge_term is not None
+            for i, _cand in enumerate(plan.candidates):
+                end = Call(VOID, CHUNK_END, [Constant(I64, stream_base + i)])
+                edge.insert_before(edge_term, end)
+        return True

@@ -1,0 +1,119 @@
+"""The loop-chunking cost model (§3.4, Eqs. 1–3, Fig. 6).
+
+Notation from the paper: an object of size *o* holds *d = o/e* elements
+of size *e* (the *object density*).  Per object, the naive transform
+pays one slow-path guard plus (d-1) fast-path guards:
+
+    C     = (d - 1) c_f + c_s                                   (Eq. 1)
+
+and the chunked transform pays d boundary checks plus one locality
+invariant guard — where the paper's c_l folds in the per-loop-entry
+chunk setup:
+
+    C_opt = (d - 1) c_b + c_l                                   (Eq. 2)
+
+Chunk when C_opt < C, i.e. when the density exceeds the threshold of
+Eq. 3.  Beyond the per-object form, :meth:`ChunkingCostModel.should_chunk`
+evaluates the same arithmetic for a whole loop shape (iterations per
+entry, objects per entry, number of entries), which is what lets the
+profile-guided filter reject the nested, short, low-density loops of
+k-means and the analytics aggregations (Figs. 8/15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PassError
+from repro.machine.costs import CostTable, DEFAULT_COSTS
+
+
+@dataclass(frozen=True)
+class LoopShape:
+    """What the cost model needs to know about one loop's dynamic shape."""
+
+    #: Iterations per loop entry (profile trip count, or a static bound).
+    iterations_per_entry: float
+    #: Element size in bytes of the strided accesses.
+    elem_size: int
+    #: How many times the loop is entered (1 for a top-level loop; the
+    #: outer trip count for a nested loop).
+    entries: float = 1.0
+    #: Guarded memory accesses per iteration.
+    accesses_per_iteration: int = 1
+
+
+class ChunkingCostModel:
+    """Decides where loop chunking pays off."""
+
+    def __init__(self, object_size: int, costs: CostTable = DEFAULT_COSTS) -> None:
+        if object_size <= 0:
+            raise PassError("object size must be positive")
+        self.object_size = object_size
+        self.costs = costs
+
+    # -- the paper's per-object equations ----------------------------------
+
+    def density(self, elem_size: int) -> float:
+        """d = o / e."""
+        if elem_size <= 0:
+            raise PassError("element size must be positive")
+        return self.object_size / elem_size
+
+    def naive_cost_per_object(self, elem_size: int) -> float:
+        """Eq. 1."""
+        d = self.density(elem_size)
+        return (d - 1) * self.costs.fast_guard_read_cached + self.costs.slow_guard_read_cached
+
+    def chunked_cost_per_object(self, elem_size: int, amortized_setup: float = 0.0) -> float:
+        """Eq. 2; ``amortized_setup`` is chunk setup divided over the
+        objects of one loop entry (the paper folds it into c_l)."""
+        d = self.density(elem_size)
+        return (
+            (d - 1) * self.costs.boundary_check
+            + self.costs.locality_guard
+            + amortized_setup
+        )
+
+    def density_threshold(self) -> float:
+        """Eq. 3's crossover (~722 elements/object with default costs)."""
+        return self.costs.chunking_crossover_density()
+
+    # -- whole-loop decision --------------------------------------------------
+
+    def loop_costs(self, shape: LoopShape) -> tuple:
+        """(naive_cycles, chunked_cycles) guard overhead for the loop."""
+        n = shape.iterations_per_entry * shape.accesses_per_iteration
+        if n <= 0:
+            return 0.0, 0.0
+        d = self.density(shape.elem_size)
+        objects = max(1.0, n / d)
+        c = self.costs
+        naive = (
+            (n - objects) * c.fast_guard_read_cached
+            + objects * c.slow_guard_read_cached
+        )
+        chunked = (
+            c.chunk_setup
+            + n * c.boundary_check
+            + objects * c.locality_guard
+        )
+        return naive * shape.entries, chunked * shape.entries
+
+    def should_chunk(self, shape: LoopShape) -> bool:
+        """True when the chunked transform is predicted cheaper."""
+        naive, chunked = self.loop_costs(shape)
+        return chunked < naive
+
+    def predicted_speedup(self, shape: LoopShape, body_cycles: float = 15.0) -> float:
+        """Whole-loop speedup of chunking, including loop body cost.
+
+        This is the quantity Fig. 6 plots (y-axis: "speedup vs baseline
+        transform") as density varies.
+        """
+        n = shape.iterations_per_entry * shape.accesses_per_iteration * shape.entries
+        naive, chunked = self.loop_costs(shape)
+        base = n * body_cycles
+        if base + chunked <= 0:
+            return 1.0
+        return (base + naive) / (base + chunked)

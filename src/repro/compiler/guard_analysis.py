@@ -1,0 +1,46 @@
+"""Guard-check analysis.
+
+§3.1: "TrackFM searches for all LLVM IR-level load and store
+instructions that correspond to heap allocations (returned by malloc)
+and marks these instructions as eligible for guard transformation.  The
+pass ignores accesses to stack and global objects by leveraging
+NOELLE's program dependence graph abstraction."
+
+We use the provenance analysis (:mod:`repro.analysis.provenance`):
+accesses whose pointer *may* be heap (or is unknown) are marked with
+``tfm.guard`` metadata; provably stack/global accesses are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.provenance import ProvenanceAnalysis
+from repro.compiler.pass_manager import Pass, PassContext
+from repro.ir.instructions import Instruction, Load, Store
+from repro.ir.module import Module
+
+GUARD_MD = "tfm.guard"
+SKIPPED_MD = "tfm.local_only"
+
+
+class GuardAnalysisPass(Pass):
+    """Mark heap-may loads/stores as guard candidates."""
+
+    name = "guard-analysis"
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        candidates: List[Instruction] = []
+        for func in module.defined_functions():
+            prov = ProvenanceAnalysis(func)
+            for inst in func.instructions():
+                if not isinstance(inst, (Load, Store)):
+                    continue
+                if prov.must_guard(inst):
+                    inst.metadata[GUARD_MD] = True
+                    candidates.append(inst)
+                    ctx.bump(f"{self.name}.candidates")
+                else:
+                    inst.metadata[SKIPPED_MD] = True
+                    ctx.bump(f"{self.name}.skipped")
+        ctx.results["guard_candidates"] = candidates

@@ -1,0 +1,222 @@
+"""Profile-guided heap pruning (§5's MaPHeA-style extension).
+
+The paper: "TrackFM could also benefit from a profiling stage that
+prunes the set of heap allocations available for remoting based on
+access frequency ... we suspect incorporating a similar approach into
+the TrackFM middle-end transformations would be straightforward."
+
+This pass does it: using the loop-coverage profile, it scores each
+statically-sized allocation site by *dynamic accesses per byte*, pins
+the hottest sites into local memory (up to a budget), and — the payoff
+— **elides guards entirely** on accesses whose pointer provably derives
+only from pinned sites.  Pinned allocations return canonical pointers
+(they are ordinary local memory now), so even un-elided guards
+degenerate to the 4-cycle custody miss.
+
+Scheduling: after guard analysis (it consumes ``tfm.guard`` marks),
+before chunking and the guard transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.provenance import HEAP_ALLOC_FUNCTIONS
+from repro.compiler.guard_analysis import GUARD_MD
+from repro.compiler.pass_manager import Pass, PassContext
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Gep,
+    Instruction,
+    IntToPtr,
+    Load,
+    Phi,
+    PtrToInt,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, Value
+
+#: The local-heap allocation entry point pinned sites are rewritten to.
+PINNED_ALLOC = "tfm_malloc_pinned"
+
+PINNED_MD = "tfm.pinned_alloc"
+ELIDED_MD = "tfm.guard_elided"
+
+
+@dataclass
+class AllocationSite:
+    """One statically-sized heap allocation call."""
+
+    call: Call
+    function: Function
+    size_bytes: int
+    dynamic_accesses: float = 0.0
+
+    @property
+    def heat(self) -> float:
+        """Accesses per byte: the pinning priority."""
+        if self.size_bytes <= 0:
+            return 0.0
+        return self.dynamic_accesses / self.size_bytes
+
+
+def _static_alloc_size(call: Call) -> Optional[int]:
+    if call.callee in ("malloc", "tfm_malloc"):
+        arg = call.args[0]
+        if isinstance(arg, Constant):
+            return int(arg.value)
+    if call.callee in ("calloc", "tfm_calloc") and len(call.args) == 2:
+        a, b = call.args
+        if isinstance(a, Constant) and isinstance(b, Constant):
+            return int(a.value) * int(b.value)
+    return None
+
+
+def trace_allocation_sites(value: Value) -> Optional[Set[Call]]:
+    """All allocation calls ``value`` may point into, or None if unknown.
+
+    Follows gep bases, phi/select merges, and ptr<->int round trips.
+    Loads and arguments are opaque: return None (cannot elide safely).
+    """
+    sites: Set[Call] = set()
+    seen: Set[int] = set()
+    work: List[Value] = [value]
+    while work:
+        v = work.pop()
+        if id(v) in seen:
+            continue
+        seen.add(id(v))
+        if isinstance(v, Call):
+            if v.callee in HEAP_ALLOC_FUNCTIONS or v.callee == PINNED_ALLOC:
+                sites.add(v)
+                continue
+            return None  # pointer from an arbitrary call
+        if isinstance(v, Gep):
+            work.append(v.base)
+            continue
+        if isinstance(v, Phi):
+            work.extend(val for val, _ in v.incoming)
+            continue
+        if isinstance(v, Select):
+            work.extend(v.operands[1:])
+            continue
+        if isinstance(v, (PtrToInt, IntToPtr)):
+            work.append(v.operands[0])
+            continue
+        if isinstance(v, BinOp):
+            work.extend(v.operands)
+            continue
+        if isinstance(v, Constant):
+            continue
+        if isinstance(v, (Load, Argument)):
+            return None
+        return None
+    return sites if sites else None
+
+
+class HeapPruningPass(Pass):
+    """Pin hot allocation sites local; elide their guards."""
+
+    name = "heap-pruning"
+
+    def __init__(self, pin_budget_bytes: int) -> None:
+        if pin_budget_bytes < 0:
+            raise ValueError("pin budget must be >= 0")
+        self.pin_budget_bytes = pin_budget_bytes
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        if self.pin_budget_bytes == 0:
+            return
+        sites = self._collect_sites(module, ctx)
+        pinned = self._choose_pins(sites, ctx)
+        if not pinned:
+            return
+        pinned_calls = {s.call for s in pinned}
+        for site in pinned:
+            site.call.callee = PINNED_ALLOC
+            site.call.metadata[PINNED_MD] = True
+            ctx.bump(f"{self.name}.sites_pinned")
+        self._elide_guards(module, pinned_calls, ctx)
+
+    # -- scoring --------------------------------------------------------
+
+    def _collect_sites(
+        self, module: Module, ctx: PassContext
+    ) -> List[AllocationSite]:
+        sites: Dict[int, AllocationSite] = {}
+        for func in module.defined_functions():
+            for inst in func.instructions():
+                if isinstance(inst, Call):
+                    size = _static_alloc_size(inst)
+                    if size is not None:
+                        sites[id(inst)] = AllocationSite(inst, func, size)
+        # Attribute guarded-access frequency to sites.
+        profile = ctx.profile
+        for func in module.defined_functions():
+            for inst in func.instructions():
+                if not isinstance(inst, (Load, Store)):
+                    continue
+                if not inst.metadata.get(GUARD_MD):
+                    continue
+                traced = trace_allocation_sites(self._pointer_of(inst))
+                if traced is None:
+                    continue
+                weight = 1.0
+                if profile is not None and inst.parent is not None:
+                    weight = float(
+                        max(profile.count(func.name, inst.parent.name), 1)
+                    )
+                for call in traced:
+                    site = sites.get(id(call))
+                    if site is not None:
+                        site.dynamic_accesses += weight / len(traced)
+        return list(sites.values())
+
+    @staticmethod
+    def _pointer_of(inst: Instruction) -> Value:
+        if isinstance(inst, Load):
+            return inst.pointer
+        assert isinstance(inst, Store)
+        return inst.pointer
+
+    def _choose_pins(
+        self, sites: List[AllocationSite], ctx: PassContext
+    ) -> List[AllocationSite]:
+        hot = sorted(
+            (s for s in sites if s.dynamic_accesses > 0),
+            key=lambda s: s.heat,
+            reverse=True,
+        )
+        chosen: List[AllocationSite] = []
+        budget = self.pin_budget_bytes
+        for site in hot:
+            if site.size_bytes <= budget:
+                chosen.append(site)
+                budget -= site.size_bytes
+            else:
+                ctx.bump(f"{self.name}.sites_over_budget")
+        return chosen
+
+    # -- guard elision --------------------------------------------------
+
+    def _elide_guards(
+        self, module: Module, pinned_calls: Set[Call], ctx: PassContext
+    ) -> None:
+        for func in module.defined_functions():
+            for inst in func.instructions():
+                if not isinstance(inst, (Load, Store)):
+                    continue
+                if not inst.metadata.get(GUARD_MD):
+                    continue
+                traced = trace_allocation_sites(self._pointer_of(inst))
+                if traced is None:
+                    continue
+                if traced <= pinned_calls:
+                    inst.metadata.pop(GUARD_MD, None)
+                    inst.metadata[ELIDED_MD] = True
+                    ctx.bump(f"{self.name}.guards_elided")

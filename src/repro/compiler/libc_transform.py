@@ -1,0 +1,38 @@
+"""Libc transformation pass.
+
+§3.1: "This pass transforms all memory allocation calls ... in libc
+(e.g., malloc, realloc, free) into TrackFM-managed memory runtime
+calls.  The TrackFM versions leverage AIFM's region-based allocator
+under the covers to allocate remotable memory."
+
+After this pass every allocation the program performs returns a
+non-canonical TrackFM pointer, which is what makes the custody check
+meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.pass_manager import Pass, PassContext
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+
+#: libc entry point -> TrackFM runtime call.
+ALLOC_REWRITES = {
+    "malloc": "tfm_malloc",
+    "calloc": "tfm_calloc",
+    "realloc": "tfm_realloc",
+    "free": "tfm_free",
+}
+
+
+class LibcTransformPass(Pass):
+    """Retarget allocation calls at the TrackFM runtime."""
+
+    name = "libc-transform"
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        for func in module.defined_functions():
+            for inst in func.instructions():
+                if isinstance(inst, Call) and inst.callee in ALLOC_REWRITES:
+                    inst.callee = ALLOC_REWRITES[inst.callee]
+                    ctx.bump(f"{self.name}.rewritten")

@@ -1,0 +1,116 @@
+"""Loop-invariant code motion — including invariant *loads*.
+
+§6 places TrackFM in the lineage of compiler-assisted DSM systems whose
+central optimization was "aggregation/hoisting of guards."  Hoisting a
+loop-invariant load out of a loop does exactly that here: the load (and
+therefore its guard) executes once per loop entry instead of once per
+iteration.
+
+Safety rules (conservative, no alias analysis beyond instruction kinds):
+
+* arithmetic/gep/compare/select/cast instructions hoist when all their
+  operands are defined outside the loop;
+* a ``load`` hoists only when additionally the loop contains no stores
+  and no calls (anything else might alias);
+* nothing hoists unless the loop has a preheader, and loads only hoist
+  from blocks that execute on every iteration (the header), so a
+  guarded trap cannot be introduced on a path that never ran.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import Loop, find_loops
+from repro.compiler.pass_manager import Pass, PassContext
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Cast,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    IntToPtr,
+    Load,
+    PtrToInt,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Value
+
+_PURE = (BinOp, ICmp, FCmp, Gep, Select, Cast, PtrToInt, IntToPtr)
+
+
+class LICMPass(Pass):
+    """Hoist loop-invariant computation (and safe loads) to preheaders."""
+
+    name = "licm"
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        for func in module.defined_functions():
+            loops = find_loops(func)
+            if not len(loops):
+                continue
+            cfg = CFG(func)
+            # Innermost first: hoisted code may become invariant in the
+            # parent loop on the next pass run.
+            for loop in sorted(loops, key=lambda l: -l.depth):
+                self._process_loop(func, loop, cfg, ctx)
+
+    def _process_loop(
+        self, func: Function, loop: Loop, cfg: CFG, ctx: PassContext
+    ) -> None:
+        preheader = loop.preheader(cfg)
+        if preheader is None:
+            return
+        term = preheader.terminator
+        if term is None:
+            return
+        has_memory_hazard = any(
+            isinstance(inst, (Store, Call)) for inst in loop.instructions()
+        )
+        hoisted: Set[Instruction] = set()
+        changed = True
+        while changed:
+            changed = False
+            for block in list(loop.blocks):
+                for inst in list(block.instructions):
+                    if inst in hoisted or inst.is_terminator():
+                        continue
+                    if not self._hoistable(inst, loop, hoisted, has_memory_hazard, block):
+                        continue
+                    block.remove(inst)
+                    preheader.insert_before(term, inst)
+                    hoisted.add(inst)
+                    ctx.bump(f"{self.name}.hoisted")
+                    if isinstance(inst, Load):
+                        ctx.bump(f"{self.name}.loads_hoisted")
+                    changed = True
+
+    def _hoistable(
+        self,
+        inst: Instruction,
+        loop: Loop,
+        hoisted: Set[Instruction],
+        has_memory_hazard: bool,
+        block,
+    ) -> bool:
+        if isinstance(inst, Load):
+            if has_memory_hazard:
+                return False
+            # Only from blocks executing every iteration: the header.
+            if block is not loop.header:
+                return False
+        elif not isinstance(inst, _PURE):
+            return False
+        return all(self._invariant(op, loop, hoisted) for op in inst.operands)
+
+    @staticmethod
+    def _invariant(value: Value, loop: Loop, hoisted: Set[Instruction]) -> bool:
+        if isinstance(value, Instruction):
+            return value in hoisted or value.parent not in loop.blocks
+        return True

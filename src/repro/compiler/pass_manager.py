@@ -1,0 +1,74 @@
+"""Pass scheduling: a small LLVM-style pass manager.
+
+Passes communicate through a :class:`PassContext`: analyses publish
+results there (guard candidates, chunk plans, profiles), transforms
+consume them and record statistics.  The context also carries the
+compiler configuration so every pass sees the same object size and
+policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import PassError
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.profiler import ProfileData
+    from repro.compiler.pipeline import CompilerConfig
+
+
+@dataclass
+class PassContext:
+    """Shared state threaded through a pipeline run."""
+
+    config: "CompilerConfig"
+    profile: Optional["ProfileData"] = None
+    #: Free-form blackboard for inter-pass results.
+    results: Dict[str, Any] = field(default_factory=dict)
+    #: Per-pass statistic counters, keyed "pass_name.stat".
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, n: int = 1) -> None:
+        self.stats[key] = self.stats.get(key, 0) + n
+
+    def get_stat(self, key: str) -> int:
+        return self.stats.get(key, 0)
+
+
+class Pass:
+    """Base class: a named unit of IR work."""
+
+    #: Override in subclasses.
+    name: str = "pass"
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        """Apply the pass to ``module``; results/stats go into ``ctx``."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pass sequence with optional verification between passes."""
+
+    def __init__(self, passes: List[Pass], verify_each: bool = True) -> None:
+        if not passes:
+            raise PassError("empty pass pipeline")
+        self.passes = list(passes)
+        self.verify_each = verify_each
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        for p in self.passes:
+            p.run(module, ctx)
+            if self.verify_each:
+                try:
+                    verify_module(module)
+                except Exception as exc:
+                    raise PassError(
+                        f"IR verification failed after pass {p.name!r}: {exc}"
+                    ) from exc
+
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]

@@ -1,0 +1,38 @@
+"""Runtime-initialization pass.
+
+§3.1: "To make far memory transparent to programmers, this pass inserts
+hooks in the program's main function to initialize TrackFM's runtime
+system."
+"""
+
+from __future__ import annotations
+
+from repro.compiler.pass_manager import Pass, PassContext
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+from repro.ir.types import VOID
+
+INIT_HOOK = "tfm_runtime_init"
+
+
+class RuntimeInitPass(Pass):
+    """Insert ``tfm_runtime_init()`` at the top of ``main``."""
+
+    name = "runtime-init"
+
+    def __init__(self, entry: str = "main") -> None:
+        self.entry = entry
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        if not module.has_function(self.entry):
+            return
+        func = module.get_function(self.entry)
+        if func.is_declaration:
+            return
+        if func.metadata.get("tfm.runtime_initialized"):
+            return
+        entry_block = func.entry
+        hook = Call(VOID, INIT_HOOK, [])
+        entry_block.insert(entry_block.first_non_phi_index(), hook)
+        func.metadata["tfm.runtime_initialized"] = True
+        ctx.bump(f"{self.name}.hooks_inserted")

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the TrackFM reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: verifier failures, bad builder usage, type errors."""
+
+
+class IRTypeError(IRError):
+    """An IR value was used at an incompatible type."""
+
+
+class IRVerifyError(IRError):
+    """The IR verifier found a structural violation."""
+
+
+class InterpError(ReproError):
+    """The IR interpreter hit a runtime fault (bad memory, missing func)."""
+
+
+class SegmentationFault(InterpError):
+    """An access touched memory the interpreter does not map.
+
+    In the paper this is the general protection fault raised by the CPU
+    when a non-canonical (TrackFM) pointer escapes to an unguarded
+    load/store; we reproduce the same failure mode.
+    """
+
+
+class AnalysisError(ReproError):
+    """A compiler analysis was queried on IR it cannot handle."""
+
+
+class PassError(ReproError):
+    """A compiler pass failed or was scheduled incorrectly."""
+
+
+class RuntimeConfigError(ReproError):
+    """A far-memory runtime was configured with invalid parameters."""
+
+
+class OutOfMemoryError(ReproError):
+    """An allocator ran out of (simulated) memory."""
+
+
+class RemoteBackendError(ReproError):
+    """The simulated remote node / network backend failed a request."""
+
+
+class PointerError(ReproError):
+    """Invalid TrackFM pointer arithmetic or decoding."""
+
+
+class EvacuationError(ReproError):
+    """The evacuator was asked to evict a pinned or in-scope object."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""
+
+
+class BenchError(ReproError):
+    """A benchmark harness failure (bad sweep spec, missing series)."""

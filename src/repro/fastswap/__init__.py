@@ -1,0 +1,20 @@
+"""Fastswap baseline: kernel paging to remote memory over RDMA.
+
+Fastswap (Amaro et al., EuroSys '20) modifies the Linux swap subsystem
+to back swap space with a remote node's DRAM via one-sided RDMA.  Its
+defining behaviours — the ones the paper's comparisons hinge on — are:
+
+* **page granularity**: every transfer is an architected 4 KB page, so
+  fine-grained workloads suffer I/O amplification (Figs. 13/16);
+* **fault cost**: a major fault costs ~34K cycles end to end, ~1.3K of
+  which is kernel software overhead (Table 2); resident pages cost
+  *nothing* extra (hardware page tables), which is why Fastswap wins
+  when temporal locality is high (§4.5, memcached at high skew);
+* **cgroups reclaim**: under memory pressure, each page brought in
+  forces direct reclaim of another, adding kernel overhead on the
+  critical path.
+"""
+
+from repro.fastswap.runtime import FastswapRuntime, FastswapConfig
+
+__all__ = ["FastswapRuntime", "FastswapConfig"]

@@ -1,0 +1,186 @@
+"""The Fastswap runtime simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PointerError, RuntimeConfigError
+from repro.machine.costs import AccessKind, CostTable, DEFAULT_COSTS
+from repro.net.backends import RemoteBackend, make_rdma_backend
+from repro.sim.metrics import Metrics
+from repro.sim.residency import ResidencySet
+from repro.units import BASE_PAGE, align_up, ceil_div, is_power_of_two, log2_exact
+
+
+@dataclass
+class FastswapConfig:
+    """Sizing knobs for the kernel-swap baseline."""
+
+    #: Bytes of local memory (the cgroup limit the paper sweeps).
+    local_memory: int
+    #: Total application heap (swap-backed working set).
+    heap_size: int
+    #: Architected page size — fixed by hardware, the point of Fig. 13.
+    page_size: int = BASE_PAGE
+    #: Kernel cycles of direct reclaim per evicted page under pressure
+    #: (cgroup accounting + unmap + TLB shootdown).
+    reclaim_cycles: float = 2_000.0
+    #: Fraction of dirty-page writeback charged synchronously.
+    writeback_sync_fraction: float = 0.25
+    costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.page_size):
+            raise RuntimeConfigError("page size must be a power of two")
+        if self.local_memory < self.page_size:
+            raise RuntimeConfigError("local memory smaller than one page")
+        if self.heap_size < self.page_size:
+            raise RuntimeConfigError("heap smaller than one page")
+
+    @property
+    def local_capacity_pages(self) -> int:
+        return max(1, self.local_memory // self.page_size)
+
+    @property
+    def num_pages(self) -> int:
+        return ceil_div(self.heap_size, self.page_size)
+
+
+class FastswapRuntime:
+    """Page-granularity far memory with kernel fault costs.
+
+    Unmodified binaries run as-is: resident pages are reached through the
+    hardware page table at zero software cost; only faults cost cycles.
+    """
+
+    def __init__(
+        self,
+        config: FastswapConfig,
+        backend: Optional[RemoteBackend] = None,
+    ) -> None:
+        self.config = config
+        self.backend = backend if backend is not None else make_rdma_backend()
+        self.metrics = Metrics()
+        self.page_shift = log2_exact(config.page_size)
+        # Linux reclaim approximates LRU with active/inactive lists;
+        # CLOCK-style second chance is the closest simple model.
+        self.residency = ResidencySet(config.local_capacity_pages, use_clock=True)
+        self._brk = 0
+
+    @property
+    def page_size(self) -> int:
+        return self.config.page_size
+
+    # -- allocation: plain heap, page-aligned bump ---------------------------
+
+    def allocate(self, size: int) -> int:
+        """sbrk-style allocation; returns the heap offset."""
+        if size <= 0:
+            size = 1
+        offset = self._brk
+        self._brk = align_up(self._brk + size, 16)
+        if self._brk > self.config.heap_size:
+            raise PointerError("Fastswap heap exhausted")
+        return offset
+
+    def page_of(self, offset: int) -> int:
+        if offset < 0 or offset >= self.config.heap_size:
+            raise PointerError(f"offset {offset:#x} outside the heap")
+        return offset >> self.page_shift
+
+    # -- the access path ----------------------------------------------------
+
+    def access(
+        self,
+        offset: int,
+        kind: AccessKind = AccessKind.READ,
+        size: int = 8,
+    ) -> float:
+        """One load/store; returns cycles (fault handling if any + access)."""
+        costs = self.config.costs
+        cycles = costs.local_access
+        first = self.page_of(offset)
+        last = self.page_of(offset + size - 1)
+        for page in range(first, last + 1):
+            cycles += self._touch_page(page, kind)
+        self.metrics.accesses += 1
+        self.metrics.cycles += cycles
+        return cycles
+
+    def _touch_page(self, page: int, kind: AccessKind) -> float:
+        outcome = self.residency.access(page, write=kind is AccessKind.WRITE)
+        if outcome.hit:
+            return 0.0
+        cycles = self.config.costs.fastswap_fault(kind, remote=True)
+        self.metrics.major_faults += 1
+        self.metrics.remote_fetches += 1
+        self.metrics.bytes_fetched += self.page_size
+        self.backend.link.stats.messages += 1
+        self.backend.link.stats.bytes_fetched += self.page_size
+        for _victim, dirty in outcome.evicted:
+            cycles += self.config.reclaim_cycles
+            self.metrics.evictions += 1
+            if dirty:
+                wb = self.backend.link.wire_cycles(self.page_size)
+                cycles += wb * self.config.writeback_sync_fraction
+                self.metrics.bytes_evacuated += self.page_size
+                self.backend.link.stats.bytes_evicted += self.page_size
+        return cycles
+
+    # -- closed-form scan ------------------------------------------------------
+
+    def sequential_scan(
+        self,
+        offset: int,
+        n_elems: int,
+        elem_size: int,
+        kind: AccessKind = AccessKind.READ,
+        resident_fraction: float = 0.0,
+        body_cycles: Optional[float] = None,
+        under_pressure: bool = True,
+    ) -> float:
+        """Bulk cost of a sequential loop at page granularity.
+
+        ``under_pressure`` adds per-page direct reclaim when local
+        memory is full (the common case in the sweeps).
+        """
+        if n_elems <= 0:
+            return 0.0
+        if not 0.0 <= resident_fraction <= 1.0:
+            raise RuntimeConfigError("resident_fraction must be in [0, 1]")
+        costs = self.config.costs
+        body = costs.local_access if body_cycles is None else body_cycles
+        total_bytes = n_elems * elem_size
+        n_pages = max(1, ceil_div(total_bytes, self.page_size))
+        misses = int(round(n_pages * (1.0 - resident_fraction)))
+
+        cycles = n_elems * body
+        cycles += misses * costs.fastswap_fault(kind, remote=True)
+        if under_pressure:
+            cycles += misses * self.config.reclaim_cycles
+            self.metrics.evictions += misses
+        self.metrics.major_faults += misses
+        self.metrics.remote_fetches += misses
+        self.metrics.bytes_fetched += misses * self.page_size
+        self.backend.link.stats.messages += misses
+        self.backend.link.stats.bytes_fetched += misses * self.page_size
+        if kind is AccessKind.WRITE and misses:
+            wb = self.backend.link.wire_cycles(self.page_size)
+            cycles += misses * wb * self.config.writeback_sync_fraction
+            self.metrics.bytes_evacuated += misses * self.page_size
+            self.backend.link.stats.bytes_evicted += misses * self.page_size
+        self.metrics.accesses += n_elems
+        self.metrics.cycles += cycles
+        return cycles
+
+    # -- Table 2 probes -------------------------------------------------------
+
+    def fault_probe(self, kind: AccessKind, remote: bool) -> float:
+        """Cost of a single fault event (Table 2 microprobe)."""
+        cycles = self.config.costs.fastswap_fault(kind, remote)
+        if remote:
+            self.metrics.major_faults += 1
+        else:
+            self.metrics.minor_faults += 1
+        return cycles

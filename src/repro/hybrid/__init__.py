@@ -1,0 +1,15 @@
+"""Hybrid compiler+kernel far memory (§5's "Lessons" extension).
+
+The paper: "we were also surprised how well kernel-based approaches
+perform when there is sufficient temporal locality ... This suggests
+that a hybrid approach (compiler and kernel) holds promise."  This
+package prototypes that idea: local memory is split between a TrackFM
+object pool and a kernel page cache, and each allocation is *placed* on
+the mechanism that suits its access pattern — page-backed for coarse,
+high-temporal-reuse data (zero software cost on hits), object-backed
+for fine-grained data (no I/O amplification on misses).
+"""
+
+from repro.hybrid.runtime import HybridRuntime, Placement
+
+__all__ = ["HybridRuntime", "Placement"]

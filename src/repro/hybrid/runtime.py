@@ -1,0 +1,114 @@
+"""A hybrid runtime: TrackFM objects and kernel pages, side by side."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.aifm.pool import PoolConfig
+from repro.errors import PointerError, RuntimeConfigError
+from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
+from repro.machine.costs import AccessKind
+from repro.sim.metrics import Metrics
+from repro.trackfm.pointer import is_tfm_pointer
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.units import BASE_PAGE
+
+
+class Placement(enum.Enum):
+    """Which mechanism backs an allocation."""
+
+    #: TrackFM objects: guarded, sub-page granularity.
+    OBJECTS = "objects"
+    #: Kernel pages: unguarded, page granularity, fault on miss.
+    PAGES = "pages"
+
+
+@dataclass(frozen=True)
+class HybridHandle:
+    """An allocation handle carrying its placement."""
+
+    placement: Placement
+    #: TrackFM pointer (OBJECTS) or page-heap offset (PAGES).
+    address: int
+    size: int
+
+
+class HybridRuntime:
+    """Splits local memory between an object pool and a page cache.
+
+    The compiler (or, here, the caller) chooses a :class:`Placement`
+    per allocation; a plausible policy is the one §5 hints at — hot,
+    densely-reused regions on pages (faults amortize, hits are free of
+    guard costs), fine-grained or cold regions on objects (no
+    amplification).
+    """
+
+    def __init__(
+        self,
+        local_memory: int,
+        heap_size: int,
+        object_size: int = 256,
+        page_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 < page_fraction < 1.0:
+            raise RuntimeConfigError("page_fraction must be in (0, 1)")
+        page_local = max(BASE_PAGE, int(local_memory * page_fraction))
+        object_local = max(object_size, local_memory - page_local)
+        self.trackfm = TrackFMRuntime(
+            PoolConfig(
+                object_size=object_size,
+                local_memory=object_local,
+                heap_size=heap_size,
+            )
+        )
+        self.fastswap = FastswapRuntime(
+            FastswapConfig(local_memory=page_local, heap_size=heap_size)
+        )
+        self.page_fraction = page_fraction
+        self._handles: Dict[int, HybridHandle] = {}
+
+    # -- allocation -----------------------------------------------------
+
+    def allocate(self, size: int, placement: Placement) -> HybridHandle:
+        if placement is Placement.OBJECTS:
+            addr = self.trackfm.tfm_malloc(size)
+        else:
+            addr = self.fastswap.allocate(size)
+        handle = HybridHandle(placement, addr, size)
+        self._handles[addr] = handle
+        return handle
+
+    # -- access ---------------------------------------------------------
+
+    def access(
+        self,
+        handle: HybridHandle,
+        offset: int = 0,
+        kind: AccessKind = AccessKind.READ,
+        size: int = 8,
+    ) -> float:
+        if offset < 0 or offset + size > handle.size:
+            raise PointerError(
+                f"access [{offset}, {offset + size}) outside allocation "
+                f"of {handle.size} bytes"
+            )
+        if handle.placement is Placement.OBJECTS:
+            assert is_tfm_pointer(handle.address)
+            return self.trackfm.access(handle.address + offset, kind, size)
+        return self.fastswap.access(handle.address + offset, kind, size)
+
+    # -- metrics ------------------------------------------------------------
+
+    @property
+    def metrics(self) -> Metrics:
+        """Merged view over both mechanisms."""
+        merged = Metrics()
+        merged.merge(self.trackfm.metrics)
+        merged.merge(self.fastswap.metrics)
+        return merged
+
+    def split(self) -> Tuple[Metrics, Metrics]:
+        """(object-side, page-side) metrics, unmerged."""
+        return self.trackfm.metrics, self.fastswap.metrics

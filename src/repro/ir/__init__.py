@@ -1,0 +1,98 @@
+"""A small typed IR standing in for LLVM bitcode.
+
+TrackFM's passes work at the LLVM middle end on loads, stores, pointer
+arithmetic and loops.  This package provides exactly those constructs:
+modules of functions, functions of basic blocks, blocks of typed
+instructions in (pruned) SSA form, plus a builder, a verifier and a
+printer.  The interpreter that executes this IR lives in
+:mod:`repro.sim.interpreter` so the IR itself stays runtime-agnostic.
+"""
+
+from repro.ir.types import (
+    IRType,
+    IntType,
+    FloatType,
+    PointerType,
+    VoidType,
+    I1,
+    I8,
+    I32,
+    I64,
+    F64,
+    PTR,
+    VOID,
+)
+from repro.ir.values import Value, Constant, Argument, UndefValue
+from repro.ir.instructions import (
+    Instruction,
+    Alloca,
+    Load,
+    Store,
+    Gep,
+    BinOp,
+    ICmp,
+    FCmp,
+    Br,
+    CondBr,
+    Ret,
+    Call,
+    Phi,
+    Select,
+    PtrToInt,
+    IntToPtr,
+    Cast,
+    TERMINATORS,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import verify_module, verify_function
+from repro.ir.printer import print_module, print_function
+from repro.ir.parser import parse_module
+
+__all__ = [
+    "IRType",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "VoidType",
+    "I1",
+    "I8",
+    "I32",
+    "I64",
+    "F64",
+    "PTR",
+    "VOID",
+    "Value",
+    "Constant",
+    "Argument",
+    "UndefValue",
+    "Instruction",
+    "Alloca",
+    "Load",
+    "Store",
+    "Gep",
+    "BinOp",
+    "ICmp",
+    "FCmp",
+    "Br",
+    "CondBr",
+    "Ret",
+    "Call",
+    "Phi",
+    "Select",
+    "PtrToInt",
+    "IntToPtr",
+    "Cast",
+    "TERMINATORS",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "verify_module",
+    "verify_function",
+    "print_module",
+    "print_function",
+    "parse_module",
+]

@@ -1,0 +1,91 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction, Phi
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.function import Function
+
+
+class BasicBlock:
+    """An ordered list of instructions with a single terminator at the end."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # -- structure ----------------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst``; refuses to add past a terminator."""
+        if self.terminator is not None:
+            raise IRError(f"block %{self.name} already has a terminator")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert ``inst`` at ``index`` (used by transformation passes)."""
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        """Insert ``inst`` immediately before ``anchor`` in this block."""
+        idx = self.index_of(anchor)
+        return self.insert(idx, inst)
+
+    def remove(self, inst: Instruction) -> None:
+        """Remove ``inst`` from this block."""
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    def index_of(self, inst: Instruction) -> int:
+        for i, existing in enumerate(self.instructions):
+            if existing is inst:
+                return i
+        raise IRError(f"instruction not in block %{self.name}: {inst.render()}")
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's terminator, or None while under construction."""
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def phis(self) -> List[Phi]:
+        """The leading phi nodes of this block."""
+        result: List[Phi] = []
+        for inst in self.instructions:
+            if isinstance(inst, Phi):
+                result.append(inst)
+            else:
+                break
+        return result
+
+    def first_non_phi_index(self) -> int:
+        """Index of the first non-phi instruction (insertion point)."""
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, Phi):
+                return i
+        return len(self.instructions)
+
+    def successors(self) -> tuple:
+        term = self.terminator
+        return term.successors() if term is not None else ()
+
+    # -- dunder -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(list(self.instructions))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock %{self.name} ({len(self.instructions)} insts)>"

@@ -1,0 +1,206 @@
+"""IRBuilder: ergonomic construction of IR, LLVM-style.
+
+The builder holds an insertion point (a block) and appends instructions
+there, auto-naming SSA values.  It also accepts plain Python ints/floats
+where a Value is expected, turning them into constants of the obvious
+type, which keeps test programs short.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import IRError, IRTypeError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    IntToPtr,
+    Load,
+    Phi,
+    PtrToInt,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.types import IRType, I1, I64, F64
+from repro.ir.values import Constant, Value
+
+Operand = Union[Value, int, float]
+
+
+class IRBuilder:
+    """Appends instructions at the end of a current block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        self.block = block
+
+    # -- positioning --------------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise IRError("builder has no insertion point")
+        return self.block.parent
+
+    def _emit(self, inst: Instruction, name: str = "") -> Instruction:
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        if not inst.type.is_void() and not inst.name:
+            inst.name = name or self.function.unique_name("v")
+        return self.block.append(inst)
+
+    def _coerce(self, value: Operand, ty: IRType) -> Value:
+        """Turn a Python scalar into a Constant of ``ty``; pass Values through."""
+        if isinstance(value, Value):
+            return value
+        if isinstance(value, bool):
+            return Constant(I1, int(value))
+        if isinstance(value, int):
+            if not ty.is_int():
+                raise IRTypeError(f"int literal where {ty} expected")
+            return Constant(ty, value)
+        if isinstance(value, float):
+            return Constant(F64, value)
+        raise IRTypeError(f"cannot coerce {value!r} to an IR value")
+
+    # -- memory -----------------------------------------------------------
+
+    def alloca(self, size_bytes: int, name: str = "") -> Value:
+        return self._emit(Alloca(size_bytes), name)
+
+    def load(self, ty: IRType, ptr: Value, name: str = "") -> Value:
+        return self._emit(Load(ty, ptr), name)
+
+    def store(self, value: Operand, ptr: Value) -> Instruction:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            value = Constant(I64 if isinstance(value, int) else F64, value)
+        assert isinstance(value, Value)
+        return self._emit(Store(value, ptr))
+
+    def gep(self, base: Value, index: Operand, elem_size: int, name: str = "") -> Value:
+        idx = self._coerce(index, I64)
+        return self._emit(Gep(base, idx, elem_size), name)
+
+    # -- arithmetic -----------------------------------------------------
+
+    def _binop(self, op: str, a: Operand, b: Operand, name: str) -> Value:
+        if isinstance(a, Value):
+            b = self._coerce(b, a.type)
+        elif isinstance(b, Value):
+            a = self._coerce(a, b.type)
+        else:
+            a = self._coerce(a, I64)
+            b = self._coerce(b, I64)
+        return self._emit(BinOp(op, a, b), name)
+
+    def add(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("add", a, b, name)
+
+    def sub(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("sub", a, b, name)
+
+    def mul(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("mul", a, b, name)
+
+    def sdiv(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("sdiv", a, b, name)
+
+    def srem(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("srem", a, b, name)
+
+    def and_(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("and", a, b, name)
+
+    def or_(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("or", a, b, name)
+
+    def xor(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("xor", a, b, name)
+
+    def shl(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("shl", a, b, name)
+
+    def lshr(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("lshr", a, b, name)
+
+    def fadd(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("fadd", a, b, name)
+
+    def fsub(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("fsub", a, b, name)
+
+    def fmul(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("fmul", a, b, name)
+
+    def fdiv(self, a: Operand, b: Operand, name: str = "") -> Value:
+        return self._binop("fdiv", a, b, name)
+
+    # -- comparisons ------------------------------------------------------
+
+    def icmp(self, pred: str, a: Operand, b: Operand, name: str = "") -> Value:
+        if isinstance(a, Value):
+            b = self._coerce(b, a.type)
+        elif isinstance(b, Value):
+            a = self._coerce(a, b.type)
+        else:
+            a, b = self._coerce(a, I64), self._coerce(b, I64)
+        return self._emit(ICmp(pred, a, b), name)
+
+    def fcmp(self, pred: str, a: Operand, b: Operand, name: str = "") -> Value:
+        av = a if isinstance(a, Value) else Constant(F64, float(a))
+        bv = b if isinstance(b, Value) else Constant(F64, float(b))
+        return self._emit(FCmp(pred, av, bv), name)
+
+    # -- control flow ------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Br(target))
+
+    def condbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Instruction:
+        return self._emit(CondBr(cond, if_true, if_false))
+
+    def ret(self, value: Optional[Operand] = None) -> Instruction:
+        if value is None:
+            return self._emit(Ret())
+        v = self._coerce(value, self.function.ret_type)
+        return self._emit(Ret(v))
+
+    def call(self, ret_ty: IRType, callee: str, args: Sequence[Value] = (), name: str = "") -> Value:
+        return self._emit(Call(ret_ty, callee, list(args)), name)
+
+    def phi(self, ty: IRType, name: str = "") -> Phi:
+        """Create a phi and insert it among the block's leading phis."""
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        node = Phi(ty)
+        node.name = name or self.function.unique_name("phi")
+        idx = self.block.first_non_phi_index()
+        self.block.insert(idx, node)
+        return node
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Value:
+        return self._emit(Select(cond, a, b), name)
+
+    # -- casts ----------------------------------------------------------
+
+    def ptrtoint(self, ptr: Value, name: str = "") -> Value:
+        return self._emit(PtrToInt(ptr), name)
+
+    def inttoptr(self, value: Value, name: str = "") -> Value:
+        return self._emit(IntToPtr(value), name)
+
+    def cast(self, op: str, value: Value, to: IRType, name: str = "") -> Value:
+        return self._emit(Cast(op, value, to), name)

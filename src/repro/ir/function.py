@@ -1,0 +1,117 @@
+"""Functions: argument lists plus an ordered set of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.types import IRType
+from repro.ir.values import Argument
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.module import Module
+
+
+class Function:
+    """A function with typed arguments, a return type and basic blocks.
+
+    Declarations (``is_declaration == True``) have no blocks and are
+    resolved by the interpreter against runtime intrinsics — this is how
+    libc entry points like ``malloc`` appear before the libc
+    transformation pass rewrites calls to them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ret_type: IRType,
+        arg_types: Sequence[IRType] = (),
+        arg_names: Optional[Sequence[str]] = None,
+        parent: Optional["Module"] = None,
+    ) -> None:
+        if not name:
+            raise IRError("function needs a name")
+        self.name = name
+        self.ret_type = ret_type
+        self.parent = parent
+        names = list(arg_names) if arg_names is not None else [
+            f"arg{i}" for i in range(len(arg_types))
+        ]
+        if len(names) != len(arg_types):
+            raise IRError("arg_names and arg_types length mismatch")
+        self.args: List[Argument] = [
+            Argument(ty, nm, i) for i, (ty, nm) in enumerate(zip(arg_types, names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._name_counter = 0
+        #: Free-form pass annotations (e.g. "tfm.runtime_initialized").
+        self.metadata: Dict[str, object] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str = "") -> BasicBlock:
+        """Create and append a new basic block with a unique name."""
+        if not name:
+            name = self.unique_name("bb")
+        if any(b.name == name for b in self.blocks):
+            name = self.unique_name(name)
+        block = BasicBlock(name, parent=self)
+        self.blocks.append(block)
+        return block
+
+    def insert_block_after(self, anchor: BasicBlock, name: str = "") -> BasicBlock:
+        """Create a block placed right after ``anchor`` in layout order."""
+        block = self.add_block(name)
+        self.blocks.remove(block)
+        idx = self.blocks.index(anchor)
+        self.blocks.insert(idx + 1, block)
+        return block
+
+    def get_block(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise IRError(f"no block %{name} in @{self.name}")
+
+    def unique_name(self, prefix: str = "v") -> str:
+        """Generate a fresh SSA/block name within this function."""
+        self._name_counter += 1
+        return f"{prefix}.{self._name_counter}"
+
+    # -- traversal --------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in layout order (snapshot; safe to mutate)."""
+        for block in list(self.blocks):
+            for inst in list(block.instructions):
+                yield inst
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def memory_access_count(self) -> int:
+        """Loads + stores, the quantity §4.6's code-size growth tracks."""
+        return sum(1 for i in self.instructions() if i.is_memory_access())
+
+    def replace_all_uses(self, old, new) -> int:
+        """Replace ``old`` with ``new`` across the whole function body."""
+        count = 0
+        for inst in self.instructions():
+            count += inst.replace_uses_of(old, new)
+        return count
+
+    def __repr__(self) -> str:
+        kind = "declare" if self.is_declaration else "define"
+        return f"<Function {kind} @{self.name} ({len(self.blocks)} blocks)>"

@@ -1,0 +1,108 @@
+"""Modules: a named collection of functions plus global byte buffers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.types import IRType
+
+
+class GlobalVariable:
+    """A module-level byte buffer (never remotable, like stack memory)."""
+
+    def __init__(self, name: str, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise IRError("global size must be positive")
+        self.name = name
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return f"<Global @{self.name} ({self.size_bytes}B)>"
+
+
+class Module:
+    """Top-level IR container, analogous to one LLVM bitcode module.
+
+    With WLLVM the paper links whole applications into a single bitcode
+    module before running the TrackFM passes; we mirror that: one Module
+    is the unit of compilation.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self._functions: Dict[str, Function] = {}
+        self._globals: Dict[str, GlobalVariable] = {}
+
+    # -- functions ----------------------------------------------------------
+
+    def add_function(
+        self,
+        name: str,
+        ret_type: IRType,
+        arg_types: Sequence[IRType] = (),
+        arg_names: Optional[Sequence[str]] = None,
+    ) -> Function:
+        """Create a new (empty) function definition/declaration."""
+        if name in self._functions:
+            raise IRError(f"duplicate function @{name}")
+        func = Function(name, ret_type, arg_types, arg_names, parent=self)
+        self._functions[name] = func
+        return func
+
+    def declare_function(
+        self, name: str, ret_type: IRType, arg_types: Sequence[IRType] = ()
+    ) -> Function:
+        """Declare an external function (no body); idempotent."""
+        existing = self._functions.get(name)
+        if existing is not None:
+            return existing
+        return self.add_function(name, ret_type, arg_types)
+
+    def get_function(self, name: str) -> Function:
+        func = self._functions.get(name)
+        if func is None:
+            raise IRError(f"no function @{name} in module {self.name}")
+        return func
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def functions(self) -> List[Function]:
+        return list(self._functions.values())
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self._functions.values() if not f.is_declaration]
+
+    # -- globals --------------------------------------------------------
+
+    def add_global(self, name: str, size_bytes: int) -> GlobalVariable:
+        if name in self._globals:
+            raise IRError(f"duplicate global @{name}")
+        g = GlobalVariable(name, size_bytes)
+        self._globals[name] = g
+        return g
+
+    def globals(self) -> List[GlobalVariable]:
+        return list(self._globals.values())
+
+    def get_global(self, name: str) -> GlobalVariable:
+        g = self._globals.get(name)
+        if g is None:
+            raise IRError(f"no global @{name}")
+        return g
+
+    # -- stats ----------------------------------------------------------
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.defined_functions())
+
+    def memory_access_count(self) -> int:
+        return sum(f.memory_access_count() for f in self.defined_functions())
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions())
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} ({len(self._functions)} functions)>"

@@ -1,0 +1,331 @@
+"""Parse the textual IR emitted by :mod:`repro.ir.printer`.
+
+Supports the full instruction set the printer produces, so
+``parse_module(print_module(m))`` round-trips any module this library
+builds (structure-equal, not identity-equal).  Useful for writing test
+programs as text and for diffing transformed IR.
+
+Grammar (line oriented)::
+
+    ; comments run to end of line
+    @name = global [N x i8]
+    declare <ty> @name(<ty> %a, ...)
+    define <ty> @name(<ty> %a, ...) {
+    label:
+      %x = <instruction>
+      <instruction>
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    IntToPtr,
+    Load,
+    Phi,
+    PtrToInt,
+    Ret,
+    Select,
+    Store,
+    _FLOAT_BINOPS,
+    _INT_BINOPS,
+)
+from repro.ir.module import Module
+from repro.ir.types import F64, I1, I8, I16, I32, I64, IRType, PTR, VOID
+from repro.ir.values import Constant, Value
+
+_TYPES: Dict[str, IRType] = {
+    "i1": I1,
+    "i8": I8,
+    "i16": I16,
+    "i32": I32,
+    "i64": I64,
+    "f64": F64,
+    "ptr": PTR,
+    "void": VOID,
+}
+
+_DEFINE_RE = re.compile(r"^(define|declare)\s+(\S+)\s+@([\w.$-]+)\((.*)\)\s*(\{)?\s*$")
+_GLOBAL_RE = re.compile(r"^@([\w.$-]+)\s*=\s*global\s*\[(\d+)\s*x\s*i8\]\s*$")
+_LABEL_RE = re.compile(r"^([\w.$-]+):\s*$")
+_ASSIGN_RE = re.compile(r"^%([\w.$-]+)\s*=\s*(.*)$")
+
+
+class _PendingPhi:
+    """A phi whose incoming values are resolved after all blocks parse."""
+
+    def __init__(self, phi: Phi, pairs: List[Tuple[str, str]]) -> None:
+        self.phi = phi
+        self.pairs = pairs
+
+
+class _FunctionParser:
+    def __init__(self, module: Module, func: Function) -> None:
+        self.module = module
+        self.func = func
+        self.values: Dict[str, Value] = {a.name: a for a in func.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.current: Optional[BasicBlock] = None
+        self.pending_phis: List[_PendingPhi] = []
+        self.pending_branches: List[Tuple[object, List[str]]] = []
+
+    # -- small helpers ----------------------------------------------------
+
+    def block(self, name: str) -> BasicBlock:
+        existing = self.blocks.get(name)
+        if existing is not None:
+            return existing
+        blk = self.func.add_block(name)
+        self.blocks[name] = blk
+        return blk
+
+    def ty(self, token: str) -> IRType:
+        t = _TYPES.get(token)
+        if t is None:
+            raise IRError(f"unknown type {token!r}")
+        return t
+
+    def operand(self, token: str, ty: Optional[IRType] = None) -> Value:
+        token = token.strip()
+        if token.startswith("%"):
+            name = token[1:]
+            value = self.values.get(name)
+            if value is None:
+                raise IRError(f"use of undefined value %{name}")
+            return value
+        if token == "null":
+            return Constant(PTR, 0)
+        if token in ("true", "false"):
+            return Constant(I1, 1 if token == "true" else 0)
+        if re.fullmatch(r"-?\d+\.\d+(e[+-]?\d+)?", token):
+            return Constant(F64, float(token))
+        if re.fullmatch(r"-?\d+", token):
+            return Constant(ty if ty is not None and ty.is_int() else I64, int(token))
+        raise IRError(f"cannot parse operand {token!r}")
+
+    def define(self, name: str, value: Value) -> None:
+        value.name = name
+        self.values[name] = value
+
+    def emit(self, inst) -> None:
+        if self.current is None:
+            raise IRError("instruction outside a block")
+        self.current.append(inst)
+
+    # -- instruction parsing ---------------------------------------------
+
+    def parse_line(self, line: str) -> None:
+        label = _LABEL_RE.match(line)
+        if label:
+            self.current = self.block(label.group(1))
+            return
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            name, rest = assign.group(1), assign.group(2).strip()
+            inst = self.parse_value_inst(rest)
+            self.define(name, inst)
+            if isinstance(inst, Phi):
+                idx = self.current.first_non_phi_index()
+                self.current.insert(idx, inst)
+                inst.parent = self.current
+            else:
+                self.emit(inst)
+            return
+        self.parse_void_inst(line.strip())
+
+    def parse_value_inst(self, text: str):
+        op, _, rest = text.partition(" ")
+        rest = rest.strip()
+        if op == "alloca":
+            return Alloca(int(rest))
+        if op == "load":
+            ty_tok, ptr_tok = (t.strip() for t in rest.split(",", 1))
+            return Load(self.ty(ty_tok), self.operand(ptr_tok))
+        if op == "gep":
+            m = re.match(r"^(\S+),\s*(\S+)\s+x\s+(\d+)$", rest)
+            if not m:
+                raise IRError(f"malformed gep: {rest!r}")
+            base_tok, idx_tok, size_tok = m.groups()
+            return Gep(self.operand(base_tok), self.operand(idx_tok, I64), int(size_tok))
+        if op in _INT_BINOPS or op in _FLOAT_BINOPS:
+            a_tok, b_tok = (t.strip() for t in rest.split(",", 1))
+            is_float = op in _FLOAT_BINOPS
+            a = self.operand(a_tok, F64 if is_float else I64)
+            ty_hint = a.type if a.type.is_int() else I64
+            b = self.operand(b_tok, F64 if is_float else ty_hint)
+            if isinstance(a, Constant) and not isinstance(b, Constant) and a.type != b.type and not is_float:
+                a = Constant(b.type, int(a.value))
+            if isinstance(b, Constant) and not isinstance(a, Constant) and b.type != a.type and not is_float:
+                b = Constant(a.type, int(b.value))
+            return BinOp(op, a, b)
+        if op == "icmp":
+            pred, _, ops = rest.partition(" ")
+            a_tok, b_tok = (t.strip() for t in ops.split(",", 1))
+            a = self.operand(a_tok)
+            b = self.operand(b_tok, a.type if a.type.is_int() else I64)
+            if isinstance(a, Constant) and not isinstance(b, Constant) and a.type != b.type:
+                a = Constant(b.type, int(a.value))
+            if isinstance(b, Constant) and not isinstance(a, Constant) and b.type != a.type and b.type.is_int() and a.type.is_int():
+                b = Constant(a.type, int(b.value))
+            return ICmp(pred, a, b)
+        if op == "fcmp":
+            pred, _, ops = rest.partition(" ")
+            a_tok, b_tok = (t.strip() for t in ops.split(",", 1))
+            return FCmp(pred, self.operand(a_tok, F64), self.operand(b_tok, F64))
+        if op == "phi":
+            ty_tok, _, pairs_text = rest.partition(" ")
+            phi = Phi(self.ty(ty_tok))
+            pairs = re.findall(r"\[([^,\]]+),\s*%([\w.$-]+)\]", pairs_text)
+            self.pending_phis.append(
+                _PendingPhi(phi, [(v.strip(), b) for v, b in pairs])
+            )
+            return phi
+        if op == "call":
+            return self.parse_call(rest)
+        if op == "select":
+            c_tok, a_tok, b_tok = (t.strip() for t in rest.split(",", 2))
+            cond = self.operand(c_tok, I1)
+            a = self.operand(a_tok)
+            b = self.operand(b_tok, a.type)
+            return Select(cond, a, b)
+        if op == "ptrtoint":
+            return PtrToInt(self.operand(rest))
+        if op == "inttoptr":
+            return IntToPtr(self.operand(rest, I64))
+        if op in Cast.VALID:
+            m = re.match(r"^(\S+)\s+(\S+)\s+to\s+(\S+)$", rest)
+            if not m:
+                raise IRError(f"malformed cast: {text!r}")
+            src_ty, val_tok, dst_ty = m.groups()
+            return Cast(op, self.operand(val_tok, self.ty(src_ty)), self.ty(dst_ty))
+        raise IRError(f"unknown value instruction {text!r}")
+
+    def parse_call(self, rest: str) -> Call:
+        m = re.match(r"^(\S+)\s+@([\w.$-]+)\((.*)\)$", rest)
+        if not m:
+            raise IRError(f"malformed call: {rest!r}")
+        ty_tok, callee, args_text = m.groups()
+        args = []
+        if args_text.strip():
+            for tok in self._split_args(args_text):
+                args.append(self.operand(tok))
+        return Call(self.ty(ty_tok), callee, args)
+
+    @staticmethod
+    def _split_args(text: str) -> List[str]:
+        return [t.strip() for t in text.split(",") if t.strip()]
+
+    def parse_void_inst(self, text: str) -> None:
+        if text.startswith("store "):
+            body = text[len("store "):]
+            lhs, ptr_tok = (t.strip() for t in body.rsplit(",", 1))
+            ty_tok, _, val_tok = lhs.partition(" ")
+            value = self.operand(val_tok.strip(), self.ty(ty_tok))
+            self.emit(Store(value, self.operand(ptr_tok)))
+            return
+        if text.startswith("br "):
+            m = re.match(r"^br label %([\w.$-]+)$", text)
+            if not m:
+                raise IRError(f"malformed br: {text!r}")
+            self.emit(Br(self.block(m.group(1))))
+            return
+        if text.startswith("condbr "):
+            m = re.match(
+                r"^condbr (\S+), label %([\w.$-]+), label %([\w.$-]+)$", text
+            )
+            if not m:
+                raise IRError(f"malformed condbr: {text!r}")
+            cond = self.operand(m.group(1), I1)
+            self.emit(CondBr(cond, self.block(m.group(2)), self.block(m.group(3))))
+            return
+        if text == "ret void":
+            self.emit(Ret())
+            return
+        if text.startswith("ret "):
+            ty_tok, _, val_tok = text[len("ret "):].partition(" ")
+            self.emit(Ret(self.operand(val_tok.strip(), self.ty(ty_tok))))
+            return
+        if text.startswith("call "):
+            self.emit(self.parse_call(text[len("call "):]))
+            return
+        raise IRError(f"unknown instruction {text!r}")
+
+    def finalize(self) -> None:
+        for pending in self.pending_phis:
+            for val_tok, block_name in pending.pairs:
+                block = self.blocks.get(block_name)
+                if block is None:
+                    raise IRError(f"phi references unknown block %{block_name}")
+                pending.phi.add_incoming(
+                    self.operand(val_tok, pending.phi.type), block
+                )
+
+
+def _strip(line: str) -> str:
+    """Drop comments and surrounding whitespace."""
+    if ";" in line:
+        line = line[: line.index(";")]
+    return line.strip()
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse printer-format IR text into a fresh module."""
+    module = Module(name)
+    lines = [l for l in (_strip(raw) for raw in text.splitlines())]
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        i += 1
+        if not line:
+            continue
+        g = _GLOBAL_RE.match(line)
+        if g:
+            module.add_global(g.group(1), int(g.group(2)))
+            continue
+        d = _DEFINE_RE.match(line)
+        if d:
+            kind, ret_tok, fname, args_text, brace = d.groups()
+            arg_types: List[IRType] = []
+            arg_names: List[str] = []
+            if args_text.strip():
+                for arg in args_text.split(","):
+                    ty_tok, _, nm = arg.strip().partition(" ")
+                    arg_types.append(_TYPES[ty_tok])
+                    arg_names.append(nm.lstrip("%") or f"arg{len(arg_names)}")
+            func = module.add_function(
+                fname, _TYPES[ret_tok], arg_types, arg_names
+            )
+            if kind == "declare":
+                continue
+            if not brace:
+                raise IRError(f"define without body: {line!r}")
+            fp = _FunctionParser(module, func)
+            while i < len(lines):
+                body_line = lines[i]
+                i += 1
+                if body_line == "}":
+                    break
+                if not body_line:
+                    continue
+                fp.parse_line(body_line)
+            else:
+                raise IRError(f"unterminated function @{fname}")
+            fp.finalize()
+            continue
+        raise IRError(f"cannot parse top-level line: {line!r}")
+    return module

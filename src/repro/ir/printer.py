@@ -1,0 +1,37 @@
+"""Textual dump of IR, close to LLVM's .ll syntax (read-only)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def print_function(func: Function) -> str:
+    """Render a function to text."""
+    args = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    header = f"define {func.ret_type} @{func.name}({args})"
+    if func.is_declaration:
+        return f"declare {func.ret_type} @{func.name}({args})"
+    lines: List[str] = [header + " {"]
+    for block in func.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            note = ""
+            if inst.metadata:
+                keys = ", ".join(sorted(str(k) for k in inst.metadata))
+                note = f"  ; !{{{keys}}}"
+            lines.append(f"  {inst.render()}{note}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module to text."""
+    parts: List[str] = [f"; module {module.name}"]
+    for g in module.globals():
+        parts.append(f"@{g.name} = global [{g.size_bytes} x i8]")
+    for func in module.functions():
+        parts.append(print_function(func))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,142 @@
+"""IR structural verifier.
+
+Checks the invariants the passes and the interpreter rely on:
+
+* every reachable block ends in exactly one terminator, which is its
+  last instruction;
+* phi nodes appear only at the top of a block, and their incoming edges
+  exactly match the block's CFG predecessors;
+* branch targets belong to the same function;
+* instruction operands are defined in the same function (or are
+  constants/arguments);
+* call instructions name functions that exist in the module or are
+  conventionally-external (intrinsics are allowed through a whitelist
+  prefix check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import IRVerifyError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Br, Call, CondBr, Instruction, Phi
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, UndefValue, Value
+
+#: Calls whose callees need not be defined in the module: runtime
+#: intrinsics injected by the TrackFM passes and the libc surface the
+#: interpreter provides natively.
+INTRINSIC_PREFIXES = ("tfm_", "aifm_", "llvm.", "global_addr.")
+EXTERNAL_BUILTINS = {
+    "malloc",
+    "calloc",
+    "realloc",
+    "free",
+    "memcpy",
+    "memset",
+    "print_i64",
+    "print_f64",
+    "abort",
+}
+
+
+def _is_external_ok(name: str) -> bool:
+    if name in EXTERNAL_BUILTINS:
+        return True
+    return any(name.startswith(p) for p in INTRINSIC_PREFIXES)
+
+
+def verify_function(func: Function) -> None:
+    """Raise :class:`IRVerifyError` on the first violation found."""
+    if func.is_declaration:
+        return
+    blocks: Set[BasicBlock] = set(func.blocks)
+    if not func.blocks:
+        raise IRVerifyError(f"@{func.name}: no blocks")
+
+    # Map each value to its defining block for the domination-lite check.
+    defined_in: Dict[Value, BasicBlock] = {}
+    for block in func.blocks:
+        seen_non_phi = False
+        term = block.terminator
+        if term is None:
+            raise IRVerifyError(f"@{func.name} %{block.name}: missing terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.is_terminator() and i != len(block.instructions) - 1:
+                raise IRVerifyError(
+                    f"@{func.name} %{block.name}: terminator not last "
+                    f"({inst.render()})"
+                )
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    raise IRVerifyError(
+                        f"@{func.name} %{block.name}: phi after non-phi "
+                        f"({inst.render()})"
+                    )
+            else:
+                seen_non_phi = True
+            if inst.parent is not block:
+                raise IRVerifyError(
+                    f"@{func.name} %{block.name}: instruction parent link broken"
+                )
+            defined_in[inst] = block
+
+    # CFG edges and predecessor map.
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors():
+            if succ not in blocks:
+                raise IRVerifyError(
+                    f"@{func.name} %{block.name}: branch to foreign block %{succ.name}"
+                )
+            preds[succ].append(block)
+
+    arg_set = set(func.args)
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                incoming_blocks = [b for _, b in inst.incoming]
+                if set(incoming_blocks) != set(preds[block]):
+                    raise IRVerifyError(
+                        f"@{func.name} %{block.name}: phi %{inst.name} edges "
+                        f"{sorted(b.name for b in incoming_blocks)} != preds "
+                        f"{sorted(b.name for b in preds[block])}"
+                    )
+                if len(incoming_blocks) != len(set(incoming_blocks)):
+                    raise IRVerifyError(
+                        f"@{func.name} %{block.name}: phi %{inst.name} duplicate edges"
+                    )
+            for op in inst.operands:
+                if isinstance(op, (Constant, UndefValue)):
+                    continue
+                if isinstance(op, Argument):
+                    if op not in arg_set:
+                        raise IRVerifyError(
+                            f"@{func.name}: foreign argument %{op.name} used"
+                        )
+                    continue
+                if isinstance(op, Instruction):
+                    if op not in defined_in:
+                        raise IRVerifyError(
+                            f"@{func.name} %{block.name}: use of value %{op.name} "
+                            "not defined in this function"
+                        )
+                    continue
+                raise IRVerifyError(
+                    f"@{func.name} %{block.name}: unknown operand kind {op!r}"
+                )
+            if isinstance(inst, Call):
+                module = func.parent
+                if module is not None and not module.has_function(inst.callee):
+                    if not _is_external_ok(inst.callee):
+                        raise IRVerifyError(
+                            f"@{func.name}: call to unknown @{inst.callee}"
+                        )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module."""
+    for func in module.functions():
+        verify_function(func)

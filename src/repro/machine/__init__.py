@@ -1,0 +1,38 @@
+"""Machine model: cycle cost tables, cache model, and working-set scaling.
+
+The paper's experiments ran on two 10-core Xeon E5-2640v4 nodes with a
+25 Gb/s ConnectX-4 NIC.  We do not have that testbed; instead every cost
+in the reproduction flows from :class:`CostTable`, whose defaults are the
+paper's own measured numbers (Tables 1 and 2, §3.3, §3.4).  The
+:class:`ScaleModel` shrinks the paper's multi-GB working sets to sizes a
+Python simulation sweeps in seconds while preserving the ratios the
+figures actually plot.
+"""
+
+from repro.machine.costs import (
+    CostTable,
+    DEFAULT_COSTS,
+    GuardKind,
+    AccessKind,
+)
+from repro.machine.cache import (
+    CacheModel,
+    CacheStats,
+    AlwaysHitCache,
+    AlwaysMissCache,
+)
+from repro.machine.scale import ScaleModel, DEFAULT_SCALE, FINE_SCALE
+
+__all__ = [
+    "CostTable",
+    "DEFAULT_COSTS",
+    "GuardKind",
+    "AccessKind",
+    "CacheModel",
+    "CacheStats",
+    "AlwaysHitCache",
+    "AlwaysMissCache",
+    "ScaleModel",
+    "DEFAULT_SCALE",
+    "FINE_SCALE",
+]

@@ -1,0 +1,68 @@
+"""Working-set scaling between the paper's testbed and the simulation.
+
+Every figure in the paper plots a *ratio* (speedup, slowdown vs
+local-only, amplification factor, MOps/s relative across configs) against
+a *fraction* (local memory as % of working set) or a dimensionless
+parameter (object size, zipf skew).  Those quantities are invariant under
+a uniform shrink of the working set as long as we also keep
+
+* the elements-per-object density (element sizes are NOT scaled), and
+* the local-memory fraction
+
+fixed.  :class:`ScaleModel` centralizes that shrink so each benchmark
+declares the paper's sizes verbatim and the simulator runs at 1/SCALE of
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeConfigError
+from repro.units import MB, align_up
+
+
+@dataclass(frozen=True)
+class ScaleModel:
+    """Uniform working-set shrink with a floor.
+
+    ``factor`` divides the paper's byte sizes; ``floor_bytes`` prevents a
+    scaled working set from degenerating below a few thousand objects
+    (which would quantize the local-memory sweep too coarsely).
+    """
+
+    factor: int = 1024
+    floor_bytes: int = 1 * MB
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise RuntimeConfigError("scale factor must be >= 1")
+        if self.floor_bytes < 4096:
+            raise RuntimeConfigError("scale floor below one page is meaningless")
+
+    def bytes(self, paper_bytes: int, granule: int = 4096) -> int:
+        """Scale a byte size from the paper, aligned up to ``granule``."""
+        scaled = max(paper_bytes // self.factor, self.floor_bytes)
+        return align_up(scaled, granule)
+
+    def count(self, paper_count: int, floor: int = 1024) -> int:
+        """Scale an operation/element count (e.g. 50M lookups)."""
+        return max(paper_count // self.factor, floor)
+
+    def local_memory(self, working_set: int, fraction: float, granule: int = 4096) -> int:
+        """Local-memory budget for a *scaled* working set at ``fraction``.
+
+        Fractions are taken of the already-scaled working set so the
+        x-axes of the figures carry over unchanged.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise RuntimeConfigError(f"local-memory fraction must be in (0, 1], got {fraction}")
+        budget = int(working_set * fraction)
+        return max(align_up(budget, granule), granule)
+
+
+#: Default shrink used by the benchmark harness: 1024x (GB -> MB).
+DEFAULT_SCALE = ScaleModel()
+
+#: A milder shrink for tests that want more objects in play.
+FINE_SCALE = ScaleModel(factor=256)

@@ -1,0 +1,29 @@
+"""Network model for the far-memory interconnect.
+
+The paper's testbed uses a 25 Gb/s Mellanox ConnectX-4 between two
+nodes; Fastswap drives it with one-sided RDMA, AIFM (and therefore
+TrackFM) with Shenango's TCP stack.  We model a link by three numbers —
+one-way latency, bandwidth, per-message CPU overhead — calibrated so
+that a 4 KB fetch lands on the paper's end-to-end costs (Table 2), and
+we account every byte moved (the I/O-amplification figures).
+"""
+
+from repro.net.link import NetworkLink, LinkStats, TransferDirection
+from repro.net.backends import (
+    RemoteBackend,
+    TcpBackend,
+    RdmaBackend,
+    make_tcp_backend,
+    make_rdma_backend,
+)
+
+__all__ = [
+    "NetworkLink",
+    "LinkStats",
+    "TransferDirection",
+    "RemoteBackend",
+    "TcpBackend",
+    "RdmaBackend",
+    "make_tcp_backend",
+    "make_rdma_backend",
+]

@@ -1,0 +1,101 @@
+"""Remote-memory backends: the far node seen through a link.
+
+Calibration targets (Table 2, §4.1):
+
+* Fastswap's one-sided RDMA fetch of a 4 KB page costs ~34K cycles end
+  to end, of which ~1.3K is kernel fault handling — so the RDMA
+  backend's blocking 4 KB fetch is tuned to ~32.7K cycles.
+* TrackFM's slow-path guard on a remote object costs ~35K cycles end to
+  end over AIFM's TCP (Shenango) backend, of which ~0.45K is the guard —
+  so the TCP backend's blocking 4 KB fetch is tuned to ~34.5K cycles.
+
+The TCP backend has a higher per-message software cost but supports deep
+pipelining (Shenango's user-level tasking), which is what prefetching
+exploits; one-sided RDMA has lower latency but Fastswap issues it from
+the page-fault path, one page at a time (plus kernel readahead, modelled
+in the Fastswap runtime itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.link import (
+    BYTES_PER_CYCLE_25G,
+    NetworkLink,
+    TransferDirection,
+)
+
+
+@dataclass
+class RemoteBackend:
+    """A far node reachable over a link; counts fetches and evictions."""
+
+    link: NetworkLink
+    name: str = "remote"
+
+    def fetch(self, size_bytes: int, depth: int = 1) -> float:
+        """Pull ``size_bytes`` from the remote node; returns cycles."""
+        return self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
+
+    def evict(self, size_bytes: int, depth: int = 1) -> float:
+        """Push ``size_bytes`` back to the remote node; returns cycles."""
+        return self.link.transfer(size_bytes, TransferDirection.EVICT, depth)
+
+    def fetch_cost(self, size_bytes: int, depth: int = 1) -> float:
+        """Cost of a fetch without accounting it (planning queries)."""
+        if depth <= 1:
+            return self.link.transfer_cycles(size_bytes)
+        return self.link.pipelined_cycles(size_bytes, depth)
+
+    @property
+    def bytes_fetched(self) -> int:
+        return self.link.stats.bytes_fetched
+
+    @property
+    def bytes_evicted(self) -> int:
+        return self.link.stats.bytes_evicted
+
+
+class TcpBackend(RemoteBackend):
+    """Shenango-style TCP backend (AIFM / TrackFM)."""
+
+
+class RdmaBackend(RemoteBackend):
+    """One-sided RDMA backend (Fastswap)."""
+
+
+#: Wire time of a 4 KB page at 25 Gb/s is ~3.1K cycles; the remaining
+#: budget is split between propagation latency and per-message software
+#: cost for each backend.
+_PAGE_WIRE = 4096 / BYTES_PER_CYCLE_25G
+
+#: TCP: 4 KB blocking fetch ~= 34.5K cycles (35K minus the ~450-cycle
+#: guard).  Software per-message cost dominates (protocol + copies).
+TCP_LATENCY_CYCLES = 24_000.0
+TCP_PER_MESSAGE_CYCLES = 34_500.0 - TCP_LATENCY_CYCLES - _PAGE_WIRE
+
+#: RDMA: 4 KB blocking fetch ~= 32.7K cycles (34K minus ~1.3K fault
+#: handling).  NIC doorbell + DMA; lower per-message software cost.
+RDMA_LATENCY_CYCLES = 28_000.0
+RDMA_PER_MESSAGE_CYCLES = 32_700.0 - RDMA_LATENCY_CYCLES - _PAGE_WIRE
+
+
+def make_tcp_backend() -> TcpBackend:
+    """A TCP backend calibrated to the paper's TrackFM remote costs."""
+    link = NetworkLink(
+        latency_cycles=TCP_LATENCY_CYCLES,
+        bytes_per_cycle=BYTES_PER_CYCLE_25G,
+        per_message_cycles=TCP_PER_MESSAGE_CYCLES,
+    )
+    return TcpBackend(link, name="tcp")
+
+
+def make_rdma_backend() -> RdmaBackend:
+    """An RDMA backend calibrated to the paper's Fastswap remote costs."""
+    link = NetworkLink(
+        latency_cycles=RDMA_LATENCY_CYCLES,
+        bytes_per_cycle=BYTES_PER_CYCLE_25G,
+        per_message_cycles=RDMA_PER_MESSAGE_CYCLES,
+    )
+    return RdmaBackend(link, name="rdma")

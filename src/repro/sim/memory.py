@@ -1,0 +1,125 @@
+"""A sparse, region-based byte-addressable address space.
+
+The interpreter's memory is a set of non-overlapping regions, each a
+``bytearray``.  Accessing an unmapped address raises
+:class:`SegmentationFault` — the behaviour a non-canonical (TrackFM)
+pointer triggers on real x86 when it escapes to an unguarded load/store
+(§3.1, footnote 3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InterpError, SegmentationFault
+from repro.ir.types import IRType, IntType
+
+
+@dataclass
+class MemoryRegion:
+    """One mapped range [start, start+len(data))."""
+
+    start: int
+    data: bytearray
+    label: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.data)
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.start <= addr and addr + size <= self.end
+
+
+class AddressSpace:
+    """Sorted, non-overlapping memory regions with typed accessors."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._regions: List[MemoryRegion] = []
+
+    # -- mapping --------------------------------------------------------
+
+    def map_region(self, start: int, size: int, label: str = "") -> MemoryRegion:
+        """Map ``size`` zeroed bytes at ``start``; rejects overlaps."""
+        if size <= 0:
+            raise InterpError("cannot map empty region")
+        idx = bisect.bisect_right(self._starts, start)
+        if idx > 0 and self._regions[idx - 1].end > start:
+            raise InterpError(f"overlap mapping {start:#x} (+{size})")
+        if idx < len(self._regions) and self._regions[idx].start < start + size:
+            raise InterpError(f"overlap mapping {start:#x} (+{size})")
+        region = MemoryRegion(start, bytearray(size), label)
+        self._starts.insert(idx, start)
+        self._regions.insert(idx, region)
+        return region
+
+    def unmap(self, start: int) -> None:
+        """Unmap the region beginning exactly at ``start``."""
+        idx = bisect.bisect_left(self._starts, start)
+        if idx >= len(self._starts) or self._starts[idx] != start:
+            raise InterpError(f"no region starts at {start:#x}")
+        del self._starts[idx]
+        del self._regions[idx]
+
+    def region_for(self, addr: int, size: int = 1) -> MemoryRegion:
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx >= 0:
+            region = self._regions[idx]
+            if region.contains(addr, size):
+                return region
+        raise SegmentationFault(
+            f"access to unmapped address {addr:#x} (size {size})"
+        )
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        try:
+            self.region_for(addr, size)
+            return True
+        except SegmentationFault:
+            return False
+
+    def regions(self) -> List[MemoryRegion]:
+        return list(self._regions)
+
+    # -- raw bytes --------------------------------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        region = self.region_for(addr, size)
+        off = addr - region.start
+        return bytes(region.data[off : off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        region = self.region_for(addr, len(data))
+        off = addr - region.start
+        region.data[off : off + len(data)] = data
+
+    # -- typed accessors --------------------------------------------------
+
+    def read_value(self, addr: int, ty: IRType):
+        size = ty.size_bytes()
+        raw = self.read_bytes(addr, size)
+        if ty.is_float():
+            return struct.unpack("<d", raw)[0]
+        if ty.is_pointer():
+            return int.from_bytes(raw, "little")
+        assert isinstance(ty, IntType)
+        value = int.from_bytes(raw, "little")
+        if ty.bits > 1 and value >= (1 << (ty.bits - 1)):
+            value -= 1 << ty.bits
+        return value
+
+    def write_value(self, addr: int, ty: IRType, value) -> None:
+        size = ty.size_bytes()
+        if ty.is_float():
+            raw = struct.pack("<d", float(value))
+        elif ty.is_pointer():
+            raw = int(value).to_bytes(8, "little", signed=False)
+        else:
+            assert isinstance(ty, IntType)
+            mask = (1 << ty.bits) - 1
+            raw = (int(value) & mask).to_bytes(size, "little")
+        self.write_bytes(addr, raw)

@@ -1,0 +1,114 @@
+"""Metrics accumulated by the far-memory runtime simulators.
+
+Everything the paper's figures plot comes from these counters: simulated
+cycles (execution time), guard counts by kind (Fig. 14b, 16b), page
+faults (Fig. 14b), and bytes moved over the network (Fig. 13b, 16c —
+I/O amplification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.machine.costs import GuardKind
+
+
+@dataclass
+class Metrics:
+    """Counter bundle; one per runtime instance."""
+
+    #: Total simulated cycles charged.
+    cycles: float = 0.0
+    #: Memory accesses observed (loads + stores).
+    accesses: int = 0
+    #: Guard executions by kind (TrackFM runtimes).
+    guards: Dict[GuardKind, int] = field(default_factory=dict)
+    #: Page faults (Fastswap): minor = swap-cache hit, major = remote.
+    minor_faults: int = 0
+    major_faults: int = 0
+    #: Objects/pages fetched from the remote node.
+    remote_fetches: int = 0
+    #: Bytes pulled from the remote node.
+    bytes_fetched: int = 0
+    #: Bytes written back (evacuations / page-outs).
+    bytes_evacuated: int = 0
+    #: Object evacuations / page reclaims performed.
+    evictions: int = 0
+    #: Prefetch requests issued and how many were useful.
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+
+    def count_guard(self, kind: GuardKind, n: int = 1) -> None:
+        self.guards[kind] = self.guards.get(kind, 0) + n
+
+    def guard_count(self, kind: GuardKind) -> int:
+        return self.guards.get(kind, 0)
+
+    @property
+    def total_guards(self) -> int:
+        """Guards that executed guard code (excludes unguarded accesses)."""
+        return sum(n for k, n in self.guards.items() if k is not GuardKind.NONE)
+
+    @property
+    def slow_path_guards(self) -> int:
+        return self.guard_count(GuardKind.SLOW) + self.guard_count(GuardKind.LOCALITY)
+
+    @property
+    def total_faults(self) -> int:
+        return self.minor_faults + self.major_faults
+
+    @property
+    def total_bytes_transferred(self) -> int:
+        return self.bytes_fetched + self.bytes_evacuated
+
+    def amplification(self, working_set_bytes: int) -> float:
+        """Total data moved over the network / working-set size (Fig 13/16)."""
+        if working_set_bytes <= 0:
+            return 0.0
+        return self.total_bytes_transferred / working_set_bytes
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold ``other`` into this metrics bundle."""
+        self.cycles += other.cycles
+        self.accesses += other.accesses
+        for kind, n in other.guards.items():
+            self.count_guard(kind, n)
+        self.minor_faults += other.minor_faults
+        self.major_faults += other.major_faults
+        self.remote_fetches += other.remote_fetches
+        self.bytes_fetched += other.bytes_fetched
+        self.bytes_evacuated += other.bytes_evacuated
+        self.evictions += other.evictions
+        self.prefetches_issued += other.prefetches_issued
+        self.prefetches_useful += other.prefetches_useful
+
+    def reset(self) -> None:
+        self.cycles = 0.0
+        self.accesses = 0
+        self.guards.clear()
+        self.minor_faults = 0
+        self.major_faults = 0
+        self.remote_fetches = 0
+        self.bytes_fetched = 0
+        self.bytes_evacuated = 0
+        self.evictions = 0
+        self.prefetches_issued = 0
+        self.prefetches_useful = 0
+
+    def snapshot(self) -> "Metrics":
+        """A copy of the current counters."""
+        copy = Metrics(
+            cycles=self.cycles,
+            accesses=self.accesses,
+            guards=dict(self.guards),
+            minor_faults=self.minor_faults,
+            major_faults=self.major_faults,
+            remote_fetches=self.remote_fetches,
+            bytes_fetched=self.bytes_fetched,
+            bytes_evacuated=self.bytes_evacuated,
+            evictions=self.evictions,
+            prefetches_issued=self.prefetches_issued,
+            prefetches_useful=self.prefetches_useful,
+        )
+        return copy

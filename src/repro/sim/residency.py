@@ -1,0 +1,167 @@
+"""Residency simulation: which objects/pages are local right now?
+
+Both far-memory designs in the paper keep a bounded set of granules
+(AIFM objects / 4 KB pages) in local memory and evict under pressure.
+:class:`ResidencySet` is that engine: LRU with pinning (AIFM's
+DerefScope prevents the evacuator from moving in-use objects, §3.3) and
+dirty tracking (dirty granules must be written back on eviction; clean
+ones can be dropped).
+
+A second-chance "hot bit" (CLOCK) mode approximates AIFM's
+hotness-driven evacuator; plain LRU matches Linux's reclaim closely
+enough for the shapes this reproduction targets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import EvacuationError, RuntimeConfigError
+
+
+@dataclass
+class AccessOutcome:
+    """Result of touching one granule."""
+
+    hit: bool
+    #: (granule id, was_dirty) pairs evicted to make room.
+    evicted: List[Tuple[int, bool]]
+
+
+class ResidencySet:
+    """A bounded set of resident granule ids with LRU/CLOCK eviction."""
+
+    def __init__(self, capacity: int, use_clock: bool = False) -> None:
+        if capacity < 1:
+            raise RuntimeConfigError("residency capacity must be >= 1")
+        self.capacity = capacity
+        self.use_clock = use_clock
+        # id -> hot bit (CLOCK) / ignored (LRU); OrderedDict keeps recency.
+        self._resident: "OrderedDict[int, bool]" = OrderedDict()
+        self._dirty: Set[int] = set()
+        self._pinned: Dict[int, int] = {}
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, granule: int) -> bool:
+        return granule in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def is_dirty(self, granule: int) -> bool:
+        return granule in self._dirty
+
+    def is_pinned(self, granule: int) -> bool:
+        return self._pinned.get(granule, 0) > 0
+
+    def resident_ids(self) -> List[int]:
+        return list(self._resident.keys())
+
+    # -- pinning (DerefScope) ------------------------------------------------
+
+    def pin(self, granule: int) -> None:
+        """Prevent eviction of ``granule`` until unpinned."""
+        self._pinned[granule] = self._pinned.get(granule, 0) + 1
+
+    def unpin(self, granule: int) -> None:
+        count = self._pinned.get(granule, 0)
+        if count <= 0:
+            raise EvacuationError(f"unpin of unpinned granule {granule}")
+        if count == 1:
+            del self._pinned[granule]
+        else:
+            self._pinned[granule] = count - 1
+
+    # -- the core access path ---------------------------------------------
+
+    def access(self, granule: int, write: bool = False) -> AccessOutcome:
+        """Touch ``granule``; fetch + evict as needed.
+
+        Returns whether it was a hit and which granules were evicted.
+        """
+        if granule in self._resident:
+            if self.use_clock:
+                self._resident[granule] = True
+            else:
+                self._resident.move_to_end(granule)
+            if write:
+                self._dirty.add(granule)
+            return AccessOutcome(hit=True, evicted=[])
+        evicted = self._make_room()
+        self._resident[granule] = False
+        if write:
+            self._dirty.add(granule)
+        return AccessOutcome(hit=False, evicted=evicted)
+
+    def insert(self, granule: int) -> List[Tuple[int, bool]]:
+        """Bring ``granule`` local without recording an access (prefetch)."""
+        if granule in self._resident:
+            return []
+        evicted = self._make_room()
+        # Prefetched granules enter cold (at LRU head) so a useless
+        # prefetch is the first thing evicted.
+        self._resident[granule] = False
+        self._resident.move_to_end(granule, last=False)
+        return evicted
+
+    def mark_clean(self, granule: int) -> None:
+        """Clear a granule's dirty bit (after an explicit writeback)."""
+        self._dirty.discard(granule)
+
+    def discard(self, granule: int) -> None:
+        """Drop a granule (free of the backing allocation)."""
+        self._resident.pop(granule, None)
+        self._dirty.discard(granule)
+        self._pinned.pop(granule, None)
+
+    def _make_room(self) -> List[Tuple[int, bool]]:
+        evicted: List[Tuple[int, bool]] = []
+        guard = 0
+        while len(self._resident) >= self.capacity:
+            victim = self._pick_victim()
+            if victim is None:
+                raise EvacuationError(
+                    "all resident granules are pinned; cannot evict "
+                    f"(capacity={self.capacity}, pinned={len(self._pinned)})"
+                )
+            was_dirty = victim in self._dirty
+            self._resident.pop(victim)
+            self._dirty.discard(victim)
+            evicted.append((victim, was_dirty))
+            guard += 1
+            if guard > self.capacity + 1:  # pragma: no cover - safety net
+                raise EvacuationError("eviction loop did not terminate")
+        return evicted
+
+    def _pick_victim(self) -> Optional[int]:
+        if not self.use_clock:
+            for granule in self._resident:
+                if not self.is_pinned(granule):
+                    return granule
+            return None
+        # CLOCK: clear hot bits until a cold, unpinned granule surfaces.
+        for _ in range(2 * len(self._resident) + 1):
+            granule, hot = next(iter(self._resident.items()))
+            if hot:
+                self._resident[granule] = False
+                self._resident.move_to_end(granule)
+                continue
+            if self.is_pinned(granule):
+                self._resident.move_to_end(granule)
+                continue
+            return granule
+        return None
+
+    def flush(self) -> List[Tuple[int, bool]]:
+        """Evict everything evictable (used at teardown to count writebacks)."""
+        out: List[Tuple[int, bool]] = []
+        for granule in list(self._resident.keys()):
+            if self.is_pinned(granule):
+                continue
+            out.append((granule, granule in self._dirty))
+            self._resident.pop(granule)
+            self._dirty.discard(granule)
+        return out

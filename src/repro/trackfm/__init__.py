@@ -1,0 +1,39 @@
+"""The TrackFM runtime: what the compiler-injected code calls into.
+
+§3.1–3.3 of the paper: a custom malloc returns *non-canonical* pointers
+(bit 60 set); compiler-injected guards interpose on every heap load and
+store, consulting the object state table (a contiguous cache of AIFM
+object metadata) to decide between a ~21-cycle fast path and a runtime
+call that localizes the object; loop chunking replaces per-element
+guards with 3-instruction boundary checks plus one locality-invariant
+guard per object.
+"""
+
+from repro.trackfm.pointer import (
+    TFM_TAG_SHIFT,
+    TFM_BASE,
+    is_tfm_pointer,
+    encode_tfm_pointer,
+    decode_tfm_pointer,
+    object_id_of,
+)
+from repro.trackfm.state_table import ObjectStateTable
+from repro.trackfm.guards import GuardEngine, GuardResult
+from repro.trackfm.runtime import TrackFMRuntime, GuardStrategy
+from repro.trackfm.multipool import MultiPoolRuntime, DEFAULT_CLASSES
+
+__all__ = [
+    "TFM_TAG_SHIFT",
+    "TFM_BASE",
+    "is_tfm_pointer",
+    "encode_tfm_pointer",
+    "decode_tfm_pointer",
+    "object_id_of",
+    "ObjectStateTable",
+    "GuardEngine",
+    "GuardResult",
+    "TrackFMRuntime",
+    "GuardStrategy",
+    "MultiPoolRuntime",
+    "DEFAULT_CLASSES",
+]

@@ -1,0 +1,304 @@
+"""The TrackFM runtime facade.
+
+This is the layer the compiler-injected code talks to (Fig. 1's "TrackFM
+runtime"): the custom malloc returning non-canonical pointers, the guard
+entry points, the chunked-loop state (Fig. 5's ``tfm_init``/``tfm_rw``),
+and the bridge into the AIFM object pool.
+
+Two execution styles are provided, with identical accounting:
+
+* **per-access replay** (``access``/``chunk_*``): every memory access is
+  simulated individually — used for irregular access streams and the IR
+  interpreter bridge;
+* **closed-form scans** (``sequential_scan``): the same arithmetic
+  evaluated in bulk for regular loops, so 12 GB-shaped STREAM sweeps run
+  in milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.aifm.allocator import Allocation, RegionAllocator
+from repro.aifm.pool import ObjectPool, PoolConfig
+from repro.aifm.prefetcher import StridePrefetcher
+from repro.errors import PointerError, RuntimeConfigError
+from repro.machine.cache import CacheModel
+from repro.machine.costs import AccessKind, GuardKind
+from repro.net.backends import RemoteBackend
+from repro.sim.metrics import Metrics
+from repro.trackfm.guards import GuardEngine, GuardResult
+from repro.trackfm.pointer import (
+    decode_tfm_pointer,
+    encode_tfm_pointer,
+    is_tfm_pointer,
+    object_id_of,
+)
+from repro.trackfm.state_table import ObjectStateTable
+from repro.units import ceil_div
+
+
+class GuardStrategy(enum.Enum):
+    """How the compiler decided to guard a given loop's accesses."""
+
+    #: Every access gets a full guard (the baseline transformation).
+    NAIVE = "naive"
+    #: Loop chunking: boundary checks + per-object locality guards.
+    CHUNKED = "chunked"
+    #: Chunking plus stride prefetching of the induction-variable stream.
+    CHUNKED_PREFETCH = "chunked_prefetch"
+
+
+@dataclass
+class _ChunkState:
+    """Fig. 5's (end, ptrid) state for one chunked pointer stream."""
+
+    current_obj: Optional[int] = None
+    pinned: bool = False
+
+
+class TrackFMRuntime:
+    """Far memory for unmodified programs, at AIFM-object granularity."""
+
+    def __init__(
+        self,
+        config: PoolConfig,
+        backend: Optional[RemoteBackend] = None,
+        cache: Optional[CacheModel] = None,
+        prefetch_depth: int = 8,
+    ) -> None:
+        if prefetch_depth < 1:
+            raise RuntimeConfigError("prefetch_depth must be >= 1")
+        self.config = config
+        self.pool = ObjectPool(config, backend=backend)
+        self.table = ObjectStateTable(self.pool, cache=cache)
+        self.guards = GuardEngine(self.pool, self.table)
+        self.allocator = RegionAllocator(config.heap_size, config.object_size)
+        self.prefetcher = StridePrefetcher(depth=prefetch_depth)
+        self.prefetch_depth = prefetch_depth
+        self.object_size = config.object_size
+        self._chunks: Dict[int, _ChunkState] = {}
+        self.initialized = False
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.pool.metrics
+
+    @property
+    def costs(self):
+        return self.config.costs
+
+    # -- runtime init (what the runtime-initialization pass hooks up) --------
+
+    def initialize(self) -> None:
+        """Called from the instrumented main's first block."""
+        self.initialized = True
+
+    # -- allocation (the libc-transformation targets) ----------------------
+
+    def tfm_malloc(self, size: int) -> int:
+        """Allocate remotable memory; returns a non-canonical pointer."""
+        alloc = self.allocator.allocate(size)
+        return encode_tfm_pointer(alloc.offset)
+
+    def tfm_calloc(self, count: int, size: int) -> int:
+        return self.tfm_malloc(count * size)
+
+    def tfm_malloc_pinned(self, size: int) -> int:
+        """Allocate *local-pinned* memory (the heap-pruning extension).
+
+        The allocation's objects are materialized resident and pinned:
+        the evacuator can never remote them, so accesses need no guard.
+        Returns the heap offset; callers treat the memory as canonical.
+        Over-pinning beyond local capacity raises
+        :class:`~repro.errors.EvacuationError` — the compile-time pin
+        budget is supposed to prevent that.
+        """
+        alloc = self.allocator.allocate(size)
+        first, last = alloc.object_range(self.object_size)
+        for obj_id in range(first, last):
+            if not self.pool.residency.is_pinned(obj_id):
+                self.pool.materialize(obj_id, pinned=True)
+        return alloc.offset
+
+    def tfm_free(self, ptr: int) -> None:
+        if not is_tfm_pointer(ptr):
+            raise PointerError(f"tfm_free of non-TrackFM pointer {ptr:#x}")
+        alloc = self.allocator.free(decode_tfm_pointer(ptr))
+        first, last = alloc.object_range(self.object_size)
+        for obj_id in range(first, last):
+            if self.allocator.allocation_at(obj_id * self.object_size) is None:
+                self.pool.free_object(obj_id)
+
+    def allocation_of(self, ptr: int) -> Allocation:
+        """The live allocation containing ``ptr`` (debug/testing aid)."""
+        alloc = self.allocator.allocation_at(decode_tfm_pointer(ptr))
+        if alloc is None:
+            raise PointerError(f"{ptr:#x} is not inside a live allocation")
+        return alloc
+
+    # -- guarded single accesses (naive transformation) ---------------------
+
+    def access(
+        self,
+        ptr: int,
+        kind: AccessKind = AccessKind.READ,
+        size: int = 8,
+        depth: int = 1,
+    ) -> float:
+        """One guarded load/store; returns cycles (guard + access)."""
+        result = self.guards.guard(ptr, kind, depth=depth)
+        cycles = result.cycles + self.costs.local_access
+        # Accesses spanning an object boundary guard the tail object too.
+        if is_tfm_pointer(ptr) and size > 1:
+            first = object_id_of(ptr, self.object_size)
+            last = object_id_of(ptr + size - 1, self.object_size)
+            for obj_id in range(first + 1, last + 1):
+                tail = self.guards.guard(
+                    encode_tfm_pointer(obj_id * self.object_size), kind, depth=depth
+                )
+                cycles += tail.cycles
+        self.metrics.accesses += 1
+        self.metrics.cycles += cycles
+        return cycles
+
+    # -- chunked loop streams (Fig. 5's transformed loop) --------------------
+
+    def chunk_begin(self, stream: int = 0) -> float:
+        """``tfm_init``/``tfm_rw``: set up chunk state for one loop entry."""
+        self._chunks[stream] = _ChunkState()
+        cycles = self.costs.chunk_setup
+        self.metrics.cycles += cycles
+        return cycles
+
+    def chunk_access(
+        self,
+        ptr: int,
+        kind: AccessKind = AccessKind.READ,
+        stream: int = 0,
+        prefetch: bool = False,
+    ) -> float:
+        """One access inside a chunked loop body."""
+        state = self._chunks.get(stream)
+        if state is None:
+            raise RuntimeConfigError(
+                f"chunk_access on stream {stream} before chunk_begin"
+            )
+        cycles = self.guards.boundary_check()
+        if is_tfm_pointer(ptr):
+            obj_id = object_id_of(ptr, self.object_size)
+            if obj_id != state.current_obj:
+                if state.pinned and state.current_obj is not None:
+                    self.pool.unpin(state.current_obj)
+                depth = self.prefetch_depth if prefetch else 1
+                result = self.guards.locality_guard(ptr, kind, depth=depth)
+                cycles += result.cycles
+                self.pool.pin(obj_id)
+                state.current_obj = obj_id
+                state.pinned = True
+                if prefetch:
+                    # Clip prefetch targets to the allocation the pointer
+                    # belongs to; fetching past it would be pure waste.
+                    lo, hi = 0, self.pool.config.num_objects
+                    alloc = self.allocator.allocation_at(decode_tfm_pointer(ptr))
+                    if alloc is not None:
+                        lo, hi = alloc.object_range(self.object_size)
+                    for target in self.prefetcher.observe(obj_id, stream=stream):
+                        if lo <= target < hi:
+                            cycles += self.pool.prefetch(target)
+            else:
+                self.pool.residency.access(obj_id, write=kind is AccessKind.WRITE)
+        cycles += self.costs.local_access
+        self.metrics.accesses += 1
+        self.metrics.cycles += cycles
+        return cycles
+
+    def chunk_end(self, stream: int = 0) -> None:
+        """Tear down a chunk stream (loop exit): unpin, forget state."""
+        state = self._chunks.pop(stream, None)
+        if state is not None and state.pinned and state.current_obj is not None:
+            self.pool.unpin(state.current_obj)
+        self.prefetcher.reset(stream)
+
+    # -- closed-form scans ----------------------------------------------------
+
+    def sequential_scan(
+        self,
+        ptr: int,
+        n_elems: int,
+        elem_size: int,
+        kind: AccessKind = AccessKind.READ,
+        strategy: GuardStrategy = GuardStrategy.NAIVE,
+        resident_fraction: float = 0.0,
+        body_cycles: Optional[float] = None,
+        loop_entries: int = 1,
+    ) -> float:
+        """Bulk cost of a sequential loop over ``n_elems`` elements.
+
+        ``resident_fraction`` is the probability an object is already
+        local when first touched by the scan.  ``body_cycles`` is the
+        per-access base cost inside the loop (defaults to the cost
+        table's standalone local access; tight loops pass less).
+        ``loop_entries`` is how many times the loop is *entered* — the
+        chunk setup is paid per entry, which is what penalizes chunking
+        nested short loops (Fig. 8/15).
+        """
+        if n_elems <= 0:
+            return 0.0
+        if not 0.0 <= resident_fraction <= 1.0:
+            raise RuntimeConfigError("resident_fraction must be in [0, 1]")
+        costs = self.costs
+        body = costs.local_access if body_cycles is None else body_cycles
+        total_bytes = n_elems * elem_size
+        n_objects = max(1, ceil_div(total_bytes, self.object_size))
+        misses = int(round(n_objects * (1.0 - resident_fraction)))
+        hits = n_objects - misses
+
+        cycles = n_elems * body
+        link = self.pool.backend.link
+
+        if strategy is GuardStrategy.NAIVE:
+            # One slow-path guard per object (its first touch), fast-path
+            # guards for the rest.  State-table lookups for one object's
+            # elements share a cache line, so fast guards are cached.
+            fast = n_elems - n_objects
+            cycles += fast * costs.fast_guard(kind, cached=True)
+            cycles += misses * (
+                costs.slow_guard_local(kind, cached=False) + link.transfer_cycles(self.object_size)
+            )
+            cycles += hits * costs.slow_guard_local(kind, cached=True)
+            self.metrics.count_guard(GuardKind.FAST, max(fast, 0))
+            self.metrics.count_guard(GuardKind.SLOW, n_objects)
+        else:
+            prefetch = strategy is GuardStrategy.CHUNKED_PREFETCH
+            cycles += loop_entries * costs.chunk_setup
+            cycles += n_elems * costs.boundary_check
+            cycles += n_objects * costs.locality_guard
+            if prefetch:
+                fetch_each = link.wire_cycles(self.object_size)
+                self.metrics.prefetches_issued += misses
+                self.metrics.prefetches_useful += misses
+            else:
+                fetch_each = link.transfer_cycles(self.object_size)
+            cycles += misses * fetch_each
+            self.metrics.count_guard(GuardKind.BOUNDARY, n_elems)
+            self.metrics.count_guard(GuardKind.LOCALITY, n_objects)
+
+        if misses:
+            self.metrics.remote_fetches += misses
+            self.metrics.bytes_fetched += misses * self.object_size
+            link.stats.messages += misses
+            link.stats.bytes_fetched += misses * self.object_size
+            if kind is AccessKind.WRITE:
+                # Displaced dirty objects are written back by the evacuator.
+                wb = link.wire_cycles(self.object_size)
+                cycles += misses * wb * self.pool.evacuator.sync_fraction
+                self.metrics.bytes_evacuated += misses * self.object_size
+                self.metrics.evictions += misses
+                link.stats.bytes_evicted += misses * self.object_size
+
+        self.metrics.accesses += n_elems
+        self.metrics.cycles += cycles
+        return cycles

@@ -1,0 +1,75 @@
+"""Size and time units used throughout the reproduction.
+
+All memory quantities are plain ``int`` bytes and all simulated times are
+plain ``float`` cycles; these helpers exist so the code reads like the
+paper ("a 32 GB remote heap", "object sizes from 64B to 4KB").
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+CACHE_LINE = 64
+BASE_PAGE = 4 * KB
+
+#: Object sizes the paper considers plausible (powers of two, cache line
+#: up to base page — see §3.2 "Object size selection").
+PLAUSIBLE_OBJECT_SIZES = (64, 128, 256, 512, 1 * KB, 2 * KB, 4 * KB)
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """Return log2(n) for an exact power of two, else raise ValueError."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to the previous multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return value // alignment * alignment
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count, e.g. ``fmt_bytes(3 * GB) == '3.0GB'``."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_cycles(c: float) -> str:
+    """Human-readable cycle count, e.g. ``fmt_cycles(34_000) == '34.0K'``."""
+    if abs(c) >= 1e9:
+        return f"{c / 1e9:.1f}G"
+    if abs(c) >= 1e6:
+        return f"{c / 1e6:.1f}M"
+    if abs(c) >= 1e3:
+        return f"{c / 1e3:.1f}K"
+    return f"{c:.0f}"

@@ -1,0 +1,44 @@
+"""Workload generators matching the paper's evaluation (§4).
+
+Each workload reproduces an *access pattern x granularity x locality*
+point from the evaluation:
+
+* :mod:`repro.workloads.stream`    — STREAM: sequential, small elements,
+  perfect spatial locality (Figs. 7, 10, 11, 12);
+* :mod:`repro.workloads.hashmap`   — STL-style hashmap under zipf: tiny
+  random accesses, temporal but no spatial locality (Figs. 9, 13);
+* :mod:`repro.workloads.kmeans`    — k-means: nested short loops with
+  low object density (Fig. 8);
+* :mod:`repro.workloads.analytics` — NYC-taxi-style dataframe analytics:
+  column scans + low-density aggregations, 31 GB-shaped (Figs. 14, 15);
+* :mod:`repro.workloads.memcached` — KV store with USR-style sizes and a
+  slab allocator, zipf skew sweep (Fig. 16);
+* :mod:`repro.workloads.nas`       — NAS CG/FT/IS/MG/SP kernel models
+  plus unoptimized-style IR versions of FT/SP for the O1 study (Fig. 17).
+"""
+
+from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.stream import StreamWorkload, StreamKernel
+from repro.workloads.hashmap import HashmapWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.dataframe import Column, DataFrame
+from repro.workloads.analytics import AnalyticsWorkload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.nas import NasBenchmark, NAS_SUITE, build_nas_ir
+from repro.workloads.nas_kernels import KERNELS as NAS_KERNELS
+
+__all__ = [
+    "ZipfGenerator",
+    "StreamWorkload",
+    "StreamKernel",
+    "HashmapWorkload",
+    "KMeansWorkload",
+    "Column",
+    "DataFrame",
+    "AnalyticsWorkload",
+    "MemcachedWorkload",
+    "NasBenchmark",
+    "NAS_SUITE",
+    "build_nas_ir",
+    "NAS_KERNELS",
+]

@@ -1,0 +1,292 @@
+"""The NYC-taxi analytics application (§4.5, Figs. 14 and 15).
+
+The paper adapts a Kaggle taxi-trip analysis to a 31 GB working set:
+"many column scan operations, which involve tight loops with almost no
+temporal locality but a high degree of spatial locality", plus "several
+aggregation operations that involve loops that iterate over small
+collections of table rows (low object density)".
+
+We synthesize a taxi-shaped dataframe, run the analysis pipeline to get
+its access plans, and cost those plans under each system.  The plans
+are decided exactly the way the compiler decides them: the chunking
+cost model approves the long scans and (under the profile-guided
+policy) rejects the short aggregation loops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.cost_model import ChunkingCostModel, LoopShape
+from repro.errors import WorkloadError
+from repro.machine.costs import AccessKind, CostTable, DEFAULT_COSTS, GuardKind
+from repro.net.backends import make_rdma_backend, make_tcp_backend
+from repro.sim.metrics import Metrics
+from repro.units import BASE_PAGE, ceil_div
+from repro.workloads.dataframe import (
+    AccessPattern,
+    AccessPlan,
+    Column,
+    DataFrame,
+)
+
+#: Tight column-scan loop body cost per element.
+SCAN_BODY_CYCLES = 12.0
+#: Aggregation loop body cost per element (branchier).
+AGG_BODY_CYCLES = 20.0
+
+#: Rows per aggregation group in the taxi pipeline (small collections).
+ROWS_PER_GROUP = 8
+
+#: DerefScope construction + per-group iterator setup in the AIFM port.
+AIFM_SCOPE_CYCLES = 120.0
+
+
+class System(enum.Enum):
+    """The four systems Fig. 14 compares."""
+
+    LOCAL = "local"
+    TRACKFM = "trackfm"
+    FASTSWAP = "fastswap"
+    AIFM = "aifm"
+
+
+class AnalyticsChunking(enum.Enum):
+    """Fig. 15's three TrackFM chunking policies."""
+
+    BASELINE = "baseline"
+    ALL_LOOPS = "all_loops"
+    HIGH_DENSITY = "high_density"
+
+
+def build_taxi_frame(n_rows: int, with_values: bool = False, seed: int = 3) -> DataFrame:
+    """A taxi-trip-shaped dataframe (8-byte numeric columns)."""
+    if n_rows <= 0:
+        raise WorkloadError("n_rows must be positive")
+    rng = np.random.default_rng(seed)
+
+    def values(gen) -> Optional[np.ndarray]:
+        return gen() if with_values else None
+
+    cols = [
+        Column("pickup_hour", n_rows, 8, values(lambda: rng.integers(0, 24, n_rows))),
+        Column("trip_distance", n_rows, 8, values(lambda: rng.exponential(2.5, n_rows))),
+        Column("fare", n_rows, 8, values(lambda: rng.exponential(12.0, n_rows))),
+        Column("tip", n_rows, 8, values(lambda: rng.exponential(2.0, n_rows))),
+        Column("passengers", n_rows, 8, values(lambda: rng.integers(1, 6, n_rows))),
+    ]
+    return DataFrame(cols)
+
+
+def run_taxi_pipeline(frame: DataFrame) -> List[AccessPlan]:
+    """Execute the analysis; returns the access plans it generated.
+
+    Mirrors the Kaggle notebook's flow: distribution stats over
+    distances and fares, a derived fare-per-mile column, and hourly /
+    per-group aggregations.
+    """
+    n_groups = max(1, frame.n_rows // ROWS_PER_GROUP)
+    frame.reset_plans()
+    frame.scan_mean("trip_distance")
+    frame.filter_count("trip_distance", lambda d: d > 0.5)
+    frame.scan_mean("fare")
+    frame.combine("fare", "trip_distance", "fare_per_mile", lambda f, d: f / (d + 1e-9))
+    frame.scan_mean("fare_per_mile")
+    frame.groupby_agg("pickup_hour", "fare", n_groups=n_groups)
+    frame.groupby_agg("pickup_hour", "tip", n_groups=n_groups)
+    frame.scan_sum("passengers")
+    return frame.reset_plans()
+
+
+@dataclass
+class AnalyticsWorkload:
+    """The 31 GB-shaped analytics run (sizes already scaled)."""
+
+    working_set: int
+    object_size: int = BASE_PAGE
+    costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def __post_init__(self) -> None:
+        if self.working_set <= 0:
+            raise WorkloadError("working set must be positive")
+        # 5 base columns x 8 bytes.
+        self.n_rows = max(1, self.working_set // 40)
+        frame = build_taxi_frame(self.n_rows)
+        self.plans = run_taxi_pipeline(frame)
+
+    # -- plan costing -------------------------------------------------------
+
+    def _plan_chunk_decision(
+        self, plan: AccessPlan, policy: AnalyticsChunking
+    ) -> bool:
+        """Would the compiler chunk this plan's loop?"""
+        if policy is AnalyticsChunking.BASELINE:
+            return False
+        if policy is AnalyticsChunking.ALL_LOOPS:
+            return True
+        model = ChunkingCostModel(self.object_size, self.costs)
+        shape = LoopShape(
+            iterations_per_entry=plan.iterations_per_entry,
+            elem_size=plan.elem_size,
+            entries=plan.entries,
+        )
+        return model.should_chunk(shape)
+
+    def _cost_trackfm_plan(
+        self,
+        plan: AccessPlan,
+        resident: float,
+        chunked: bool,
+        metrics: Metrics,
+        link,
+    ) -> float:
+        c = self.costs
+        kind = AccessKind.WRITE if plan.is_write else AccessKind.READ
+        body = (
+            SCAN_BODY_CYCLES
+            if plan.pattern is AccessPattern.SEQUENTIAL
+            else AGG_BODY_CYCLES
+        )
+        n = plan.n_elems
+        n_objects = max(1, ceil_div(n * plan.elem_size, self.object_size))
+        misses = int(round(n_objects * (1.0 - resident)))
+        cycles = n * body
+        if chunked:
+            cycles += plan.entries * c.chunk_setup
+            cycles += n * c.boundary_check
+            cycles += n_objects * c.locality_guard
+            cycles += misses * link.wire_cycles(self.object_size)
+            metrics.count_guard(GuardKind.BOUNDARY, n)
+            metrics.count_guard(GuardKind.LOCALITY, n_objects)
+        else:
+            fast = max(n - n_objects, 0)
+            cycles += fast * c.fast_guard(kind, cached=True)
+            cycles += (n_objects - misses) * c.slow_guard_local(kind, cached=True)
+            cycles += misses * (
+                c.slow_guard_local(kind, cached=False)
+                + link.transfer_cycles(self.object_size)
+            )
+            metrics.count_guard(GuardKind.FAST, fast)
+            metrics.count_guard(GuardKind.SLOW, n_objects)
+        metrics.remote_fetches += misses
+        metrics.bytes_fetched += misses * self.object_size
+        if plan.is_write and misses:
+            cycles += misses * link.wire_cycles(self.object_size) * 0.25
+            metrics.bytes_evacuated += misses * self.object_size
+        metrics.accesses += n
+        return cycles
+
+    def run_trackfm(
+        self,
+        local_memory: int,
+        policy: AnalyticsChunking = AnalyticsChunking.HIGH_DENSITY,
+    ) -> Tuple[float, Metrics]:
+        metrics = Metrics()
+        link = make_tcp_backend().link
+        resident = min(1.0, local_memory / self.working_set)
+        cycles = 0.0
+        for plan in self.plans:
+            chunked = self._plan_chunk_decision(plan, policy)
+            cycles += self._cost_trackfm_plan(plan, resident, chunked, metrics, link)
+        metrics.cycles = cycles
+        return cycles, metrics
+
+    def run_fastswap(self, local_memory: int) -> Tuple[float, Metrics]:
+        metrics = Metrics()
+        link = make_rdma_backend().link
+        c = self.costs
+        page = BASE_PAGE
+        resident = min(1.0, local_memory / self.working_set)
+        # Under cgroup pressure the kernel's reclaim evicts pages that
+        # are still live (readahead pollution + coarse LRU), causing
+        # refaults TrackFM's object-hotness tracking avoids (§4.5).
+        thrash = 1.0 + 0.75 * (1.0 - resident)
+        cycles = 0.0
+        for plan in self.plans:
+            kind = AccessKind.WRITE if plan.is_write else AccessKind.READ
+            body = (
+                SCAN_BODY_CYCLES
+                if plan.pattern is AccessPattern.SEQUENTIAL
+                else AGG_BODY_CYCLES
+            )
+            n = plan.n_elems
+            n_pages = max(1, ceil_div(n * plan.elem_size, page))
+            misses = int(round(n_pages * (1.0 - resident) * thrash))
+            cycles += n * body
+            # Sequential scans get partial swap-readahead credit: the
+            # kernel clusters swap-ins, halving the blocking cost; the
+            # fault still occurs (and is counted).
+            fault = c.fastswap_fault(kind, remote=True)
+            if plan.pattern is AccessPattern.SEQUENTIAL:
+                fault *= 0.5
+            cycles += misses * (fault + 2_000.0)
+            metrics.major_faults += misses
+            metrics.remote_fetches += misses
+            metrics.bytes_fetched += misses * page
+            if plan.is_write and misses:
+                cycles += misses * link.wire_cycles(page) * 0.25
+                metrics.bytes_evacuated += misses * page
+            metrics.accesses += n
+        metrics.cycles = cycles
+        return cycles, metrics
+
+    def run_aifm(self, local_memory: int) -> Tuple[float, Metrics]:
+        """The hand-ported AIFM version: library iterators + prefetch."""
+        metrics = Metrics()
+        link = make_tcp_backend().link
+        c = self.costs
+        resident = min(1.0, local_memory / self.working_set)
+        deref = 9.0  # smart-pointer indirection
+        cycles = 0.0
+        for plan in self.plans:
+            body = (
+                SCAN_BODY_CYCLES
+                if plan.pattern is AccessPattern.SEQUENTIAL
+                else AGG_BODY_CYCLES
+            )
+            n = plan.n_elems
+            n_objects = max(1, ceil_div(n * plan.elem_size, self.object_size))
+            misses = int(round(n_objects * (1.0 - resident)))
+            cycles += n * (body + deref)
+            # Each aggregation group constructs a DerefScope and a
+            # remote-iterator (Listing 1), paid per loop entry.
+            if plan.pattern is AccessPattern.SHORT_LOOPS:
+                cycles += plan.entries * AIFM_SCOPE_CYCLES
+            # Library iterators prefetch scans; aggregations issue
+            # concurrent fetches (AIFM's deep request pipeline).
+            cycles += misses * link.wire_cycles(self.object_size)
+            metrics.remote_fetches += misses
+            metrics.bytes_fetched += misses * self.object_size
+            if plan.is_write and misses:
+                cycles += misses * link.wire_cycles(self.object_size) * 0.25
+                metrics.bytes_evacuated += misses * self.object_size
+            metrics.accesses += n
+        metrics.cycles = cycles
+        return cycles, metrics
+
+    def run_local(self) -> Tuple[float, Metrics]:
+        metrics = Metrics()
+        cycles = 0.0
+        for plan in self.plans:
+            body = (
+                SCAN_BODY_CYCLES
+                if plan.pattern is AccessPattern.SEQUENTIAL
+                else AGG_BODY_CYCLES
+            )
+            cycles += plan.n_elems * body
+            metrics.accesses += plan.n_elems
+        metrics.cycles = cycles
+        return cycles, metrics
+
+    def run(self, system: System, local_memory: int) -> Tuple[float, Metrics]:
+        if system is System.LOCAL:
+            return self.run_local()
+        if system is System.TRACKFM:
+            return self.run_trackfm(local_memory)
+        if system is System.FASTSWAP:
+            return self.run_fastswap(local_memory)
+        return self.run_aifm(local_memory)

@@ -1,0 +1,284 @@
+"""Zipf-skewed hashmap lookups (the §4.3/§4.4 microbenchmark).
+
+The paper's setup: a C++ STL ``unordered_map`` with 4-byte keys and
+values, a 2 GB working set, 50 M lookups sampled from a Zipf(1.02)
+distribution, with the access trace itself stored in a 190 MB heap
+array.  Temporal locality is high (hot keys dominate), spatial locality
+is nil (hashing scatters neighbours), and the granularity is tiny —
+precisely where object size choice and I/O amplification matter
+(Figs. 9 and 13).
+
+An STL ``unordered_map`` lookup touches two heap regions: the bucket
+array (8 B per bucket) and the node the bucket points at (~32 B,
+allocated in insertion order).  Both are modelled: every key's zipf
+mass lands on the far-memory granule (object or page) holding its
+bucket and on the granule holding its node.  The steady-state cache
+behaviour is Che's LRU approximation over the combined granule heat —
+which captures both the dilution effect (big granules mix hot and cold
+entries) and the tail churn behind the paper's I/O-amplification
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.machine.costs import AccessKind, CostTable, DEFAULT_COSTS, GuardKind
+from repro.net.backends import make_tcp_backend
+from repro.sim.metrics import Metrics
+from repro.units import is_power_of_two
+
+#: Per-lookup base cost (hashing, comparisons, call overhead).
+LOOKUP_BODY_CYCLES = 60.0
+
+#: STL layout: 8-byte bucket slots, ~32-byte nodes (key+value+next+hash).
+BUCKET_BYTES = 8
+NODE_BYTES = 32
+
+
+@dataclass
+class HashmapResult:
+    """Outcome of one hashmap run."""
+
+    cycles: float
+    metrics: Metrics
+    n_lookups: int
+
+    def throughput_mops(self, cpu_hz: float = 2.4e9) -> float:
+        """MOps/s, the Fig. 9 metric."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.n_lookups / (self.cycles / cpu_hz) / 1e6
+
+    def execution_seconds(self, cpu_hz: float = 2.4e9) -> float:
+        """Wall seconds, the Fig. 13a metric."""
+        return self.cycles / cpu_hz
+
+    def amplification(self, working_set: int) -> float:
+        return self.metrics.amplification(working_set)
+
+
+@dataclass
+class HashmapWorkload:
+    """One hashmap configuration (sizes already scaled)."""
+
+    working_set: int
+    n_lookups: int
+    skew: float = 1.02
+    #: The on-heap array holding the pre-generated key trace.
+    trace_bytes: int = 0
+    seed: int = 7
+    costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
+    body_cycles: float = LOOKUP_BODY_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.working_set <= 0 or self.n_lookups <= 0:
+            raise WorkloadError("working set and lookups must be positive")
+        self._heat_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def n_keys(self) -> int:
+        return max(1, self.working_set // (BUCKET_BYTES + NODE_BYTES))
+
+    @property
+    def buckets_bytes(self) -> int:
+        return self.n_keys * BUCKET_BYTES
+
+    # -- heat aggregation ----------------------------------------------------
+
+    def _granule_heat(self, granule_size: int) -> np.ndarray:
+        """Combined bucket+node granule popularity (cached per size)."""
+        if not is_power_of_two(granule_size):
+            raise WorkloadError("granule size must be a power of two")
+        cached = self._heat_cache.get(granule_size)
+        if cached is not None:
+            return cached
+        n = self.n_keys
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        mass = ranks ** (-self.skew)
+        mass /= mass.sum()
+        keys = np.arange(n, dtype=np.uint64)
+        # Bucket of each rank: Fibonacci hash scatters hot keys.
+        buckets = ((keys * np.uint64(0x9E3779B97F4A7C15)) % np.uint64(n)).astype(
+            np.int64
+        )
+        bucket_gran = (buckets * BUCKET_BYTES) // granule_size
+        # Node of each rank: insertion order is a fixed permutation.
+        rng = np.random.default_rng(self.seed)
+        node_index = rng.permutation(n).astype(np.int64)
+        node_gran = (self.buckets_bytes + node_index * NODE_BYTES) // granule_size
+        n_granules = int(max(bucket_gran.max(), node_gran.max())) + 1
+        heat = np.zeros(n_granules, dtype=np.float64)
+        np.add.at(heat, bucket_gran, mass * 0.5)
+        np.add.at(heat, node_gran, mass * 0.5)
+        self._heat_cache[granule_size] = heat
+        return heat
+
+    def hit_rate(self, granule_size: int, cache_granules: int) -> float:
+        """Steady-state LRU hit rate (Che's approximation).
+
+        A real LRU under zipf traffic keeps churning tail granules
+        through the cache, so hit rates sit well below the ideal
+        hottest-K bound — this refetch churn is the I/O amplification
+        Fig. 13 measures.
+        """
+        from repro.sim.che import lru_hit_rate
+
+        heat = self._granule_heat(granule_size)
+        return lru_hit_rate(heat, cache_granules)
+
+    # -- runtime models ---------------------------------------------------------
+
+    def _trace_costs(
+        self, granule_size: int, metrics: Metrics, chunked: bool
+    ) -> float:
+        """Cycles for streaming the key trace once (sequential reads)."""
+        if self.trace_bytes <= 0:
+            return 0.0
+        c = self.costs
+        backend = make_tcp_backend()
+        n_granules = max(1, self.trace_bytes // granule_size)
+        cycles = 0.0
+        if chunked:
+            # Chunked + prefetched: boundary per lookup, locality + wire
+            # per granule.
+            cycles += c.chunk_setup
+            cycles += self.n_lookups * c.boundary_check
+            cycles += n_granules * c.locality_guard
+            cycles += n_granules * backend.link.wire_cycles(granule_size)
+            metrics.count_guard(GuardKind.BOUNDARY, self.n_lookups)
+            metrics.count_guard(GuardKind.LOCALITY, n_granules)
+            metrics.prefetches_issued += n_granules
+            metrics.prefetches_useful += n_granules
+        else:
+            fast = max(self.n_lookups - n_granules, 0)
+            cycles += fast * c.fast_guard(AccessKind.READ, cached=True)
+            cycles += n_granules * (
+                c.slow_guard_local(AccessKind.READ, cached=False)
+                + backend.link.transfer_cycles(granule_size)
+            )
+            metrics.count_guard(GuardKind.FAST, fast)
+            metrics.count_guard(GuardKind.SLOW, n_granules)
+        metrics.remote_fetches += n_granules
+        metrics.bytes_fetched += n_granules * granule_size
+        return cycles
+
+    def run_trackfm(
+        self,
+        object_size: int,
+        local_memory: int,
+        chunk_trace: bool = True,
+    ) -> HashmapResult:
+        """TrackFM at a given compile-time object size."""
+        c = self.costs
+        metrics = Metrics()
+        backend = make_tcp_backend()
+        capacity = max(1, local_memory // object_size)
+        # The streaming trace continuously claims a prefetch window's
+        # worth of residency; the rest caches hot bucket/node objects.
+        trace_window = 16 if self.trace_bytes else 0
+        cache = max(1, capacity - trace_window)
+        hr = self.hit_rate(object_size, cache)
+        deps = 2 * self.n_lookups  # bucket + node per lookup
+        hits = int(round(deps * hr))
+        misses = deps - hits
+
+        cycles = self.n_lookups * self.body_cycles + deps * c.local_access
+        cycles += hits * c.fast_guard(AccessKind.READ, cached=True)
+        cycles += misses * (
+            c.slow_guard_local(AccessKind.READ, cached=False)
+            + backend.link.transfer_cycles(object_size)
+        )
+        metrics.count_guard(GuardKind.FAST, hits)
+        metrics.count_guard(GuardKind.SLOW, misses)
+        metrics.remote_fetches += misses
+        metrics.bytes_fetched += misses * object_size
+        metrics.evictions += misses
+        cycles += self._trace_costs(object_size, metrics, chunked=chunk_trace)
+        metrics.accesses = deps + self.n_lookups
+        metrics.cycles = cycles
+        return HashmapResult(cycles=cycles, metrics=metrics, n_lookups=self.n_lookups)
+
+    def run_trackfm_multisize(
+        self,
+        bucket_object_size: int,
+        trace_object_size: int,
+        local_memory: int,
+    ) -> HashmapResult:
+        """Multiple object sizes (§3.2 future work): per-region classes.
+
+        The buckets/nodes (fine-grained, random) use a small class; the
+        streaming key trace (sequential) uses a large one — the per-site
+        recommendation :func:`repro.compiler.size_classes.recommend_object_sizes`
+        produces for exactly this shape.
+        """
+        c = self.costs
+        metrics = Metrics()
+        backend = make_tcp_backend()
+        capacity = max(1, local_memory // bucket_object_size)
+        trace_window = 16 if self.trace_bytes else 0
+        cache = max(1, capacity - trace_window)
+        hr = self.hit_rate(bucket_object_size, cache)
+        deps = 2 * self.n_lookups
+        hits = int(round(deps * hr))
+        misses = deps - hits
+
+        cycles = self.n_lookups * self.body_cycles + deps * c.local_access
+        cycles += hits * c.fast_guard(AccessKind.READ, cached=True)
+        cycles += misses * (
+            c.slow_guard_local(AccessKind.READ, cached=False)
+            + backend.link.transfer_cycles(bucket_object_size)
+        )
+        metrics.count_guard(GuardKind.FAST, hits)
+        metrics.count_guard(GuardKind.SLOW, misses)
+        metrics.remote_fetches += misses
+        metrics.bytes_fetched += misses * bucket_object_size
+        metrics.evictions += misses
+        cycles += self._trace_costs(trace_object_size, metrics, chunked=True)
+        metrics.accesses = deps + self.n_lookups
+        metrics.cycles = cycles
+        return HashmapResult(cycles=cycles, metrics=metrics, n_lookups=self.n_lookups)
+
+    def run_fastswap(self, local_memory: int, page_size: int = 4096) -> HashmapResult:
+        """Fastswap: same workload at page granularity."""
+        c = self.costs
+        metrics = Metrics()
+        capacity = max(1, local_memory // page_size)
+        trace_window = 8 if self.trace_bytes else 0
+        cache = max(1, capacity - trace_window)
+        hr = self.hit_rate(page_size, cache)
+        deps = 2 * self.n_lookups
+        hits = int(round(deps * hr))
+        misses = deps - hits
+
+        cycles = self.n_lookups * self.body_cycles + deps * c.local_access
+        cycles += misses * (
+            c.fastswap_fault(AccessKind.READ, remote=True) + 2_000.0
+        )
+        metrics.major_faults += misses
+        metrics.remote_fetches += misses
+        metrics.bytes_fetched += misses * page_size
+        metrics.evictions += misses
+        # Trace streaming: one major fault per page, no readahead credit
+        # (swap readahead thrashes under the random bucket traffic).
+        if self.trace_bytes:
+            trace_pages = max(1, self.trace_bytes // page_size)
+            cycles += trace_pages * c.fastswap_fault(AccessKind.READ, remote=True)
+            metrics.major_faults += trace_pages
+            metrics.remote_fetches += trace_pages
+            metrics.bytes_fetched += trace_pages * page_size
+        metrics.accesses = deps + self.n_lookups
+        metrics.cycles = cycles
+        return HashmapResult(cycles=cycles, metrics=metrics, n_lookups=self.n_lookups)
+
+    def run_local(self) -> HashmapResult:
+        metrics = Metrics()
+        deps = 2 * self.n_lookups
+        cycles = self.n_lookups * self.body_cycles + deps * self.costs.local_access
+        metrics.accesses = deps + self.n_lookups
+        metrics.cycles = cycles
+        return HashmapResult(cycles=cycles, metrics=metrics, n_lookups=self.n_lookups)

@@ -1,0 +1,312 @@
+"""Structurally-faithful NAS mini-kernels in IR.
+
+:mod:`repro.workloads.nas` models the suite's *costs*; this module
+builds the suite's *access patterns* as real, executable IR so the
+compiler faces what it faced in the paper:
+
+* **CG** — CSR sparse matrix-vector product: a sequential sweep over
+  values/column indices plus a *gather* (``x[col[j]]``) the chunking
+  analysis cannot chunk (no IV-strided pointer);
+* **IS** — counting sort: a histogram pass with indirect
+  read-modify-writes (*scatter*), then a sequential output pass;
+* **MG** — a 3-point stencil sweep: three IV-strided accesses per
+  iteration, the best case for chunking;
+* **SP** — a first-order recurrence sweep (``a[i] -= c * a[i-1]``):
+  loop-carried through memory yet still IV-strided;
+* **FT** — a column-major traversal of a 2-D array: a deeply nested
+  loop whose inner stride is the whole row length, which is what
+  "confounds our loop analysis" (§4.5) — the object density of the
+  inner access is ~1.
+
+Each builder seeds its input data *in IR* (deterministic LCG), so the
+whole program is self-contained and its result can be checked against
+the pure-Python references also provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.ir import IRBuilder, Module
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.types import I64, PTR
+from repro.ir.values import Constant, Value
+
+#: Deterministic LCG used to seed data identically in IR and Python.
+LCG_A = 6364136223846793005
+LCG_C = 1442695040888963407
+MASK64 = (1 << 64) - 1
+
+
+def _lcg_next(x: int) -> int:
+    return (x * LCG_A + LCG_C) & MASK64
+
+
+def _signed(x: int) -> int:
+    return x - (1 << 64) if x >= 1 << 63 else x
+
+
+def _counted_loop(
+    b: IRBuilder,
+    f: Function,
+    n: Value,
+    prefix: str,
+    body_fn: Callable[[IRBuilder, Value, BasicBlock], None],
+) -> BasicBlock:
+    """Emit ``for i in range(n): body``; returns the after-loop block.
+
+    ``body_fn(b, i, latch_target)`` must leave the builder positioned in
+    a block it terminates with a branch to ``latch_target`` (which
+    increments and loops), or not terminate at all (we add the branch).
+    """
+    header = f.add_block(f"{prefix}.header")
+    body = f.add_block(f"{prefix}.body")
+    after = f.add_block(f"{prefix}.after")
+    entry_pred = b.block
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(I64, name=f"{prefix}.i")
+    b.condbr(b.icmp("slt", i, n), body, after)
+    b.set_block(body)
+    latch = f.add_block(f"{prefix}.latch")
+    body_fn(b, i, latch)
+    if b.block.terminator is None:
+        b.br(latch)
+    b.set_block(latch)
+    i2 = b.add(i, 1, name=f"{prefix}.i2")
+    b.br(header)
+    i.add_incoming(Constant(I64, 0), entry_pred)
+    i.add_incoming(i2, latch)
+    b.set_block(after)
+    return after
+
+
+def _emit_lcg_fill(b: IRBuilder, f: Function, dest: Value, n: Value, seed: int,
+                   modulo: Value, prefix: str) -> None:
+    """``for i < n: dest[i] = lcg_stream(i) % modulo`` (i64 elements)."""
+    state_slot = b.alloca(8, name=f"{prefix}.state")
+    b.store(seed, state_slot)
+
+    def body(bb: IRBuilder, i: Value, latch: BasicBlock) -> None:
+        s = bb.load(I64, state_slot)
+        s2 = bb.add(bb.mul(s, LCG_A), LCG_C)
+        bb.store(s2, state_slot)
+        value = bb.srem(bb.and_(s2, (1 << 31) - 1), modulo)
+        bb.store(value, bb.gep(dest, i, 8))
+
+    _counted_loop(b, f, n, prefix, body)
+
+
+def lcg_fill_reference(n: int, seed: int, modulo: int) -> List[int]:
+    """The Python twin of :func:`_emit_lcg_fill`."""
+    out = []
+    state = seed
+    for _ in range(n):
+        state = _lcg_next(state)
+        out.append((state & ((1 << 31) - 1)) % modulo)
+    return out
+
+
+# -- CG: CSR sparse matvec ------------------------------------------------------
+
+
+def build_cg_kernel(n_rows: int = 64, nnz_per_row: int = 4) -> Module:
+    """y = A x for a CSR matrix with fixed row degree; returns sum(y)."""
+    if n_rows <= 0 or nnz_per_row <= 0:
+        raise WorkloadError("CG needs positive dimensions")
+    nnz = n_rows * nnz_per_row
+    m = Module("nas-cg-kernel")
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    cols = b.call(PTR, "malloc", [Constant(I64, nnz * 8)], name="cols")
+    vals = b.call(PTR, "malloc", [Constant(I64, nnz * 8)], name="vals")
+    x = b.call(PTR, "malloc", [Constant(I64, n_rows * 8)], name="x")
+    _emit_lcg_fill(b, f, cols, Constant(I64, nnz), 1, Constant(I64, n_rows), "fillc")
+    _emit_lcg_fill(b, f, vals, Constant(I64, nnz), 2, Constant(I64, 100), "fillv")
+    _emit_lcg_fill(b, f, x, Constant(I64, n_rows), 3, Constant(I64, 100), "fillx")
+
+    acc_slot = b.alloca(8, name="acc")
+    b.store(0, acc_slot)
+
+    def body(bb: IRBuilder, j: Value, latch: BasicBlock) -> None:
+        col = bb.load(I64, bb.gep(cols, j, 8))
+        v = bb.load(I64, bb.gep(vals, j, 8))
+        xv = bb.load(I64, bb.gep(x, col, 8))  # the gather
+        acc = bb.load(I64, acc_slot)
+        bb.store(bb.add(acc, bb.mul(v, xv)), acc_slot)
+
+    _counted_loop(b, f, Constant(I64, nnz), "spmv", body)
+    b.ret(b.load(I64, acc_slot))
+    return m
+
+
+def cg_reference(n_rows: int = 64, nnz_per_row: int = 4) -> int:
+    nnz = n_rows * nnz_per_row
+    cols = lcg_fill_reference(nnz, 1, n_rows)
+    vals = lcg_fill_reference(nnz, 2, 100)
+    x = lcg_fill_reference(n_rows, 3, 100)
+    return sum(v * x[c] for v, c in zip(vals, cols))
+
+
+# -- IS: counting sort ----------------------------------------------------------
+
+
+def build_is_kernel(n_keys: int = 128, n_buckets: int = 16) -> Module:
+    """Histogram n_keys into n_buckets; returns sum(bucket * count)."""
+    m = Module("nas-is-kernel")
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    keys = b.call(PTR, "malloc", [Constant(I64, n_keys * 8)], name="keys")
+    hist = b.call(PTR, "calloc", [Constant(I64, n_buckets), Constant(I64, 8)], name="hist")
+    _emit_lcg_fill(b, f, keys, Constant(I64, n_keys), 7, Constant(I64, n_buckets), "fillk")
+
+    def histo(bb: IRBuilder, i: Value, latch: BasicBlock) -> None:
+        key = bb.load(I64, bb.gep(keys, i, 8))
+        slot = bb.gep(hist, key, 8)  # the scatter
+        bb.store(bb.add(bb.load(I64, slot), 1), slot)
+
+    _counted_loop(b, f, Constant(I64, n_keys), "histo", histo)
+
+    acc_slot = b.alloca(8, name="acc")
+    b.store(0, acc_slot)
+
+    def weigh(bb: IRBuilder, i: Value, latch: BasicBlock) -> None:
+        count = bb.load(I64, bb.gep(hist, i, 8))
+        acc = bb.load(I64, acc_slot)
+        bb.store(bb.add(acc, bb.mul(i, count)), acc_slot)
+
+    _counted_loop(b, f, Constant(I64, n_buckets), "weigh", weigh)
+    b.ret(b.load(I64, acc_slot))
+    return m
+
+
+def is_reference(n_keys: int = 128, n_buckets: int = 16) -> int:
+    keys = lcg_fill_reference(n_keys, 7, n_buckets)
+    hist = [0] * n_buckets
+    for k in keys:
+        hist[k] += 1
+    return sum(i * c for i, c in enumerate(hist))
+
+
+# -- MG: 3-point stencil --------------------------------------------------------
+
+
+def build_mg_kernel(n: int = 256) -> Module:
+    """b[i] = a[i-1] + 2 a[i] + a[i+1] over the interior; returns sum(b)."""
+    if n < 3:
+        raise WorkloadError("MG needs n >= 3")
+    m = Module("nas-mg-kernel")
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    a = b.call(PTR, "malloc", [Constant(I64, n * 8)], name="a")
+    out = b.call(PTR, "malloc", [Constant(I64, n * 8)], name="out")
+    _emit_lcg_fill(b, f, a, Constant(I64, n), 11, Constant(I64, 50), "filla")
+
+    def stencil(bb: IRBuilder, i: Value, latch: BasicBlock) -> None:
+        i1 = bb.add(i, 1)
+        left = bb.load(I64, bb.gep(a, i, 8))
+        mid = bb.load(I64, bb.gep(a, i1, 8))
+        right = bb.load(I64, bb.gep(a, bb.add(i, 2), 8))
+        value = bb.add(bb.add(left, bb.mul(mid, 2)), right)
+        bb.store(value, bb.gep(out, i1, 8))
+
+    _counted_loop(b, f, Constant(I64, n - 2), "stencil", stencil)
+
+    acc_slot = b.alloca(8, name="acc")
+    b.store(0, acc_slot)
+
+    def reduce(bb: IRBuilder, i: Value, latch: BasicBlock) -> None:
+        v = bb.load(I64, bb.gep(out, bb.add(i, 1), 8))
+        bb.store(bb.add(bb.load(I64, acc_slot), v), acc_slot)
+
+    _counted_loop(b, f, Constant(I64, n - 2), "reduce", reduce)
+    b.ret(b.load(I64, acc_slot))
+    return m
+
+
+def mg_reference(n: int = 256) -> int:
+    a = lcg_fill_reference(n, 11, 50)
+    return sum(a[i - 1] + 2 * a[i] + a[i + 1] for i in range(1, n - 1))
+
+
+# -- SP: first-order recurrence sweep ----------------------------------------------
+
+
+def build_sp_kernel(n: int = 256, c: int = 3) -> Module:
+    """a[i] = a[i] - c * a[i-1] forward sweep; returns a[n-1]."""
+    if n < 2:
+        raise WorkloadError("SP needs n >= 2")
+    m = Module("nas-sp-kernel")
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    a = b.call(PTR, "malloc", [Constant(I64, n * 8)], name="a")
+    _emit_lcg_fill(b, f, a, Constant(I64, n), 13, Constant(I64, 20), "filla")
+
+    def sweep(bb: IRBuilder, i: Value, latch: BasicBlock) -> None:
+        i1 = bb.add(i, 1)
+        prev = bb.load(I64, bb.gep(a, i, 8))
+        cur = bb.load(I64, bb.gep(a, i1, 8))
+        bb.store(bb.sub(cur, bb.mul(prev, c)), bb.gep(a, i1, 8))
+
+    _counted_loop(b, f, Constant(I64, n - 1), "sweep", sweep)
+    b.ret(b.load(I64, b.gep(a, n - 1, 8)))
+    return m
+
+
+def sp_reference(n: int = 256, c: int = 3) -> int:
+    a = lcg_fill_reference(n, 13, 20)
+    for i in range(1, n):
+        a[i] = _signed((a[i] - c * a[i - 1]) & MASK64)
+    return a[n - 1]
+
+
+# -- FT: column-major nested traversal -----------------------------------------------
+
+
+def build_ft_kernel(rows: int = 24, cols: int = 24) -> Module:
+    """Sum a rows x cols array in column-major order (stride = rows).
+
+    The inner loop's byte stride is ``rows * 8`` — an object density of
+    ~1 at any plausible object size, so the cost model refuses to chunk
+    it and the naive transform guards every access: the paper's FT
+    pathology in miniature.
+    """
+    if rows < 2 or cols < 2:
+        raise WorkloadError("FT needs at least a 2x2 array")
+    n = rows * cols
+    m = Module("nas-ft-kernel")
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    a = b.call(PTR, "malloc", [Constant(I64, n * 8)], name="a")
+    _emit_lcg_fill(b, f, a, Constant(I64, n), 17, Constant(I64, 30), "filla")
+    acc_slot = b.alloca(8, name="acc")
+    b.store(0, acc_slot)
+
+    def outer(bb: IRBuilder, col: Value, outer_latch: BasicBlock) -> None:
+        def inner(ibb: IRBuilder, row: Value, latch: BasicBlock) -> None:
+            idx = ibb.add(ibb.mul(row, cols), col)  # column-major walk
+            v = ibb.load(I64, ibb.gep(a, idx, 8))
+            ibb.store(ibb.add(ibb.load(I64, acc_slot), v), acc_slot)
+
+        _counted_loop(bb, f, Constant(I64, rows), f"inner{id(col) % 9973}", inner)
+        bb.br(outer_latch)
+
+    _counted_loop(b, f, Constant(I64, cols), "outer", outer)
+    b.ret(b.load(I64, acc_slot))
+    return m
+
+
+def ft_reference(rows: int = 24, cols: int = 24) -> int:
+    return sum(lcg_fill_reference(rows * cols, 17, 30))
+
+
+#: name -> (IR builder, Python reference), both zero-arg for defaults.
+KERNELS: Dict[str, Tuple[Callable[[], Module], Callable[[], int]]] = {
+    "CG": (build_cg_kernel, cg_reference),
+    "IS": (build_is_kernel, is_reference),
+    "MG": (build_mg_kernel, mg_reference),
+    "SP": (build_sp_kernel, sp_reference),
+    "FT": (build_ft_kernel, ft_reference),
+}

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aifm.pool import PoolConfig
+from repro.machine.cache import AlwaysHitCache
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def small_pool_config() -> PoolConfig:
+    return PoolConfig(object_size=4 * KB, local_memory=64 * KB, heap_size=1 * MB)
+
+
+@pytest.fixture
+def trackfm_runtime(small_pool_config) -> TrackFMRuntime:
+    return TrackFMRuntime(small_pool_config, cache=AlwaysHitCache())

@@ -1,0 +1,97 @@
+"""Reusable IR program builders for tests and benchmarks."""
+
+from __future__ import annotations
+
+from repro.aifm.pool import PoolConfig
+from repro.ir import IRBuilder, Module
+from repro.ir.types import I64, PTR
+from repro.ir.values import Constant
+from repro.machine.cache import AlwaysHitCache
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.units import KB, MB
+
+
+def build_sum_loop(n: int = 100, alloc_bytes: int = None, elem: int = 8) -> Module:
+    """``main: p = malloc(n*elem); for i<n: sum += p[i]; ret sum``."""
+    if alloc_bytes is None:
+        alloc_bytes = n * elem
+    m = Module("sumloop")
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    p = b.call(PTR, "malloc", [Constant(I64, alloc_bytes)], name="p")
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(I64, name="i")
+    s = b.phi(I64, name="s")
+    b.condbr(b.icmp("slt", i, n), body, exit_)
+    b.set_block(body)
+    v = b.load(I64, b.gep(p, i, elem, name="addr"), name="v")
+    s2 = b.add(s, v, name="s2")
+    i2 = b.add(i, 1, name="i2")
+    b.br(header)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, body)
+    s.add_incoming(Constant(I64, 0), entry)
+    s.add_incoming(s2, body)
+    b.set_block(exit_)
+    b.ret(s)
+    return m
+
+
+def build_write_then_sum(n: int = 100, elem: int = 8) -> Module:
+    """Writes ``p[i] = i`` then sums; result is n*(n-1)/2.
+
+    ``elem`` of 4 stores/loads i32 (truncated/sign-extended), 8 uses i64.
+    """
+    from repro.ir.types import I32
+
+    if elem not in (4, 8):
+        raise ValueError("elem must be 4 or 8")
+    elem_ty = I32 if elem == 4 else I64
+    m = Module("writesum")
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    wh = f.add_block("wh")
+    wb = f.add_block("wb")
+    mid = f.add_block("mid")
+    rh = f.add_block("rh")
+    rb = f.add_block("rb")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    p = b.call(PTR, "malloc", [Constant(I64, n * elem)], name="p")
+    b.br(wh)
+    b.set_block(wh)
+    i = b.phi(I64, name="i")
+    b.condbr(b.icmp("slt", i, n), wb, mid)
+    b.set_block(wb)
+    value = b.cast("trunc", i, I32) if elem == 4 else i
+    b.store(value, b.gep(p, i, elem))
+    i2 = b.add(i, 1)
+    b.br(wh)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, wb)
+    b.set_block(mid)
+    b.br(rh)
+    b.set_block(rh)
+    j = b.phi(I64, name="j")
+    s = b.phi(I64, name="s")
+    b.condbr(b.icmp("slt", j, n), rb, exit_)
+    b.set_block(rb)
+    raw = b.load(elem_ty, b.gep(p, j, elem))
+    v = b.cast("sext", raw, I64) if elem == 4 else raw
+    s2 = b.add(s, v)
+    j2 = b.add(j, 1)
+    b.br(rh)
+    j.add_incoming(Constant(I64, 0), mid)
+    j.add_incoming(j2, rb)
+    s.add_incoming(Constant(I64, 0), mid)
+    s.add_incoming(s2, rb)
+    b.set_block(exit_)
+    b.ret(s)
+    return m
+
+

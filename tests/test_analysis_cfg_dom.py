@@ -1,0 +1,115 @@
+"""CFG, reverse postorder, and dominator tree."""
+
+import pytest
+
+from repro.analysis.cfg import CFG, reverse_postorder
+from repro.analysis.dominators import DominatorTree
+from repro.errors import AnalysisError
+from repro.ir import IRBuilder, I64, Module
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop
+
+
+def build_diamond():
+    """entry -> (left | right) -> join."""
+    m = Module()
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    join = f.add_block("join")
+    b = IRBuilder(entry)
+    b.condbr(b.icmp("slt", 1, 2), left, right)
+    b.set_block(left)
+    lv = b.add(1, 0, name="lv")
+    b.br(join)
+    b.set_block(right)
+    rv = b.add(2, 0, name="rv")
+    b.br(join)
+    b.set_block(join)
+    phi = b.phi(I64, name="x")
+    phi.add_incoming(lv, left)
+    phi.add_incoming(rv, right)
+    b.ret(phi)
+    return m, f, (entry, left, right, join)
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        _, f, (entry, left, right, join) = build_diamond()
+        cfg = CFG(f)
+        assert set(cfg.succs(entry)) == {left, right}
+        assert cfg.preds(join) == [left, right] or set(cfg.preds(join)) == {left, right}
+        assert cfg.preds(entry) == []
+
+    def test_reachable_excludes_orphans(self):
+        m, f, blocks = build_diamond()
+        orphan = f.add_block("orphan")
+        b = IRBuilder(orphan)
+        b.ret(0)
+        cfg = CFG(f)
+        assert orphan not in cfg.reachable()
+        assert set(blocks) <= cfg.reachable()
+
+    def test_declaration_has_no_cfg(self):
+        m = Module()
+        d = m.declare_function("ext", I64)
+        with pytest.raises(AnalysisError):
+            CFG(d)
+
+    def test_reverse_postorder_entry_first(self):
+        _, f, (entry, left, right, join) = build_diamond()
+        rpo = reverse_postorder(CFG(f))
+        assert rpo[0] is entry
+        assert rpo[-1] is join
+        assert rpo.index(left) < rpo.index(join)
+        assert rpo.index(right) < rpo.index(join)
+
+    def test_rpo_on_loop(self):
+        f = build_sum_loop().get_function("main")
+        rpo = reverse_postorder(CFG(f))
+        names = [b.name for b in rpo]
+        assert names.index("entry") < names.index("header") < names.index("body")
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        _, f, (entry, left, right, join) = build_diamond()
+        dom = DominatorTree(CFG(f))
+        assert dom.idom[left] is entry
+        assert dom.idom[right] is entry
+        assert dom.idom[join] is entry
+        assert dom.idom[entry] is None
+
+    def test_dominates_reflexive_and_transitive(self):
+        _, f, (entry, left, right, join) = build_diamond()
+        dom = DominatorTree(CFG(f))
+        assert dom.dominates(entry, join)
+        assert dom.dominates(join, join)
+        assert not dom.dominates(left, join)
+        assert dom.strictly_dominates(entry, left)
+        assert not dom.strictly_dominates(entry, entry)
+
+    def test_loop_header_dominates_body(self):
+        f = build_sum_loop().get_function("main")
+        dom = DominatorTree(CFG(f))
+        header = f.get_block("header")
+        body = f.get_block("body")
+        exit_ = f.get_block("exit")
+        assert dom.dominates(header, body)
+        assert dom.dominates(header, exit_)
+        assert not dom.dominates(body, exit_)
+
+    def test_dominator_chain(self):
+        f = build_sum_loop().get_function("main")
+        dom = DominatorTree(CFG(f))
+        body = f.get_block("body")
+        chain = [b.name for b in dom.dominator_chain(body)]
+        assert chain == ["body", "header", "entry"]
+
+    def test_children(self):
+        _, f, (entry, left, right, join) = build_diamond()
+        dom = DominatorTree(CFG(f))
+        kids = set(dom.children(entry))
+        assert kids == {left, right, join}

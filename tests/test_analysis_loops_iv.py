@@ -1,0 +1,178 @@
+"""Natural loop detection and induction-variable analysis."""
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.analysis.induction import InductionAnalysis
+from repro.analysis.loops import find_loops
+from repro.ir import IRBuilder, I64, PTR, Module
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop
+
+
+def build_nested_loops(outer_n=4, inner_n=3):
+    """for i<outer: for j<inner: acc += 1."""
+    m = Module()
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    oh = f.add_block("outer_header")
+    ih = f.add_block("inner_header")
+    ib = f.add_block("inner_body")
+    olatch = f.add_block("outer_latch")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(oh)
+    b.set_block(oh)
+    i = b.phi(I64, name="i")
+    b.condbr(b.icmp("slt", i, outer_n), ih, exit_)
+    b.set_block(ih)
+    j = b.phi(I64, name="j")
+    b.condbr(b.icmp("slt", j, inner_n), ib, olatch)
+    b.set_block(ib)
+    j2 = b.add(j, 1, name="j2")
+    b.br(ih)
+    j.add_incoming(Constant(I64, 0), oh)
+    j.add_incoming(j2, ib)
+    b.set_block(olatch)
+    i2 = b.add(i, 1, name="i2")
+    b.br(oh)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, olatch)
+    b.set_block(exit_)
+    b.ret(0)
+    return m, f
+
+
+def build_pointer_iv_loop(n=16, elem=8):
+    """Pointer-stepping loop: while (p != end) sum += *p; p = gep p, 1."""
+    m = Module()
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    base = b.call(PTR, "malloc", [Constant(I64, n * elem)], name="base")
+    end = b.gep(base, n, elem, name="end")
+    b.br(header)
+    b.set_block(header)
+    p = b.phi(PTR, name="p")
+    s = b.phi(I64, name="s")
+    b.condbr(b.icmp("ne", p, end), body, exit_)
+    b.set_block(body)
+    v = b.load(I64, p, name="v")
+    s2 = b.add(s, v, name="s2")
+    p2 = b.gep(p, 1, elem, name="p2")
+    b.br(header)
+    p.add_incoming(base, entry)
+    p.add_incoming(p2, body)
+    s.add_incoming(Constant(I64, 0), entry)
+    s.add_incoming(s2, body)
+    b.set_block(exit_)
+    b.ret(s)
+    return m, f
+
+
+class TestLoops:
+    def test_single_loop_detected(self):
+        f = build_sum_loop().get_function("main")
+        loops = find_loops(f)
+        assert len(loops) == 1
+        loop = loops.loops[0]
+        assert loop.header.name == "header"
+        assert {b.name for b in loop.blocks} == {"header", "body"}
+        assert [l.name for l in loop.latches] == ["body"]
+
+    def test_preheader_and_exits(self):
+        f = build_sum_loop().get_function("main")
+        loop = find_loops(f).loops[0]
+        cfg = CFG(f)
+        assert loop.preheader(cfg).name == "entry"
+        assert [b.name for b in loop.exit_blocks(cfg)] == ["exit"]
+        assert loop.exit_edges(cfg) == [(f.get_block("header"), f.get_block("exit"))]
+
+    def test_nested_loop_structure(self):
+        _, f = build_nested_loops()
+        loops = find_loops(f)
+        assert len(loops) == 2
+        inner = next(l for l in loops if l.header.name == "inner_header")
+        outer = next(l for l in loops if l.header.name == "outer_header")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert outer.depth == 1
+        assert inner.depth == 2
+        assert loops.innermost() == [inner]
+        assert loops.top_level() == [outer]
+
+    def test_loop_of_block(self):
+        _, f = build_nested_loops()
+        loops = find_loops(f)
+        ib = f.get_block("inner_body")
+        assert loops.loop_of(ib).header.name == "inner_header"
+        assert loops.loop_of(f.get_block("entry")) is None
+
+    def test_straightline_has_no_loops(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.add(1, 2))
+        assert len(find_loops(f)) == 0
+
+
+class TestInductionVariables:
+    def test_integer_iv_detected(self):
+        f = build_sum_loop(n=100).get_function("main")
+        loops = find_loops(f)
+        ivs = InductionAnalysis(f, loops)
+        loop = loops.loops[0]
+        found = ivs.ivs(loop)
+        iv_names = {iv.phi.name for iv in found}
+        assert "i" in iv_names
+        i_iv = next(iv for iv in found if iv.phi.name == "i")
+        assert i_iv.step == 1
+        assert not i_iv.is_pointer
+
+    def test_governing_iv_and_trip_count(self):
+        f = build_sum_loop(n=100).get_function("main")
+        loops = find_loops(f)
+        ivs = InductionAnalysis(f, loops)
+        gov = ivs.governing_iv(loops.loops[0])
+        assert gov is not None
+        assert gov.phi.name == "i"
+        assert gov.trip_count == 100
+
+    def test_pointer_iv_detected(self):
+        _, f = build_pointer_iv_loop(n=16, elem=8)
+        loops = find_loops(f)
+        ivs = InductionAnalysis(f, loops)
+        loop = loops.loops[0]
+        piv = next(iv for iv in ivs.ivs(loop) if iv.is_pointer)
+        assert piv.step == 8  # byte stride
+        assert piv.governs_loop
+
+    def test_accumulator_not_an_iv_with_nonconst_step(self):
+        # s += v (v loaded from memory) must not be classified as IV.
+        f = build_sum_loop(n=10).get_function("main")
+        loops = find_loops(f)
+        ivs = InductionAnalysis(f, loops)
+        names = {iv.phi.name for iv in ivs.ivs(loops.loops[0])}
+        assert "s" not in names
+
+    def test_nested_ivs_found_per_loop(self):
+        _, f = build_nested_loops()
+        loops = find_loops(f)
+        ivs = InductionAnalysis(f, loops)
+        for loop in loops:
+            gov = ivs.governing_iv(loop)
+            assert gov is not None
+            assert gov.step == 1
+
+    def test_iv_for_value(self):
+        f = build_sum_loop(n=10).get_function("main")
+        loops = find_loops(f)
+        ivs = InductionAnalysis(f, loops)
+        loop = loops.loops[0]
+        phi = loop.header.phis()[0]
+        assert ivs.iv_for_value(loop, phi) is not None
+        assert ivs.iv_for_value(loop, Constant(I64, 0)) is None

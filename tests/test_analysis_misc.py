@@ -1,0 +1,124 @@
+"""Def-use chains, call graph and the loop profiler."""
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.defuse import DefUse
+from repro.analysis.profiler import profile_module
+from repro.ir import IRBuilder, I64, PTR, VOID, Module
+from repro.ir.instructions import Load
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop
+
+
+class TestDefUse:
+    def test_users(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        x = b.add(1, 2)
+        y = b.add(x, 3)
+        z = b.add(x, y)
+        b.ret(z)
+        uses = DefUse(f)
+        assert len(uses.users(x)) == 2
+        assert uses.has_users(y)
+        assert {i.name for i in uses.users(y)} == {z.name}
+
+    def test_transitive_users(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        x = b.add(1, 2)
+        y = b.add(x, 3)
+        z = b.add(y, 4)
+        b.ret(z)
+        uses = DefUse(f)
+        trans = uses.transitive_users(x)
+        assert y in trans and z in trans
+
+    def test_is_dead(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        dead = b.add(1, 2)
+        live = b.add(3, 4)
+        b.ret(live)
+        uses = DefUse(f)
+        assert uses.is_dead(dead)
+        assert not uses.is_dead(live)
+
+    def test_calls_never_dead(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        c = b.call(PTR, "malloc", [Constant(I64, 8)])
+        b.ret(0)
+        assert not DefUse(f).is_dead(c)
+
+
+class TestCallGraph:
+    def build_module(self):
+        m = Module()
+        helper = m.add_function("helper", I64)
+        hb = IRBuilder(helper.add_block("entry"))
+        hb.ret(hb.call(I64, "leaf"))
+        leaf = m.add_function("leaf", I64)
+        lb = IRBuilder(leaf.add_block("entry"))
+        lb.ret(1)
+        other = m.add_function("unused", VOID)
+        ob = IRBuilder(other.add_block("entry"))
+        ob.ret()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.call(I64, "helper"))
+        return m
+
+    def test_callees(self):
+        cg = CallGraph(self.build_module())
+        assert cg.callees("main") == {"helper"}
+        assert cg.callees("helper") == {"leaf"}
+        assert cg.callees("leaf") == set()
+
+    def test_reachability(self):
+        cg = CallGraph(self.build_module())
+        reach = cg.reachable_from("main")
+        assert reach == {"main", "helper", "leaf"}
+        assert "unused" not in reach
+
+    def test_call_sites_of(self):
+        cg = CallGraph(self.build_module())
+        sites = cg.call_sites_of("leaf")
+        assert len(sites) == 1
+        assert sites[0].callee == "leaf"
+
+
+class TestProfiler:
+    def test_loop_profile_counts(self):
+        m = build_sum_loop(n=50)
+        data = profile_module(m)
+        lp = data.profile_for("main", "header")
+        assert lp is not None
+        # Header runs n+1 times (n body trips + exit test), entered once.
+        assert lp.header_executions == 51
+        assert lp.entries == 1
+        assert lp.average_trip_count == pytest.approx(51)
+        assert lp.coverage > 0.5  # the loop dominates this program
+
+    def test_block_counts(self):
+        m = build_sum_loop(n=10)
+        data = profile_module(m)
+        assert data.count("main", "body") == 10
+        assert data.count("main", "entry") == 1
+        assert data.count("main", "nonexistent") == 0
+
+    def test_hot_loops_sorted(self):
+        m = build_sum_loop(n=30)
+        data = profile_module(m)
+        hot = data.hot_loops(min_coverage=0.01)
+        assert hot and hot[0].header == "header"
+
+    def test_total_dynamic_instructions_positive(self):
+        data = profile_module(build_sum_loop(n=5))
+        assert data.total_dynamic_instructions > 0

@@ -1,0 +1,194 @@
+"""Pointer provenance: the heap/stack/global classification behind guards."""
+
+import pytest
+
+from repro.analysis.provenance import Provenance, ProvenanceAnalysis
+from repro.ir import IRBuilder, I64, PTR, VOID, Module
+from repro.ir.instructions import Load, Store
+from repro.ir.values import Constant
+
+
+def build(fn):
+    m = Module()
+    m.add_global("gtable", 64)
+    f = m.add_function("main", I64, [PTR], ["escaped"])
+    b = IRBuilder(f.add_block("entry"))
+    ret = fn(b, f)
+    b.ret(ret if ret is not None else 0)
+    return f
+
+
+def test_alloca_is_stack():
+    def body(b, f):
+        p = b.alloca(8)
+        v = b.load(I64, p)
+        return v
+
+    f = build(body)
+    prov = ProvenanceAnalysis(f)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    assert prov.of(load.pointer) == Provenance.STACK
+    assert not prov.must_guard(load)
+
+
+def test_malloc_is_heap():
+    def body(b, f):
+        p = b.call(PTR, "malloc", [Constant(I64, 64)])
+        return b.load(I64, p)
+
+    f = build(body)
+    prov = ProvenanceAnalysis(f)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    assert prov.of(load.pointer) == Provenance.HEAP
+    assert prov.must_guard(load)
+
+
+def test_tfm_malloc_also_heap():
+    def body(b, f):
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)])
+        return b.load(I64, p)
+
+    f = build(body)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    assert ProvenanceAnalysis(f).must_guard(load)
+
+
+def test_gep_propagates_provenance():
+    def body(b, f):
+        p = b.call(PTR, "malloc", [Constant(I64, 64)])
+        q = b.gep(p, 2, 8)
+        return b.load(I64, q)
+
+    f = build(body)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    assert ProvenanceAnalysis(f).of(load.pointer).may_be_heap()
+
+
+def test_global_addr_not_guarded():
+    def body(b, f):
+        g = b.call(PTR, "global_addr.gtable")
+        return b.load(I64, g)
+
+    f = build(body)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    prov = ProvenanceAnalysis(f)
+    assert prov.of(load.pointer) == Provenance.GLOBAL
+    assert not prov.must_guard(load)
+
+
+def test_argument_pointer_is_unknown_and_guarded():
+    def body(b, f):
+        return b.load(I64, f.args[0])
+
+    f = build(body)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    prov = ProvenanceAnalysis(f)
+    assert prov.of(f.args[0]) == Provenance.UNKNOWN
+    assert prov.must_guard(load)
+
+
+def test_select_merges_provenance():
+    def body(b, f):
+        heap = b.call(PTR, "malloc", [Constant(I64, 8)])
+        stack = b.alloca(8)
+        cond = b.icmp("slt", 1, 2)
+        p = b.select(cond, heap, stack)
+        return b.load(I64, p)
+
+    f = build(body)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    prov = ProvenanceAnalysis(f)
+    merged = prov.of(load.pointer)
+    assert merged & Provenance.HEAP
+    assert merged & Provenance.STACK
+    assert prov.must_guard(load)  # may-be-heap wins
+
+
+def test_ptrtoint_roundtrip_keeps_heap_provenance():
+    # §3.2: offset math on a cast pointer is still guarded.
+    def body(b, f):
+        p = b.call(PTR, "malloc", [Constant(I64, 64)])
+        raw = b.ptrtoint(p)
+        bumped = b.add(raw, 16)
+        q = b.inttoptr(bumped)
+        return b.load(I64, q)
+
+    f = build(body)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    assert ProvenanceAnalysis(f).of(load.pointer).may_be_heap()
+
+
+def test_inttoptr_from_unknown_integer_is_unknown():
+    def body(b, f):
+        q = b.inttoptr(b.add(0, 0x1000))
+        return b.load(I64, q)
+
+    f = build(body)
+    load = next(i for i in f.instructions() if isinstance(i, Load))
+    prov = ProvenanceAnalysis(f).of(load.pointer)
+    assert prov.may_be_heap()  # conservative
+
+
+def test_phi_merges_provenance_in_loops():
+    m = Module()
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body_b = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    base = b.call(PTR, "malloc", [Constant(I64, 80)])
+    b.br(header)
+    b.set_block(header)
+    p = b.phi(PTR, name="p")
+    i = b.phi(I64, name="i")
+    b.condbr(b.icmp("slt", i, 10), body_b, exit_)
+    b.set_block(body_b)
+    v = b.load(I64, p)
+    p2 = b.gep(p, 1, 8)
+    i2 = b.add(i, 1)
+    b.br(header)
+    p.add_incoming(base, entry)
+    p.add_incoming(p2, body_b)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, body_b)
+    b.set_block(exit_)
+    b.ret(0)
+    del v
+    prov = ProvenanceAnalysis(f)
+    assert prov.of(p).may_be_heap()
+
+
+def test_store_to_stack_of_heap_value_not_guarded():
+    def body(b, f):
+        slot = b.alloca(8)
+        heap = b.call(PTR, "malloc", [Constant(I64, 8)])
+        b.store(b.ptrtoint(heap), slot)  # storing TO stack: no guard
+        return b.load(I64, slot)
+
+    f = build(body)
+    prov = ProvenanceAnalysis(f)
+    store = next(i for i in f.instructions() if isinstance(i, Store))
+    assert not prov.must_guard(store)
+
+
+def test_loaded_pointer_is_unknown():
+    def body(b, f):
+        slot = b.alloca(8)
+        loaded = b.load(PTR, slot)
+        return b.load(I64, loaded)
+
+    f = build(body)
+    prov = ProvenanceAnalysis(f)
+    loads = [i for i in f.instructions() if isinstance(i, Load)]
+    inner = loads[-1]
+    assert prov.of(inner.pointer) == Provenance.UNKNOWN
+    assert prov.must_guard(inner)
+
+
+def test_definitely_local_only():
+    assert Provenance.STACK.definitely_local_only()
+    assert Provenance.GLOBAL.definitely_local_only()
+    assert not Provenance.HEAP.definitely_local_only()
+    assert not (Provenance.STACK | Provenance.UNKNOWN).definitely_local_only()
+    assert not Provenance.NONE.definitely_local_only()

@@ -1,0 +1,212 @@
+"""Loop chunking: analysis, cost-model filtering, and the transform."""
+
+import pytest
+
+from repro.compiler.chunk_analysis import ChunkAnalysisPass
+from repro.compiler.chunk_transform import ChunkTransformPass, split_edge
+from repro.compiler.cost_model import ChunkingCostModel, LoopShape
+from repro.compiler.guard_analysis import GUARD_MD, GuardAnalysisPass
+from repro.compiler.pass_manager import PassContext, PassManager
+from repro.compiler.pipeline import ChunkingPolicy, CompilerConfig
+from repro.errors import PassError
+from repro.ir import IRBuilder, I64, PTR, Module, verify_module
+from repro.ir.instructions import Call, Load
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop
+
+
+def analyze(m, policy=ChunkingPolicy.ALL, object_size=4096, profile=None):
+    cfg = CompilerConfig(object_size=object_size, chunking=policy)
+    c = PassContext(config=cfg, profile=profile)
+    PassManager([GuardAnalysisPass(), ChunkAnalysisPass()]).run(m, c)
+    return c
+
+
+class TestCostModel:
+    def test_equations_1_and_2(self):
+        model = ChunkingCostModel(4096)
+        # Eq. 1 at d=512 (8-byte elems): 511 fast + 1 slow.
+        assert model.naive_cost_per_object(8) == 511 * 21 + 144
+        # Eq. 2: 511 boundary checks + locality guard.
+        assert model.chunked_cost_per_object(8) == 511 * 3 + 420
+
+    def test_density(self):
+        model = ChunkingCostModel(4096)
+        assert model.density(8) == 512
+        assert model.density(4) == 1024
+        with pytest.raises(PassError):
+            model.density(0)
+
+    def test_threshold_matches_cost_table(self):
+        model = ChunkingCostModel(4096)
+        assert 650 < model.density_threshold() < 800
+
+    def test_long_dense_loop_chunked(self):
+        model = ChunkingCostModel(4096)
+        shape = LoopShape(iterations_per_entry=1_000_000, elem_size=4)
+        assert model.should_chunk(shape)
+
+    def test_short_nested_loop_rejected(self):
+        # k-means style: 8-trip inner loop entered millions of times.
+        model = ChunkingCostModel(4096)
+        shape = LoopShape(iterations_per_entry=8, elem_size=4, entries=1_000_000)
+        assert not model.should_chunk(shape)
+
+    def test_large_elements_rejected(self):
+        # Low density: few elements per object.
+        model = ChunkingCostModel(4096)
+        shape = LoopShape(iterations_per_entry=100, elem_size=2048)
+        assert not model.should_chunk(shape)
+
+    def test_single_object_loop_crossover(self):
+        # The Fig. 6 configuration: N == d, one entry.
+        model = ChunkingCostModel(4096)
+        d_star = model.density_threshold()
+        below = LoopShape(iterations_per_entry=d_star * 0.9, elem_size=int(4096 / (d_star * 0.9)))
+        above = LoopShape(iterations_per_entry=d_star * 1.2, elem_size=max(1, int(4096 / (d_star * 1.2))))
+        assert not model.should_chunk(below)
+        assert model.should_chunk(above)
+
+    def test_predicted_speedup_monotone_in_density(self):
+        model = ChunkingCostModel(4096)
+        speedups = [
+            model.predicted_speedup(LoopShape(iterations_per_entry=d, elem_size=4096 // d))
+            for d in (64, 256, 512, 1024)
+        ]
+        assert speedups == sorted(speedups)
+
+
+class TestChunkAnalysis:
+    def test_gep_iv_candidate_found(self):
+        m = build_sum_loop(n=1000, elem=4)
+        c = analyze(m)
+        plans = c.results["chunk_plans"]
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan.apply
+        assert len(plan.candidates) == 1
+        assert plan.candidates[0].stride_bytes == 4
+        assert plan.density(4096) == 1024
+
+    def test_policy_none_disables(self):
+        m = build_sum_loop()
+        c = analyze(m, policy=ChunkingPolicy.NONE)
+        assert all(not p.apply for p in c.results["chunk_plans"])
+
+    def test_cost_model_rejects_sparse_loop(self):
+        # 2 KB elements: density 2, way below the crossover.
+        m = build_sum_loop(n=8, elem=2048)
+        c = analyze(m, policy=ChunkingPolicy.COST_MODEL)
+        plans = c.results["chunk_plans"]
+        assert plans and not plans[0].apply
+        assert c.get_stat("chunk-analysis.rejected_by_model") == 1
+
+    def test_cost_model_accepts_dense_loop(self):
+        m = build_sum_loop(n=100_000, elem=4)
+        c = analyze(m, policy=ChunkingPolicy.COST_MODEL)
+        assert c.results["chunk_plans"][0].apply
+
+    def test_profile_guides_decision(self):
+        from repro.analysis.profiler import profile_module
+
+        # Statically unbounded-looking loop, profiled as short: build a
+        # loop with trip count 4 and feed the profile in.
+        m = build_sum_loop(n=4, elem=2048)
+        profile = profile_module(build_sum_loop(n=4, elem=2048))
+        c = analyze(m, policy=ChunkingPolicy.COST_MODEL, profile=profile)
+        assert not c.results["chunk_plans"][0].apply
+
+    def test_prefetch_enabled_for_positive_stride(self):
+        m = build_sum_loop(n=10_000, elem=4)
+        c = analyze(m)
+        assert c.results["chunk_plans"][0].prefetch
+
+    def test_prefetch_disabled_by_config(self):
+        m = build_sum_loop(n=10_000, elem=4)
+        cfg = CompilerConfig(chunking=ChunkingPolicy.ALL, enable_prefetch=False)
+        c = PassContext(config=cfg)
+        PassManager([GuardAnalysisPass(), ChunkAnalysisPass()]).run(m, c)
+        assert not c.results["chunk_plans"][0].prefetch
+
+
+class TestChunkTransform:
+    def compile_chunked(self, m):
+        cfg = CompilerConfig(chunking=ChunkingPolicy.ALL)
+        c = PassContext(config=cfg)
+        PassManager(
+            [GuardAnalysisPass(), ChunkAnalysisPass(), ChunkTransformPass()]
+        ).run(m, c)
+        return c
+
+    def test_begin_deref_end_inserted(self):
+        m = build_sum_loop(n=1000, elem=4)
+        c = self.compile_chunked(m)
+        f = m.get_function("main")
+        calls = [i.callee for i in f.instructions() if isinstance(i, Call)]
+        assert "tfm_chunk_begin" in calls
+        assert "tfm_chunk_deref" in calls
+        assert "tfm_chunk_end" in calls
+        assert c.get_stat("chunk-transform.loops_chunked") == 1
+        verify_module(m)
+
+    def test_chunked_access_unmarked_for_guards(self):
+        m = build_sum_loop(n=1000, elem=4)
+        self.compile_chunked(m)
+        load = next(i for i in m.get_function("main").instructions() if isinstance(i, Load))
+        assert not load.metadata.get(GUARD_MD)
+        assert load.metadata.get("tfm.chunked")
+
+    def test_deref_feeds_the_load(self):
+        m = build_sum_loop(n=1000, elem=4)
+        self.compile_chunked(m)
+        load = next(i for i in m.get_function("main").instructions() if isinstance(i, Load))
+        assert isinstance(load.pointer, Call)
+        assert load.pointer.callee == "tfm_chunk_deref"
+
+    def test_chunk_end_on_split_exit_edge(self):
+        m = build_sum_loop(n=1000, elem=4)
+        self.compile_chunked(m)
+        f = m.get_function("main")
+        end_blocks = [
+            b.name
+            for b in f.blocks
+            if any(isinstance(i, Call) and i.callee == "tfm_chunk_end" for i in b.instructions)
+        ]
+        assert len(end_blocks) == 1
+        assert end_blocks[0].startswith("edge")
+
+    def test_store_uses_write_deref(self):
+        from irprograms import build_write_then_sum
+        from repro.ir.instructions import Store
+
+        m = build_write_then_sum(n=1000, elem=4)
+        self.compile_chunked(m)
+        store = next(i for i in m.get_function("main").instructions() if isinstance(i, Store))
+        assert isinstance(store.pointer, Call)
+        assert store.pointer.callee == "tfm_chunk_deref_write"
+        verify_module(m)
+
+
+class TestSplitEdge:
+    def test_phi_updated(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        a = f.add_block("a")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        b.condbr(b.icmp("slt", 1, 2), a, join)
+        b.set_block(a)
+        av = b.add(5, 0, name="av")
+        b.br(join)
+        b.set_block(join)
+        phi = b.phi(I64, name="x")
+        phi.add_incoming(av, a)
+        phi.add_incoming(Constant(I64, 9), entry)
+        b.ret(phi)
+        verify_module(m)
+        edge = split_edge(f, entry, join)
+        verify_module(m)
+        assert any(blk is edge for _, blk in phi.incoming)
+        assert all(blk is not entry for _, blk in phi.incoming)

@@ -1,0 +1,250 @@
+"""O1 pre-optimization: mem2reg, folding, RLE, DCE (the Fig. 17b enabler)."""
+
+import pytest
+
+from repro.compiler.mem2reg import Mem2RegPass
+from repro.compiler.optimize import (
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    O1Pipeline,
+    RedundantLoadEliminationPass,
+)
+from repro.compiler.pass_manager import PassContext, PassManager
+from repro.compiler.pipeline import CompilerConfig
+from repro.ir import IRBuilder, I64, PTR, VOID, Module, verify_module
+from repro.ir.instructions import BinOp, Load, Phi, Store
+from repro.ir.values import Constant
+from repro.sim.interpreter import Interpreter
+
+from irprograms import build_write_then_sum
+
+
+def ctx():
+    return PassContext(config=CompilerConfig())
+
+
+class TestConstantFolding:
+    def test_folds_constants(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        x = b.add(2, 3)
+        y = b.mul(x, 4)
+        b.ret(y)
+        ConstantFoldingPass().run(m, ctx())
+        from repro.ir.instructions import Ret
+
+        ret = f.entry.terminator
+        assert isinstance(ret.value, Constant)
+        assert ret.value.value == 20
+
+    def test_identities(self):
+        m = Module()
+        f = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(f.add_block("entry"))
+        v = b.add(f.args[0], 0)
+        w = b.mul(v, 1)
+        b.ret(w)
+        ConstantFoldingPass().run(m, ctx())
+        assert f.entry.terminator.value is f.args[0]
+
+    def test_mul_by_zero(self):
+        m = Module()
+        f = m.add_function("main", I64, [I64], ["x"])
+        b = IRBuilder(f.add_block("entry"))
+        v = b.mul(f.args[0], 0)
+        b.ret(v)
+        ConstantFoldingPass().run(m, ctx())
+        assert f.entry.terminator.value.value == 0
+
+    def test_preserves_division_by_zero(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        v = b.sdiv(1, 0)
+        b.ret(v)
+        ConstantFoldingPass().run(m, ctx())
+        assert any(isinstance(i, BinOp) for i in f.instructions())
+
+
+class TestDCE:
+    def test_removes_unused(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        b.add(1, 2)  # dead
+        live = b.add(3, 4)
+        b.ret(live)
+        c = ctx()
+        DeadCodeEliminationPass().run(m, c)
+        assert c.get_stat("dce.removed") == 1
+        assert f.instruction_count() == 2
+
+    def test_keeps_stores_and_calls(self):
+        m = Module()
+        f = m.add_function("main", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(8)
+        b.store(1, p)
+        b.call(PTR, "malloc", [Constant(I64, 8)])
+        b.ret()
+        DeadCodeEliminationPass().run(m, ctx())
+        assert any(isinstance(i, Store) for i in f.instructions())
+        from repro.ir.instructions import Call
+
+        assert any(isinstance(i, Call) for i in f.instructions())
+
+    def test_cascading_removal(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        x = b.add(1, 2)
+        y = b.add(x, 3)  # both dead after y unused
+        b.ret(0)
+        del y
+        DeadCodeEliminationPass().run(m, ctx())
+        assert f.instruction_count() == 1
+
+
+class TestRLE:
+    def test_duplicate_load_removed(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(8)
+        v1 = b.load(I64, p)
+        v2 = b.load(I64, p)
+        b.ret(b.add(v1, v2))
+        c = ctx()
+        RedundantLoadEliminationPass().run(m, c)
+        assert c.get_stat("redundant-load-elim.loads_removed") == 1
+        loads = [i for i in f.instructions() if isinstance(i, Load)]
+        assert len(loads) == 1
+
+    def test_store_to_load_forwarding(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(8)
+        b.store(7, p)
+        v = b.load(I64, p)
+        b.ret(v)
+        RedundantLoadEliminationPass().run(m, ctx())
+        assert f.entry.terminator.value.value == 7
+
+    def test_aliasing_store_kills_availability(self):
+        m = Module()
+        f = m.add_function("main", I64, [PTR, PTR], ["p", "q"])
+        b = IRBuilder(f.add_block("entry"))
+        v1 = b.load(I64, f.args[0])
+        b.store(0, f.args[1])  # may alias p
+        v2 = b.load(I64, f.args[0])
+        b.ret(b.add(v1, v2))
+        RedundantLoadEliminationPass().run(m, ctx())
+        loads = [i for i in f.instructions() if isinstance(i, Load)]
+        assert len(loads) == 2  # conservatively kept
+
+    def test_call_kills_availability(self):
+        m = Module()
+        f = m.add_function("main", I64, [PTR], ["p"])
+        b = IRBuilder(f.add_block("entry"))
+        v1 = b.load(I64, f.args[0])
+        b.call(VOID, "free", [f.args[0]])
+        v2 = b.load(I64, f.args[0])
+        b.ret(b.add(v1, v2))
+        RedundantLoadEliminationPass().run(m, ctx())
+        assert len([i for i in f.instructions() if isinstance(i, Load)]) == 2
+
+
+class TestMem2Reg:
+    def build_counter(self, n=10):
+        """Unoptimized-style counter: i and acc live in stack slots."""
+        m = Module()
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        islot = b.alloca(8, name="islot")
+        accslot = b.alloca(8, name="accslot")
+        b.store(0, islot)
+        b.store(0, accslot)
+        b.br(header)
+        b.set_block(header)
+        i0 = b.load(I64, islot)
+        b.condbr(b.icmp("slt", i0, n), body, exit_)
+        b.set_block(body)
+        a0 = b.load(I64, accslot)
+        i1 = b.load(I64, islot)
+        b.store(b.add(a0, i1), accslot)
+        i2 = b.load(I64, islot)
+        b.store(b.add(i2, 1), islot)
+        b.br(header)
+        b.set_block(exit_)
+        b.ret(b.load(I64, accslot))
+        return m
+
+    def test_promotes_and_preserves_semantics(self):
+        m = self.build_counter(10)
+        expected = Interpreter(self.build_counter(10)).run("main").value
+        c = ctx()
+        PassManager([Mem2RegPass()]).run(m, c)
+        assert c.get_stat("mem2reg.allocas_promoted") == 2
+        assert Interpreter(m).run("main").value == expected == 45
+
+    def test_removes_all_memory_ops(self):
+        m = self.build_counter()
+        PassManager([Mem2RegPass()]).run(m, ctx())
+        assert m.memory_access_count() == 0
+
+    def test_inserts_phis_at_loop_header(self):
+        m = self.build_counter()
+        PassManager([Mem2RegPass()]).run(m, ctx())
+        header = m.get_function("main").get_block("header")
+        assert len(header.phis()) >= 1
+
+    def test_escaped_alloca_not_promoted(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8)
+        b.call(VOID, "llvm.escape", [slot])  # address escapes
+        b.store(1, slot)
+        b.ret(b.load(I64, slot))
+        c = ctx()
+        PassManager([Mem2RegPass()]).run(m, c)
+        assert c.get_stat("mem2reg.allocas_promoted") == 0
+        assert m.memory_access_count() == 2
+
+    def test_load_before_store_yields_undef_but_runs(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8)
+        v = b.load(I64, slot)  # undefined read
+        b.ret(v)
+        PassManager([Mem2RegPass()]).run(m, ctx())
+        assert Interpreter(m).run("main").value == 0  # undef reads as 0
+
+
+class TestO1Pipeline:
+    def test_preserves_program_output(self):
+        m = build_write_then_sum(30)
+        expected = Interpreter(build_write_then_sum(30)).run("main").value
+        PassManager([O1Pipeline()]).run(m, ctx())
+        assert Interpreter(m).run("main").value == expected
+
+    def test_reduces_nas_ft_mem_instructions_6x(self):
+        from repro.workloads.nas import build_nas_ir
+
+        m = build_nas_ir("FT", n=64)
+        before = m.memory_access_count()
+        PassManager([O1Pipeline()]).run(m, ctx())
+        after = m.memory_access_count()
+        assert before / after >= 4  # static view; dynamic ratio is 6x
+
+    def test_fixed_point_terminates(self):
+        m = build_write_then_sum(5)
+        PassManager([O1Pipeline(max_rounds=2)]).run(m, ctx())
+        verify_module(m)

@@ -1,0 +1,165 @@
+"""Individual compiler passes: runtime-init, guard analysis/transform, libc."""
+
+import pytest
+
+from repro.compiler.guard_analysis import GUARD_MD, GuardAnalysisPass
+from repro.compiler.guard_transform import GUARDED_MD, GuardTransformPass
+from repro.compiler.libc_transform import LibcTransformPass
+from repro.compiler.pass_manager import PassContext, PassManager
+from repro.compiler.pipeline import CompilerConfig
+from repro.compiler.runtime_init import RuntimeInitPass
+from repro.errors import PassError
+from repro.ir import IRBuilder, I64, PTR, VOID, Module, verify_module
+from repro.ir.instructions import Call, Load, Store
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop
+
+
+def ctx() -> PassContext:
+    return PassContext(config=CompilerConfig())
+
+
+class TestRuntimeInit:
+    def test_hook_inserted_first(self):
+        m = build_sum_loop()
+        RuntimeInitPass().run(m, ctx())
+        entry = m.get_function("main").entry
+        first = entry.instructions[0]
+        assert isinstance(first, Call) and first.callee == "tfm_runtime_init"
+        verify_module(m)
+
+    def test_idempotent(self):
+        m = build_sum_loop()
+        c = ctx()
+        p = RuntimeInitPass()
+        p.run(m, c)
+        p.run(m, c)
+        entry = m.get_function("main").entry
+        hooks = [i for i in entry.instructions if isinstance(i, Call) and i.callee == "tfm_runtime_init"]
+        assert len(hooks) == 1
+
+    def test_missing_main_is_noop(self):
+        m = Module()
+        f = m.add_function("not_main", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        b.ret()
+        RuntimeInitPass().run(m, ctx())
+        assert all(
+            not (isinstance(i, Call) and i.callee == "tfm_runtime_init")
+            for i in f.instructions()
+        )
+
+
+class TestGuardAnalysis:
+    def test_heap_access_marked(self):
+        m = build_sum_loop()
+        c = ctx()
+        GuardAnalysisPass().run(m, c)
+        loads = [i for i in m.get_function("main").instructions() if isinstance(i, Load)]
+        assert all(l.metadata.get(GUARD_MD) for l in loads)
+        assert c.get_stat("guard-analysis.candidates") == len(loads)
+
+    def test_stack_access_skipped(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8)
+        b.store(1, slot)
+        v = b.load(I64, slot)
+        b.ret(v)
+        c = ctx()
+        GuardAnalysisPass().run(m, c)
+        assert c.get_stat("guard-analysis.candidates") == 0
+        assert c.get_stat("guard-analysis.skipped") == 2
+
+
+class TestGuardTransform:
+    def test_guard_call_wraps_pointer(self):
+        m = build_sum_loop()
+        c = ctx()
+        PassManager([GuardAnalysisPass(), GuardTransformPass()]).run(m, c)
+        f = m.get_function("main")
+        loads = [i for i in f.instructions() if isinstance(i, Load)]
+        assert len(loads) == 1
+        load = loads[0]
+        assert isinstance(load.pointer, Call)
+        assert load.pointer.callee == "tfm_guard_read"
+        assert load.metadata.get(GUARDED_MD)
+        assert c.get_stat("guard-transform.guards_inserted") == 1
+        verify_module(m)
+
+    def test_store_gets_write_guard(self):
+        m = Module()
+        f = m.add_function("main", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "malloc", [Constant(I64, 8)])
+        b.store(1, p)
+        b.ret()
+        PassManager([GuardAnalysisPass(), GuardTransformPass()]).run(m, ctx())
+        store = next(i for i in f.instructions() if isinstance(i, Store))
+        assert isinstance(store.pointer, Call)
+        assert store.pointer.callee == "tfm_guard_write"
+
+    def test_transform_is_idempotent(self):
+        m = build_sum_loop()
+        c = ctx()
+        pm = PassManager([GuardAnalysisPass(), GuardTransformPass()])
+        pm.run(m, c)
+        GuardTransformPass().run(m, c)
+        guards = [
+            i
+            for i in m.get_function("main").instructions()
+            if isinstance(i, Call) and i.callee.startswith("tfm_guard")
+        ]
+        assert len(guards) == 1
+
+
+class TestLibcTransform:
+    def test_all_alloc_calls_rewritten(self):
+        m = Module()
+        f = m.add_function("main", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "malloc", [Constant(I64, 8)])
+        q = b.call(PTR, "calloc", [Constant(I64, 2), Constant(I64, 8)])
+        r = b.call(PTR, "realloc", [p, Constant(I64, 32)])
+        b.call(VOID, "free", [r])
+        b.call(VOID, "free", [q])
+        b.ret()
+        c = ctx()
+        LibcTransformPass().run(m, c)
+        callees = [i.callee for i in f.instructions() if isinstance(i, Call)]
+        assert callees == ["tfm_malloc", "tfm_calloc", "tfm_realloc", "tfm_free", "tfm_free"]
+        assert c.get_stat("libc-transform.rewritten") == 5
+
+    def test_other_calls_untouched(self):
+        m = Module()
+        f = m.add_function("main", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        b.call(VOID, "print_i64", [Constant(I64, 1)])
+        b.ret()
+        LibcTransformPass().run(m, ctx())
+        call = next(i for i in f.instructions() if isinstance(i, Call))
+        assert call.callee == "print_i64"
+
+
+class TestPassManager:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PassError):
+            PassManager([])
+
+    def test_verification_catches_broken_pass(self):
+        class BrokenPass(RuntimeInitPass):
+            name = "broken"
+
+            def run(self, module, c):
+                f = module.get_function("main")
+                f.entry.instructions.pop()  # drop the terminator
+
+        m = build_sum_loop()
+        with pytest.raises(PassError, match="verification failed"):
+            PassManager([BrokenPass()]).run(m, ctx())
+
+    def test_pass_names(self):
+        pm = PassManager([RuntimeInitPass(), GuardAnalysisPass()])
+        assert pm.pass_names() == ["runtime-init", "guard-analysis"]

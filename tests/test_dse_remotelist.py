@@ -1,0 +1,136 @@
+"""Dead-store elimination and the RemoteList data structure."""
+
+import pytest
+
+from repro.aifm.datastructures import RemoteList
+from repro.aifm.pool import PoolConfig
+from repro.aifm.runtime import AIFMRuntime
+from repro.compiler.dse import DeadStoreEliminationPass
+from repro.compiler.pass_manager import PassContext, PassManager
+from repro.compiler.pipeline import CompilerConfig
+from repro.errors import PointerError, WorkloadError
+from repro.ir import IRBuilder, I64, Module
+from repro.sim.interpreter import Interpreter
+from repro.units import KB, MB
+
+
+def ctx():
+    return PassContext(config=CompilerConfig())
+
+
+class TestDSE:
+    def test_scratch_slot_removed(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        scratch = b.alloca(8)
+        b.store(1, scratch)
+        b.store(2, scratch)
+        b.ret(7)
+        c = ctx()
+        PassManager([DeadStoreEliminationPass()]).run(m, c)
+        assert c.get_stat("dse.stores_removed") == 2
+        assert c.get_stat("dse.slots_removed") == 1
+        assert f.instruction_count() == 1
+        assert Interpreter(m).run("main").value == 7
+
+    def test_loaded_slot_kept(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8)
+        b.store(5, slot)
+        b.ret(b.load(I64, slot))
+        c = ctx()
+        PassManager([DeadStoreEliminationPass()]).run(m, c)
+        assert c.get_stat("dse.slots_removed") == 0
+        assert Interpreter(m).run("main").value == 5
+
+    def test_escaped_slot_kept(self):
+        from repro.ir.types import VOID
+
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8)
+        b.call(VOID, "llvm.sink", [slot])
+        b.store(9, slot)
+        b.ret(0)
+        c = ctx()
+        PassManager([DeadStoreEliminationPass()]).run(m, c)
+        assert c.get_stat("dse.slots_removed") == 0
+
+    def test_heap_stores_untouched(self):
+        from repro.ir.types import PTR
+        from repro.ir.values import Constant
+
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "malloc", [Constant(I64, 8)])
+        b.store(3, p)
+        b.ret(b.load(I64, p))
+        c = ctx()
+        PassManager([DeadStoreEliminationPass()]).run(m, c)
+        assert c.get_stat("dse.stores_removed") == 0
+        assert Interpreter(m).run("main").value == 3
+
+
+class TestRemoteList:
+    def make_runtime(self, local_objects=8, node_size=64):
+        return AIFMRuntime(
+            PoolConfig(
+                object_size=node_size,
+                local_memory=local_objects * node_size,
+                heap_size=1 * MB,
+            ),
+            prefetch_depth=2,
+        )
+
+    def test_one_object_per_node(self):
+        rt = self.make_runtime()
+        lst = RemoteList(rt, node_size=64)
+        lst.append(4)
+        objects = {lst.node_object(i) for i in range(4)}
+        assert len(objects) == 4  # §2: 64B object = one list node
+
+    def test_walk_touches_every_node(self):
+        rt = self.make_runtime(local_objects=16)
+        lst = RemoteList(rt)
+        lst.append(10)
+        lst.walk(prefetch_next=False)
+        assert rt.metrics.accesses == 10
+        assert rt.metrics.remote_fetches == 10  # cold walk
+
+    def test_iterator_prefetch_cheaper_on_cold_walk(self):
+        rt1 = self.make_runtime(local_objects=4)
+        lst1 = RemoteList(rt1)
+        lst1.append(64)
+        plain = lst1.walk(prefetch_next=False)
+
+        rt2 = self.make_runtime(local_objects=4)
+        lst2 = RemoteList(rt2)
+        lst2.append(64)
+        prefetched = lst2.walk(prefetch_next=True)
+        assert prefetched < plain
+        assert rt2.metrics.prefetches_useful > 0
+
+    def test_bounds(self):
+        rt = self.make_runtime()
+        lst = RemoteList(rt)
+        lst.append(2)
+        with pytest.raises(PointerError):
+            lst.node_object(2)
+        with pytest.raises(WorkloadError):
+            lst.append(0)
+        with pytest.raises(WorkloadError):
+            RemoteList(rt, node_size=0)
+
+    def test_free(self):
+        rt = self.make_runtime()
+        lst = RemoteList(rt)
+        lst.append(5)
+        lst.walk()
+        lst.free()
+        assert len(lst) == 0
+        assert rt.pool.resident_objects == 0

@@ -1,0 +1,233 @@
+"""The IR interpreter: semantics, memory, libc, faults."""
+
+import pytest
+
+from repro.errors import InterpError, SegmentationFault
+from repro.ir import IRBuilder, I32, I64, F64, PTR, VOID, Module
+from repro.ir.values import Constant
+from repro.sim.interpreter import Interpreter
+
+from irprograms import build_sum_loop, build_write_then_sum
+
+
+def run_expr(build):
+    """Build main() with a single block via ``build(b)`` returning a value."""
+    m = Module()
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    b.ret(build(b))
+    return Interpreter(m).run("main").value
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        assert run_expr(lambda b: b.add(2, 3)) == 5
+        assert run_expr(lambda b: b.sub(2, 3)) == -1
+        assert run_expr(lambda b: b.mul(7, 6)) == 42
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert run_expr(lambda b: b.sdiv(7, 2)) == 3
+        assert run_expr(lambda b: b.sdiv(-7, 2)) == -3
+
+    def test_srem_c_semantics(self):
+        assert run_expr(lambda b: b.srem(7, 3)) == 1
+        assert run_expr(lambda b: b.srem(-7, 3)) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            run_expr(lambda b: b.sdiv(1, 0))
+
+    def test_bitwise(self):
+        assert run_expr(lambda b: b.and_(0b1100, 0b1010)) == 0b1000
+        assert run_expr(lambda b: b.or_(0b1100, 0b1010)) == 0b1110
+        assert run_expr(lambda b: b.xor(0b1100, 0b1010)) == 0b0110
+        assert run_expr(lambda b: b.shl(1, 10)) == 1024
+        assert run_expr(lambda b: b.lshr(1024, 3)) == 128
+
+    def test_overflow_wraps_at_64_bits(self):
+        big = (1 << 63) - 1
+        assert run_expr(lambda b: b.add(big, 1)) == -(1 << 63)
+
+    def test_icmp_signed_unsigned(self):
+        assert run_expr(lambda b: b.select(b.icmp("slt", -1, 1), Constant(I64, 10), Constant(I64, 20))) == 10
+        assert run_expr(lambda b: b.select(b.icmp("ult", -1, 1), Constant(I64, 10), Constant(I64, 20))) == 20
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        def body(b):
+            p = b.alloca(8)
+            b.store(99, p)
+            return b.load(I64, p)
+
+        assert run_expr(body) == 99
+
+    def test_i32_truncation_through_memory(self):
+        def body(b):
+            p = b.alloca(4)
+            b.store(Constant(I32, -1), p)
+            v = b.load(I32, p)
+            return b.cast("sext", v, I64)
+
+        assert run_expr(body) == -1
+
+    def test_float_roundtrip(self):
+        m = Module()
+        f = m.add_function("main", F64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(8)
+        b.store(3.25, p)
+        b.ret(b.load(F64, p))
+        assert Interpreter(m).run("main").value == 3.25
+
+    def test_unmapped_access_segfaults(self):
+        def body(b):
+            bogus = b.inttoptr(b.add(0, 0xDEAD0000))
+            return b.load(I64, bogus)
+
+        with pytest.raises(SegmentationFault):
+            run_expr(body)
+
+    def test_gep_pointer_math(self):
+        def body(b):
+            p = b.call(PTR, "malloc", [Constant(I64, 64)])
+            q = b.gep(p, 3, 8)
+            b.store(7, q)
+            return b.load(I64, b.gep(p, 3, 8))
+
+        assert run_expr(body) == 7
+
+    def test_stack_freed_on_return(self):
+        m = Module()
+        callee = m.add_function("leak", PTR)
+        cb = IRBuilder(callee.add_block("entry"))
+        slot = cb.alloca(8)
+        cb.ret(slot)
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "leak")
+        b.ret(b.load(I64, p))
+        with pytest.raises(SegmentationFault):
+            Interpreter(m).run("main")
+
+
+class TestLibc:
+    def test_malloc_free(self):
+        def body(b):
+            p = b.call(PTR, "malloc", [Constant(I64, 16)])
+            b.store(5, p)
+            v = b.load(I64, p)
+            b.call(VOID, "free", [p])
+            return v
+
+        assert run_expr(body) == 5
+
+    def test_use_after_free_segfaults(self):
+        def body(b):
+            p = b.call(PTR, "malloc", [Constant(I64, 16)])
+            b.call(VOID, "free", [p])
+            return b.load(I64, p)
+
+        with pytest.raises(SegmentationFault):
+            run_expr(body)
+
+    def test_realloc_preserves_data(self):
+        def body(b):
+            p = b.call(PTR, "malloc", [Constant(I64, 8)])
+            b.store(123, p)
+            q = b.call(PTR, "realloc", [p, Constant(I64, 64)])
+            return b.load(I64, q)
+
+        assert run_expr(body) == 123
+
+    def test_memset_memcpy(self):
+        def body(b):
+            p = b.call(PTR, "malloc", [Constant(I64, 8)])
+            q = b.call(PTR, "malloc", [Constant(I64, 8)])
+            b.call(PTR, "memset", [p, Constant(I64, 0xAB), Constant(I64, 8)])
+            b.call(PTR, "memcpy", [q, p, Constant(I64, 8)])
+            return b.load(I64, q)
+
+        assert run_expr(body) == int.from_bytes(b"\xab" * 8, "little", signed=True)
+
+    def test_double_free_raises(self):
+        def body(b):
+            p = b.call(PTR, "malloc", [Constant(I64, 8)])
+            b.call(VOID, "free", [p])
+            b.call(VOID, "free", [p])
+            return Constant(I64, 0)
+
+        with pytest.raises(InterpError):
+            run_expr(body)
+
+    def test_print_output_captured(self):
+        m = Module()
+        f = m.add_function("main", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        b.call(VOID, "print_i64", [Constant(I64, 42)])
+        b.ret()
+        result = Interpreter(m).run("main")
+        assert result.output == ["42"]
+
+    def test_unresolved_call(self):
+        m = Module()
+        f = m.add_function("main", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        b.call(VOID, "tfm_not_registered")
+        b.ret()
+        with pytest.raises(InterpError, match="unresolved"):
+            Interpreter(m).run("main")
+
+
+class TestControlFlow:
+    def test_sum_loop(self):
+        m = build_write_then_sum(50)
+        assert Interpreter(m).run("main").value == 50 * 49 // 2
+
+    def test_loop_over_zeroed_heap(self):
+        m = build_sum_loop(20)
+        assert Interpreter(m).run("main").value == 0
+
+    def test_max_steps_guard(self):
+        m = build_sum_loop(10_000)
+        with pytest.raises(InterpError, match="max_steps"):
+            Interpreter(m, max_steps=100).run("main")
+
+    def test_function_calls_with_args(self):
+        m = Module()
+        sq = m.add_function("square", I64, [I64], ["x"])
+        sb = IRBuilder(sq.add_block("entry"))
+        sb.ret(sb.mul(sq.args[0], sq.args[0]))
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.call(I64, "square", [Constant(I64, 9)]))
+        assert Interpreter(m).run("main").value == 81
+
+    def test_wrong_arity(self):
+        m = Module()
+        g = m.add_function("g", I64, [I64])
+        gb = IRBuilder(g.add_block("entry"))
+        gb.ret(g.args[0])
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.call(I64, "g", []))
+        with pytest.raises(InterpError, match="expects"):
+            Interpreter(m).run("main")
+
+    def test_block_hook_sees_every_block(self):
+        m = build_sum_loop(5)
+        seen = []
+        Interpreter(m, block_hook=lambda f, name: seen.append(name)).run("main")
+        assert seen.count("body") == 5
+        assert seen.count("header") == 6
+        assert seen[0] == "entry"
+
+    def test_globals_mapped(self):
+        m = Module()
+        m.add_global("table", 64)
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        g = b.call(PTR, "global_addr.table")
+        b.store(17, g)
+        b.ret(b.load(I64, g))
+        assert Interpreter(m).run("main").value == 17

@@ -1,0 +1,186 @@
+"""IRBuilder ergonomics and the structural verifier."""
+
+import pytest
+
+from repro.errors import IRError, IRTypeError, IRVerifyError
+from repro.ir import (
+    IRBuilder,
+    I64,
+    F64,
+    PTR,
+    VOID,
+    Module,
+    print_function,
+    print_module,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import Br, Ret
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop
+
+
+class TestBuilder:
+    def test_literal_coercion(self):
+        m = Module()
+        f = m.add_function("f", I64)
+        b = IRBuilder(f.add_block("entry"))
+        v = b.add(1, 2)
+        assert v.type == I64
+        b.ret(v)
+        verify_module(m)
+
+    def test_float_ops(self):
+        m = Module()
+        f = m.add_function("f", F64)
+        b = IRBuilder(f.add_block("entry"))
+        x = b.fadd(1.0, 2.0)
+        y = b.fmul(x, 3.0)
+        b.ret(y)
+        verify_module(m)
+
+    def test_no_insertion_point(self):
+        b = IRBuilder()
+        with pytest.raises(IRError):
+            b.add(1, 2)
+
+    def test_phi_inserted_at_top(self):
+        m = Module()
+        f = m.add_function("f", I64)
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        v = b.add(1, 2)
+        phi = b.phi(I64)
+        assert entry.instructions[0] is phi
+        del v
+
+    def test_store_int_literal(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.alloca(8)
+        b.store(42, p)
+        b.ret()
+        verify_module(m)
+
+    def test_bad_coercion(self):
+        m = Module()
+        f = m.add_function("f", I64)
+        b = IRBuilder(f.add_block("entry"))
+        with pytest.raises(IRTypeError):
+            b._coerce(object(), I64)
+
+
+class TestVerifier:
+    def test_valid_loop_module_passes(self):
+        verify_module(build_sum_loop())
+
+    def test_missing_terminator(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        f.add_block("entry")
+        with pytest.raises(IRVerifyError, match="missing terminator"):
+            verify_function(f)
+
+    def test_phi_after_non_phi(self):
+        m = Module()
+        f = m.add_function("f", I64)
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        v = b.add(1, 2)
+        from repro.ir.instructions import Phi
+
+        phi = Phi(I64)
+        phi.name = "late"
+        entry.append(phi)
+        entry.append(Ret(v))
+        with pytest.raises(IRVerifyError, match="phi after non-phi"):
+            verify_function(f)
+
+    def test_branch_to_foreign_block(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        g = m.add_function("g", VOID)
+        foreign = g.add_block("gb")
+        entry = f.add_block("entry")
+        entry.append(Br(foreign))
+        foreign.append(Ret())
+        with pytest.raises(IRVerifyError, match="foreign block"):
+            verify_function(f)
+
+    def test_phi_edges_must_match_preds(self):
+        m = build_sum_loop()
+        f = m.get_function("main")
+        header = f.get_block("header")
+        phi = header.phis()[0]
+        phi.incoming.pop()
+        with pytest.raises(IRVerifyError, match="phi"):
+            verify_function(f)
+
+    def test_unknown_callee_rejected(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        b.call(VOID, "mystery_function")
+        b.ret()
+        with pytest.raises(IRVerifyError, match="unknown"):
+            verify_function(f)
+
+    def test_intrinsic_callees_allowed(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        b = IRBuilder(f.add_block("entry"))
+        b.call(PTR, "tfm_malloc", [Constant(I64, 8)])
+        b.call(PTR, "malloc", [Constant(I64, 8)])
+        b.ret()
+        verify_function(f)
+
+    def test_use_of_foreign_value(self):
+        m = Module()
+        f = m.add_function("f", I64)
+        g = m.add_function("g", I64)
+        gb = g.add_block("entry")
+        bg = IRBuilder(gb)
+        foreign = bg.add(1, 2)
+        bg.ret(foreign)
+        fb = f.add_block("entry")
+        fb.append(Ret(foreign))
+        with pytest.raises(IRVerifyError, match="not defined in this function"):
+            verify_function(f)
+
+    def test_terminator_not_last(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        entry = f.add_block("entry")
+        entry.append(Ret())
+        # Bypass the append guard to build a malformed block.
+        entry.instructions.append(Ret())
+        with pytest.raises(IRVerifyError):
+            verify_function(f)
+
+
+class TestPrinter:
+    def test_prints_all_blocks_and_metadata(self):
+        m = build_sum_loop()
+        f = m.get_function("main")
+        for inst in f.instructions():
+            if inst.is_memory_access():
+                inst.metadata["tfm.guard"] = True
+        text = print_module(m)
+        assert "define i64 @main()" in text
+        assert "header:" in text
+        assert "phi i64" in text
+        assert "tfm.guard" in text
+        assert "call ptr @malloc(" in text
+
+    def test_prints_declarations(self):
+        m = Module()
+        m.declare_function("ext", I64, [I64])
+        assert "declare i64 @ext" in print_module(m)
+
+    def test_function_render_roundtrip_smoke(self):
+        m = build_sum_loop()
+        text = print_function(m.get_function("main"))
+        assert text.count("ret") == 1
+        assert "condbr" in text

@@ -1,0 +1,259 @@
+"""IR types, values and instruction construction."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir import (
+    BasicBlock,
+    Constant,
+    F64,
+    I1,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    Module,
+)
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    IntToPtr,
+    Load,
+    Phi,
+    PtrToInt,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.types import IntType
+from repro.ir.values import Argument, const_f64, const_int, null_ptr
+
+
+class TestTypes:
+    def test_sizes(self):
+        assert I64.size_bytes() == 8
+        assert I32.size_bytes() == 4
+        assert I1.size_bytes() == 1
+        assert F64.size_bytes() == 8
+        assert PTR.size_bytes() == 8
+        assert VOID.size_bytes() == 0
+
+    def test_equality_and_hash(self):
+        assert IntType(64) == I64
+        assert hash(IntType(64)) == hash(I64)
+        assert IntType(32) != I64
+        assert not (PTR == I64)
+
+    def test_invalid_width(self):
+        with pytest.raises(IRTypeError):
+            IntType(13)
+
+    def test_predicates(self):
+        assert I64.is_int() and not I64.is_pointer()
+        assert PTR.is_pointer()
+        assert F64.is_float()
+        assert VOID.is_void()
+
+
+class TestConstants:
+    def test_int_wrapping(self):
+        c = Constant(I64, (1 << 64) + 5)
+        assert c.value == 5
+        neg = Constant(I64, -1)
+        assert neg.value == -1
+
+    def test_i32_wrap_to_signed(self):
+        c = Constant(I32, 0xFFFFFFFF)
+        assert c.value == -1
+
+    def test_float_constant(self):
+        assert const_f64(2.5).value == 2.5
+
+    def test_null_pointer_only(self):
+        assert null_ptr().value == 0
+        with pytest.raises(IRTypeError):
+            Constant(PTR, 42)
+
+    def test_constant_equality(self):
+        assert const_int(3, I64) == const_int(3, I64)
+        assert const_int(3, I64) != const_int(3, I32)
+
+
+class TestInstructions:
+    def test_load_requires_pointer(self):
+        with pytest.raises(IRTypeError):
+            Load(I64, const_int(0, I64))
+
+    def test_store_requires_pointer(self):
+        with pytest.raises(IRTypeError):
+            Store(const_int(1, I64), const_int(0, I64))
+
+    def test_gep_validates(self):
+        p = Alloca(8)
+        with pytest.raises(IRTypeError):
+            Gep(const_int(0, I64), const_int(0, I64), 8)
+        with pytest.raises(IRTypeError):
+            Gep(p, null_ptr(), 8)
+        with pytest.raises(IRTypeError):
+            Gep(p, const_int(0, I64), 0)
+
+    def test_binop_type_check(self):
+        with pytest.raises(IRTypeError):
+            BinOp("add", const_int(1, I64), const_int(1, I32))
+        with pytest.raises(IRTypeError):
+            BinOp("fadd", const_int(1, I64), const_int(1, I64))
+        with pytest.raises(IRTypeError):
+            BinOp("bogus", const_int(1, I64), const_int(1, I64))
+
+    def test_icmp_result_is_i1(self):
+        cmp = ICmp("slt", const_int(1, I64), const_int(2, I64))
+        assert cmp.type == I1
+        with pytest.raises(IRTypeError):
+            ICmp("weird", const_int(1, I64), const_int(2, I64))
+
+    def test_fcmp(self):
+        cmp = FCmp("olt", const_f64(1.0), const_f64(2.0))
+        assert cmp.type == I1
+
+    def test_condbr_needs_i1(self):
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        with pytest.raises(IRTypeError):
+            CondBr(const_int(1, I64), b1, b2)
+        br = CondBr(Constant(I1, 1), b1, b2)
+        assert br.successors() == (b1, b2)
+
+    def test_br_successors(self):
+        b = BasicBlock("t")
+        assert Br(b).successors() == (b,)
+
+    def test_terminator_classification(self):
+        assert Ret().is_terminator()
+        assert Br(BasicBlock("x")).is_terminator()
+        assert not Alloca(8).is_terminator()
+
+    def test_phi_incoming_type_check(self):
+        phi = Phi(I64)
+        block = BasicBlock("pred")
+        phi.add_incoming(const_int(1, I64), block)
+        with pytest.raises(IRTypeError):
+            phi.add_incoming(const_f64(1.0), block)
+        assert phi.incoming_for(block).value == 1
+        with pytest.raises(IRTypeError):
+            phi.incoming_for(BasicBlock("other"))
+
+    def test_select_arms_must_match(self):
+        with pytest.raises(IRTypeError):
+            Select(Constant(I1, 1), const_int(1, I64), const_f64(1.0))
+
+    def test_casts(self):
+        c = Cast("trunc", const_int(300, I64), I32)
+        assert c.type == I32
+        with pytest.raises(IRTypeError):
+            Cast("nope", const_int(1, I64), I32)
+        with pytest.raises(IRTypeError):
+            PtrToInt(const_int(1, I64))
+        with pytest.raises(IRTypeError):
+            IntToPtr(const_int(1, I32))
+
+    def test_call_requires_name(self):
+        with pytest.raises(IRTypeError):
+            Call(I64, "", [])
+
+    def test_replace_uses_of(self):
+        a, b = const_int(1, I64), const_int(2, I64)
+        inst = BinOp("add", a, a)
+        assert inst.replace_uses_of(a, b) == 2
+        assert inst.operands == [b, b]
+
+    def test_memory_access_classification(self):
+        p = Alloca(8)
+        assert Load(I64, p).is_memory_access()
+        assert Store(const_int(1, I64), p).is_memory_access()
+        assert not BinOp("add", const_int(1, I64), const_int(1, I64)).is_memory_access()
+
+
+class TestBlocksFunctionsModules:
+    def test_block_rejects_instructions_after_terminator(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        blk = f.add_block("entry")
+        blk.append(Ret())
+        from repro.errors import IRError
+
+        with pytest.raises(IRError):
+            blk.append(Ret())
+
+    def test_insert_before(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        blk = f.add_block("entry")
+        ret = blk.append(Ret())
+        a = Alloca(8)
+        blk.insert_before(ret, a)
+        assert blk.instructions[0] is a
+
+    def test_phis_and_first_non_phi(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        blk = f.add_block("entry")
+        phi = Phi(I64)
+        blk.insert(0, phi)
+        blk.append(Ret())
+        assert blk.phis() == [phi]
+        assert blk.first_non_phi_index() == 1
+
+    def test_function_args(self):
+        m = Module()
+        f = m.add_function("g", I64, [I64, PTR], ["n", "p"])
+        assert isinstance(f.args[0], Argument)
+        assert f.args[1].name == "p"
+        assert f.args[1].type == PTR
+
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        m.add_function("f", VOID)
+        from repro.errors import IRError
+
+        with pytest.raises(IRError):
+            m.add_function("f", VOID)
+
+    def test_declare_is_idempotent(self):
+        m = Module()
+        d1 = m.declare_function("ext", I64)
+        d2 = m.declare_function("ext", I64)
+        assert d1 is d2
+        assert d1.is_declaration
+
+    def test_globals(self):
+        m = Module()
+        g = m.add_global("table", 128)
+        assert m.get_global("table") is g
+        from repro.errors import IRError
+
+        with pytest.raises(IRError):
+            m.add_global("table", 64)
+
+    def test_instruction_counts(self):
+        m = Module()
+        f = m.add_function("f", I64)
+        blk = f.add_block("entry")
+        p = blk.append(Alloca(8))
+        blk.append(Store(const_int(1, I64), p))
+        blk.append(Load(I64, p))
+        blk.append(Ret(const_int(0, I64)))
+        assert f.instruction_count() == 4
+        assert f.memory_access_count() == 2
+        assert m.memory_access_count() == 2
+
+    def test_unique_names(self):
+        m = Module()
+        f = m.add_function("f", VOID)
+        names = {f.unique_name("v") for _ in range(100)}
+        assert len(names) == 100

@@ -1,0 +1,214 @@
+"""The textual IR parser: hand-written programs and print/parse roundtrips."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import print_module, verify_module
+from repro.ir.parser import parse_module
+from repro.sim.interpreter import Interpreter
+
+from irprograms import build_sum_loop, build_write_then_sum
+
+
+SIMPLE = """
+; a tiny program
+define i64 @main() {
+entry:
+  %x = add 2, 3
+  %y = mul %x, 4
+  ret i64 %y
+}
+"""
+
+
+LOOP = """
+define i64 @main() {
+entry:
+  %p = call ptr @malloc(800)
+  br label %header
+header:
+  %i = phi i64 [0, %entry], [%i2, %body]
+  %s = phi i64 [0, %entry], [%s2, %body]
+  %c = icmp slt %i, 100
+  condbr %c, label %body, label %exit
+body:
+  %addr = gep %p, %i x 8
+  store i64 %i, %addr
+  %v = load i64, %addr
+  %s2 = add %s, %v
+  %i2 = add %i, 1
+  br label %header
+exit:
+  ret i64 %s
+}
+"""
+
+
+class TestParseBasics:
+    def test_simple_program(self):
+        m = parse_module(SIMPLE)
+        verify_module(m)
+        assert Interpreter(m).run("main").value == 20
+
+    def test_loop_with_phis(self):
+        m = parse_module(LOOP)
+        verify_module(m)
+        assert Interpreter(m).run("main").value == 100 * 99 // 2
+
+    def test_globals_and_declarations(self):
+        m = parse_module(
+            """
+@table = global [64 x i8]
+declare i64 @external(i64 %x)
+define void @main() {
+entry:
+  ret void
+}
+"""
+        )
+        assert m.get_global("table").size_bytes == 64
+        assert m.get_function("external").is_declaration
+        verify_module(m)
+
+    def test_arguments(self):
+        m = parse_module(
+            """
+define i64 @addone(i64 %n) {
+entry:
+  %r = add %n, 1
+  ret i64 %r
+}
+define i64 @main() {
+entry:
+  %v = call i64 @addone(41)
+  ret i64 %v
+}
+"""
+        )
+        assert Interpreter(m).run("main").value == 42
+
+    def test_select_and_compare(self):
+        m = parse_module(
+            """
+define i64 @main() {
+entry:
+  %c = icmp sgt 5, 3
+  %v = select %c, 10, 20
+  ret i64 %v
+}
+"""
+        )
+        assert Interpreter(m).run("main").value == 10
+
+    def test_casts_and_pointer_int(self):
+        m = parse_module(
+            """
+define i64 @main() {
+entry:
+  %p = call ptr @malloc(16)
+  %raw = ptrtoint %p
+  %bumped = add %raw, 8
+  %q = inttoptr %bumped
+  store i64 7, %q
+  %v = load i64, %q
+  ret i64 %v
+}
+"""
+        )
+        assert Interpreter(m).run("main").value == 7
+
+    def test_float_program(self):
+        m = parse_module(
+            """
+define f64 @main() {
+entry:
+  %a = fadd 1.5, 2.5
+  %b = fmul %a, 2.0
+  ret f64 %b
+}
+"""
+        )
+        assert Interpreter(m).run("main").value == 8.0
+
+    def test_comments_ignored(self):
+        m = parse_module("; hello\n" + SIMPLE + "; trailing\n")
+        assert Interpreter(m).run("main").value == 20
+
+
+class TestParseErrors:
+    def test_undefined_value(self):
+        with pytest.raises(IRError, match="undefined value"):
+            parse_module("define i64 @main() {\nentry:\n  ret i64 %ghost\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(IRError, match="unterminated"):
+            parse_module("define void @f() {\nentry:\n  ret void\n")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(IRError):
+            parse_module("define void @f() {\nentry:\n  frobnicate\n}")
+
+    def test_unknown_type(self):
+        with pytest.raises(IRError):
+            parse_module("define i64 @f() {\nentry:\n  %v = load i77, %p\n  ret i64 0\n}")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(IRError, match="top-level"):
+            parse_module("hello world")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: build_sum_loop(30),
+            lambda: build_write_then_sum(25),
+            lambda: build_write_then_sum(25, elem=4),
+        ],
+    )
+    def test_print_parse_preserves_semantics(self, factory):
+        original = factory()
+        expected = Interpreter(factory()).run("main").value
+        reparsed = parse_module(print_module(original))
+        verify_module(reparsed)
+        assert Interpreter(reparsed).run("main").value == expected
+
+    def test_roundtrip_transformed_module(self):
+        from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+
+        m = build_write_then_sum(50)
+        TrackFMCompiler(CompilerConfig(chunking=ChunkingPolicy.NONE)).compile(m)
+        text = print_module(m)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        # Structure preserved: same guard calls, same block count.
+        assert text.count("tfm_guard") == print_module(reparsed).count("tfm_guard")
+
+    def test_double_roundtrip_stable(self):
+        m = build_sum_loop(10)
+        once = print_module(parse_module(print_module(m)))
+        twice = print_module(parse_module(once))
+        assert once == twice
+
+
+class TestRoundTripKernels:
+    @pytest.mark.parametrize("name", ["CG", "IS", "MG", "SP", "FT"])
+    def test_nas_kernel_roundtrip(self, name):
+        from repro.workloads.nas_kernels import KERNELS
+
+        build, reference = KERNELS[name]
+        text = print_module(build())
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert Interpreter(reparsed, max_steps=5_000_000).run("main").value == reference()
+
+    def test_linked_list_roundtrip(self):
+        import sys
+
+        sys.path.insert(0, "tests")
+        from test_chase_prefetch import build_list_walk
+
+        original = build_list_walk(64)
+        expected = Interpreter(build_list_walk(64)).run("main").value
+        reparsed = parse_module(print_module(original))
+        assert Interpreter(reparsed).run("main").value == expected

@@ -1,0 +1,166 @@
+"""The interpreter <-> TrackFM runtime bridge (sim.irrun)."""
+
+import pytest
+
+from repro.aifm.pool import PoolConfig
+from repro.errors import SegmentationFault
+from repro.ir import IRBuilder, I64, PTR, VOID, Module
+from repro.ir.values import Constant
+from repro.machine.cache import AlwaysHitCache
+from repro.machine.costs import GuardKind
+from repro.sim.irrun import TWIN_BASE, TrackFMProgram
+from repro.trackfm.pointer import decode_tfm_pointer, is_tfm_pointer
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.units import KB, MB
+
+
+def make_runtime():
+    return TrackFMRuntime(
+        PoolConfig(object_size=4 * KB, local_memory=32 * KB, heap_size=1 * MB),
+        cache=AlwaysHitCache(),
+    )
+
+
+def build(body_fn, ret_ty=I64):
+    m = Module("bridge")
+    f = m.add_function("main", ret_ty)
+    b = IRBuilder(f.add_block("entry"))
+    value = body_fn(b)
+    b.ret(value)
+    return m
+
+
+class TestTwinMapping:
+    def test_malloc_returns_tagged_and_maps_twin(self):
+        def body(b):
+            return b.ptrtoint(b.call(PTR, "tfm_malloc", [Constant(I64, 64)]))
+
+        program = TrackFMProgram(build(body), make_runtime())
+        result = program.run("main")
+        ptr = result.value & ((1 << 64) - 1)
+        assert is_tfm_pointer(ptr)
+        twin = TWIN_BASE + decode_tfm_pointer(ptr)
+        assert program.interp.memory.is_mapped(twin)
+
+    def test_twin_addr_helper(self):
+        program = TrackFMProgram(Module("m"), make_runtime())
+        # no functions needed for this helper
+        from repro.trackfm.pointer import encode_tfm_pointer
+
+        assert program.twin_addr(encode_tfm_pointer(0x123)) == TWIN_BASE + 0x123
+
+    def test_free_unmaps_twin(self):
+        def body(b):
+            p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)])
+            b.call(VOID, "tfm_free", [p])
+            return b.ptrtoint(p)
+
+        program = TrackFMProgram(build(body), make_runtime())
+        result = program.run("main")
+        twin = TWIN_BASE + decode_tfm_pointer(result.value & ((1 << 64) - 1))
+        assert not program.interp.memory.is_mapped(twin)
+
+    def test_guard_translates_to_twin(self):
+        def body(b):
+            p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)])
+            canon = b.call(PTR, "tfm_guard_write", [p])
+            b.store(55, canon)
+            canon2 = b.call(PTR, "tfm_guard_read", [p])
+            return b.load(I64, canon2)
+
+        program = TrackFMProgram(build(body), make_runtime())
+        assert program.run("main").value == 55
+
+    def test_unguarded_dereference_faults(self):
+        def body(b):
+            p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)])
+            return b.load(I64, p)  # raw non-canonical pointer
+
+        program = TrackFMProgram(build(body), make_runtime())
+        with pytest.raises(SegmentationFault):
+            program.run("main")
+
+    def test_guard_on_canonical_pointer_passes_through(self):
+        def body(b):
+            slot = b.alloca(8)
+            b.store(9, slot)
+            same = b.call(PTR, "tfm_guard_read", [slot])
+            return b.load(I64, same)
+
+        rt = make_runtime()
+        program = TrackFMProgram(build(body), rt)
+        assert program.run("main").value == 9
+        assert rt.metrics.guard_count(GuardKind.CUSTODY_MISS) == 1
+
+    def test_realloc_preserves_bytes_and_remaps(self):
+        def body(b):
+            p = b.call(PTR, "tfm_malloc", [Constant(I64, 16)])
+            canon = b.call(PTR, "tfm_guard_write", [p])
+            b.store(1234, canon)
+            q = b.call(PTR, "tfm_realloc", [p, Constant(I64, 256)])
+            canon2 = b.call(PTR, "tfm_guard_read", [q])
+            return b.load(I64, canon2)
+
+        program = TrackFMProgram(build(body), make_runtime())
+        assert program.run("main").value == 1234
+
+    def test_calloc(self):
+        def body(b):
+            p = b.call(PTR, "tfm_calloc", [Constant(I64, 4), Constant(I64, 8)])
+            canon = b.call(PTR, "tfm_guard_read", [p])
+            return b.load(I64, canon)
+
+        program = TrackFMProgram(build(body), make_runtime())
+        assert program.run("main").value == 0
+
+
+class TestChunkIntrinsics:
+    def test_chunk_stream_prefetch_flag(self):
+        def body(b):
+            p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)])
+            b.call(VOID, "tfm_chunk_begin", [Constant(I64, 0), Constant(I64, 1)])
+            canon = b.call(PTR, "tfm_chunk_deref", [p, Constant(I64, 0)])
+            v = b.load(I64, canon)
+            b.call(VOID, "tfm_chunk_end", [Constant(I64, 0)])
+            return v
+
+        rt = make_runtime()
+        TrackFMProgram(build(body), rt).run("main")
+        assert rt.metrics.guard_count(GuardKind.BOUNDARY) == 1
+        assert rt.metrics.guard_count(GuardKind.LOCALITY) == 1
+
+    def test_runtime_init_hook(self):
+        def body(b):
+            b.call(VOID, "tfm_runtime_init", [])
+            return Constant(I64, 0)
+
+        rt = make_runtime()
+        TrackFMProgram(build(body), rt).run("main")
+        assert rt.initialized
+
+    def test_chunk_deref_custody_miss_passthrough(self):
+        def body(b):
+            slot = b.alloca(8)
+            b.store(4, slot)
+            b.call(VOID, "tfm_chunk_begin", [Constant(I64, 0), Constant(I64, 0)])
+            same = b.call(PTR, "tfm_chunk_deref", [slot, Constant(I64, 0)])
+            v = b.load(I64, same)
+            b.call(VOID, "tfm_chunk_end", [Constant(I64, 0)])
+            return v
+
+        program = TrackFMProgram(build(body), make_runtime())
+        assert program.run("main").value == 4
+
+
+class TestMetricsFlow:
+    def test_guard_cycles_accumulate(self):
+        def body(b):
+            p = b.call(PTR, "tfm_malloc", [Constant(I64, 8)])
+            canon = b.call(PTR, "tfm_guard_read", [p])
+            return b.load(I64, canon)
+
+        rt = make_runtime()
+        TrackFMProgram(build(body), rt).run("main")
+        assert rt.metrics.cycles > 30_000  # slow path + fetch
+        assert rt.metrics.accesses == 1
+        assert rt.metrics.remote_fetches == 1

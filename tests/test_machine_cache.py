@@ -1,0 +1,84 @@
+"""The set-associative cache model behind cached/uncached guard costs."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.machine.cache import AlwaysHitCache, AlwaysMissCache, CacheModel
+
+
+def test_first_access_misses_second_hits():
+    cache = CacheModel()
+    assert cache.access(0x1000) is False
+    assert cache.access(0x1000) is True
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_same_line_shares_entry():
+    cache = CacheModel(line_size=64)
+    cache.access(0x100)
+    assert cache.access(0x100 + 63) is True
+    assert cache.access(0x100 + 64) is False
+
+
+def test_lru_eviction_within_set():
+    # Direct-mapped-ish: 2 ways, force 3 conflicting lines.
+    cache = CacheModel(size_bytes=1024, line_size=64, ways=2)
+    sets = cache.num_sets
+    a, b, c = 0, sets * 64, 2 * sets * 64  # same set, different tags
+    cache.access(a)
+    cache.access(b)
+    cache.access(c)  # evicts a
+    assert cache.access(b) is True
+    assert cache.access(a) is False
+
+
+def test_flush_drops_lines_but_keeps_stats():
+    cache = CacheModel()
+    cache.access(0)
+    cache.flush()
+    assert cache.access(0) is False
+    assert cache.stats.misses == 2
+
+
+def test_reset_zeroes_counters():
+    cache = CacheModel()
+    cache.access(0)
+    cache.reset()
+    assert cache.stats.accesses == 0
+
+
+def test_hit_rate():
+    cache = CacheModel()
+    assert cache.stats.hit_rate == 0.0
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_degenerate_caches():
+    hit = AlwaysHitCache()
+    miss = AlwaysMissCache()
+    for addr in (0, 64, 1 << 40):
+        assert hit.access(addr) is True
+        assert miss.access(addr) is False
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(RuntimeConfigError):
+        CacheModel(line_size=48)
+    with pytest.raises(RuntimeConfigError):
+        CacheModel(size_bytes=0)
+    with pytest.raises(RuntimeConfigError):
+        CacheModel(size_bytes=64, line_size=64, ways=8)
+
+
+def test_associativity_prevents_conflict_thrash():
+    # Two lines mapping to the same set coexist in a 2-way cache.
+    cache = CacheModel(size_bytes=1024, line_size=64, ways=2)
+    a, b = 0, cache.num_sets * 64
+    cache.access(a)
+    cache.access(b)
+    assert cache.access(a) is True
+    assert cache.access(b) is True

@@ -1,0 +1,50 @@
+"""Working-set scaling preserves the quantities the figures plot."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.machine.scale import DEFAULT_SCALE, FINE_SCALE, ScaleModel
+from repro.units import GB, MB
+
+
+def test_default_scale_shrinks_gb_to_mb():
+    assert DEFAULT_SCALE.bytes(12 * GB) == 12 * MB
+
+
+def test_floor_prevents_degenerate_working_sets():
+    model = ScaleModel(factor=1 << 30)
+    assert model.bytes(1 * GB) >= model.floor_bytes
+
+
+def test_bytes_aligned_to_granule():
+    model = ScaleModel(factor=1000)
+    assert model.bytes(10 * GB, granule=4096) % 4096 == 0
+
+
+def test_count_scaling_with_floor():
+    assert DEFAULT_SCALE.count(50_000_000) == 50_000_000 // 1024
+    assert DEFAULT_SCALE.count(10, floor=1024) == 1024
+
+
+def test_local_memory_fraction_preserved():
+    ws = DEFAULT_SCALE.bytes(12 * GB)
+    local = DEFAULT_SCALE.local_memory(ws, 0.25)
+    assert abs(local / ws - 0.25) < 0.01
+
+
+def test_local_memory_invalid_fraction():
+    with pytest.raises(RuntimeConfigError):
+        DEFAULT_SCALE.local_memory(1 * MB, 0.0)
+    with pytest.raises(RuntimeConfigError):
+        DEFAULT_SCALE.local_memory(1 * MB, 1.5)
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(RuntimeConfigError):
+        ScaleModel(factor=0)
+    with pytest.raises(RuntimeConfigError):
+        ScaleModel(floor_bytes=100)
+
+
+def test_fine_scale_larger_than_default():
+    assert FINE_SCALE.bytes(12 * GB) > DEFAULT_SCALE.bytes(12 * GB)

@@ -1,0 +1,89 @@
+"""Network link model and the calibrated backends."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.net.backends import make_rdma_backend, make_tcp_backend
+from repro.net.link import (
+    BYTES_PER_CYCLE_25G,
+    NetworkLink,
+    TransferDirection,
+)
+
+
+class TestLink:
+    def test_bandwidth_constant(self):
+        # 25 Gb/s at 2.4 GHz ~= 1.30 bytes per cycle.
+        assert BYTES_PER_CYCLE_25G == pytest.approx(1.302, rel=0.01)
+
+    def test_transfer_cycles_components(self):
+        link = NetworkLink(latency_cycles=1000, bytes_per_cycle=1.0, per_message_cycles=100)
+        assert link.transfer_cycles(500) == 1000 + 100 + 500
+
+    def test_pipelining_amortizes_latency(self):
+        link = NetworkLink(latency_cycles=10_000, bytes_per_cycle=1.0, per_message_cycles=0)
+        blocking = link.transfer_cycles(100)
+        deep = link.pipelined_cycles(100, depth=16)
+        assert deep < blocking
+        # At infinite depth the cost approaches pure wire time.
+        assert link.pipelined_cycles(100, depth=10_000) == pytest.approx(100, rel=0.2)
+
+    def test_pipelined_bandwidth_bound(self):
+        link = NetworkLink(latency_cycles=100, bytes_per_cycle=1.0, per_message_cycles=0)
+        # Large messages: wire time dominates regardless of depth.
+        assert link.pipelined_cycles(100_000, depth=8) >= 100_000
+
+    def test_accounting(self):
+        link = NetworkLink(latency_cycles=10, bytes_per_cycle=1.0)
+        link.transfer(100, TransferDirection.FETCH)
+        link.transfer(50, TransferDirection.EVICT)
+        assert link.stats.messages == 2
+        assert link.stats.bytes_fetched == 100
+        assert link.stats.bytes_evicted == 50
+        assert link.stats.total_bytes == 150
+        assert link.stats.busy_cycles > 0
+        link.stats.reset()
+        assert link.stats.messages == 0
+
+    def test_invalid_configs(self):
+        with pytest.raises(RuntimeConfigError):
+            NetworkLink(latency_cycles=-1)
+        with pytest.raises(RuntimeConfigError):
+            NetworkLink(latency_cycles=0, bytes_per_cycle=0)
+        link = NetworkLink(latency_cycles=0)
+        with pytest.raises(RuntimeConfigError):
+            link.pipelined_cycles(10, depth=0)
+        with pytest.raises(RuntimeConfigError):
+            link.transfer(-1, TransferDirection.FETCH)
+
+
+class TestBackendsCalibration:
+    def test_tcp_4kb_fetch_near_34_5k(self):
+        # Table 2: TrackFM remote slow path ~35K incl. ~450-cycle guard.
+        tcp = make_tcp_backend()
+        assert tcp.fetch_cost(4096) == pytest.approx(34_500, rel=0.01)
+
+    def test_rdma_4kb_fetch_near_32_7k(self):
+        # Table 2: Fastswap fault 34K incl. ~1.3K kernel overhead.
+        rdma = make_rdma_backend()
+        assert rdma.fetch_cost(4096) == pytest.approx(32_700, rel=0.01)
+
+    def test_small_fetches_latency_dominated(self):
+        tcp = make_tcp_backend()
+        assert tcp.fetch_cost(64) > 0.85 * tcp.fetch_cost(4096)
+
+    def test_fetch_and_evict_account_bytes(self):
+        tcp = make_tcp_backend()
+        tcp.fetch(4096)
+        tcp.evict(64)
+        assert tcp.bytes_fetched == 4096
+        assert tcp.bytes_evicted == 64
+
+    def test_pipelined_fetch_cheaper(self):
+        tcp = make_tcp_backend()
+        assert tcp.fetch_cost(4096, depth=8) < tcp.fetch_cost(4096)
+
+    def test_fetch_cost_does_not_account(self):
+        tcp = make_tcp_backend()
+        tcp.fetch_cost(4096)
+        assert tcp.bytes_fetched == 0

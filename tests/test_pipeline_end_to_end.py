@@ -1,0 +1,200 @@
+"""The full compiler pipeline + interpreter/runtime end-to-end behaviour.
+
+These are the tests that make the paper's transparency claim concrete:
+the *same source module* runs correctly before compilation (local heap)
+and after compilation (far-memory heap), with guards and chunking doing
+their jobs, and crashes if guards are missing.
+"""
+
+import pytest
+
+from repro.aifm.pool import PoolConfig
+from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+from repro.errors import PassError, SegmentationFault
+from repro.ir import IRBuilder, I64, PTR, Module, verify_module
+from repro.ir.values import Constant
+from repro.machine.cache import AlwaysHitCache
+from repro.machine.costs import GuardKind
+from repro.sim.interpreter import Interpreter
+from repro.sim.irrun import TrackFMProgram
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.units import KB, MB
+
+from irprograms import build_sum_loop, build_write_then_sum
+
+
+def make_runtime(object_size=4 * KB, local=64 * KB, heap=1 * MB) -> TrackFMRuntime:
+    return TrackFMRuntime(
+        PoolConfig(object_size=object_size, local_memory=local, heap_size=heap),
+        cache=AlwaysHitCache(),
+    )
+
+
+class TestCompileResult:
+    def test_summary_and_stats(self):
+        m = build_write_then_sum(5000, elem=4)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        assert res.loops_chunked == 2
+        assert res.accesses_chunked == 2
+        assert res.guards_inserted == 0  # everything chunked
+        assert res.code_size_factor > 1.0
+        assert "loops" in res.summary()
+
+    def test_naive_config_counts_guards(self):
+        m = build_write_then_sum(100)
+        cfg = CompilerConfig(chunking=ChunkingPolicy.NONE)
+        res = TrackFMCompiler(cfg).compile(m)
+        assert res.guards_inserted == 2
+        assert res.loops_chunked == 0
+
+    def test_object_size_validation(self):
+        with pytest.raises(PassError):
+            CompilerConfig(object_size=8 * KB)
+        with pytest.raises(PassError):
+            CompilerConfig(object_size=100)
+
+    def test_compile_verifies_output(self):
+        m = build_write_then_sum(50)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        verify_module(res.module)
+
+
+class TestTransparency:
+    """The headline: recompile, don't rewrite."""
+
+    def test_same_result_before_and_after(self):
+        expected = Interpreter(build_write_then_sum(500)).run("main").value
+        m = build_write_then_sum(500)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        program = TrackFMProgram(res.module, make_runtime())
+        assert program.run("main").value == expected
+
+    def test_untransformed_program_crashes_on_tfm_pointers(self):
+        # A program handed a TrackFM pointer without guards GP-faults,
+        # exactly as non-canonical addresses do on x86 (§3.1 fn 3).
+        m = build_sum_loop(100)
+        # Only swap malloc -> tfm_malloc; no guards injected.
+        from repro.compiler.libc_transform import LibcTransformPass
+        from repro.compiler.pass_manager import PassContext
+
+        LibcTransformPass().run(m, PassContext(config=CompilerConfig()))
+        program = TrackFMProgram(m, make_runtime())
+        with pytest.raises(SegmentationFault):
+            program.run("main")
+
+    def test_guarded_naive_program_works(self):
+        expected = Interpreter(build_write_then_sum(300)).run("main").value
+        m = build_write_then_sum(300)
+        cfg = CompilerConfig(chunking=ChunkingPolicy.NONE)
+        res = TrackFMCompiler(cfg).compile(m)
+        rt = make_runtime()
+        program = TrackFMProgram(res.module, rt)
+        assert program.run("main").value == expected
+        assert rt.metrics.guard_count(GuardKind.FAST) > 0
+        assert rt.metrics.guard_count(GuardKind.SLOW) > 0
+
+    def test_chunked_program_uses_boundary_checks(self):
+        m = build_write_then_sum(500)
+        res = TrackFMCompiler(CompilerConfig(chunking=ChunkingPolicy.ALL)).compile(m)
+        rt = make_runtime()
+        TrackFMProgram(res.module, rt).run("main")
+        assert rt.metrics.guard_count(GuardKind.BOUNDARY) == 1000
+        assert rt.metrics.guard_count(GuardKind.LOCALITY) >= 1
+        assert rt.metrics.guard_count(GuardKind.FAST) == 0
+
+    def test_chunking_reduces_guard_cycles(self):
+        m1 = build_write_then_sum(2000, elem=4)
+        res1 = TrackFMCompiler(CompilerConfig(chunking=ChunkingPolicy.NONE)).compile(m1)
+        rt1 = make_runtime()
+        TrackFMProgram(res1.module, rt1).run("main")
+
+        m2 = build_write_then_sum(2000, elem=4)
+        res2 = TrackFMCompiler(CompilerConfig(chunking=ChunkingPolicy.ALL)).compile(m2)
+        rt2 = make_runtime()
+        TrackFMProgram(res2.module, rt2).run("main")
+        assert rt2.metrics.cycles < rt1.metrics.cycles
+
+    def test_memory_pressure_evicts_and_refetches(self):
+        # Working set (64 KB) >> local memory (2 objects = 8 KB).
+        m = build_write_then_sum(8192, elem=8)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        rt = make_runtime(local=8 * KB, heap=1 * MB)
+        program = TrackFMProgram(res.module, rt)
+        expected = 8192 * 8191 // 2
+        assert program.run("main").value == expected
+        assert rt.metrics.evictions > 0
+        # The second (read) loop must refetch what the write loop lost.
+        assert rt.metrics.remote_fetches > 16
+
+    def test_stack_accesses_not_guarded(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8)
+        b.store(5, slot)
+        v = b.load(I64, slot)
+        b.ret(v)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        rt = make_runtime()
+        assert TrackFMProgram(res.module, rt).run("main").value == 5
+        assert rt.metrics.total_guards == 0
+
+    def test_free_and_reuse_through_runtime(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "malloc", [Constant(I64, 64)])
+        b.store(11, p)
+        b.call(I64, "free", [p])
+        q = b.call(PTR, "malloc", [Constant(I64, 64)])
+        b.store(22, q)
+        v = b.load(I64, q)
+        b.ret(v)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        assert TrackFMProgram(res.module, make_runtime()).run("main").value == 22
+
+    def test_realloc_through_runtime(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "malloc", [Constant(I64, 8)])
+        b.store(33, p)
+        q = b.call(PTR, "realloc", [p, Constant(I64, 128)])
+        v = b.load(I64, q)
+        b.ret(v)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        assert TrackFMProgram(res.module, make_runtime()).run("main").value == 33
+
+
+class TestPointerIntegerRoundTrip:
+    def test_guarded_access_after_ptrtoint_math(self):
+        # §3.2: pointer cast to int, offset, cast back — still guarded.
+        m = Module()
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "malloc", [Constant(I64, 64)])
+        b.store(77, b.gep(p, 2, 8))
+        raw = b.ptrtoint(p)
+        bumped = b.add(raw, 16)
+        q = b.inttoptr(bumped)
+        v = b.load(I64, q)
+        b.ret(v)
+        res = TrackFMCompiler(CompilerConfig()).compile(m)
+        rt = make_runtime()
+        assert TrackFMProgram(res.module, rt).run("main").value == 77
+        assert rt.metrics.total_guards > 0
+
+
+class TestProfileGuidedCompile:
+    def test_profile_feeds_cost_model(self):
+        from repro.analysis.profiler import profile_module
+
+        # Short low-density loop: without a profile the static trip
+        # count already rejects it; the profiled compile agrees.
+        m = build_sum_loop(n=4, elem=2048)
+        profile = profile_module(build_sum_loop(n=4, elem=2048))
+        res = TrackFMCompiler(
+            CompilerConfig(chunking=ChunkingPolicy.COST_MODEL)
+        ).compile(m, profile=profile)
+        assert res.loops_chunked == 0
+        assert res.guards_inserted == 1

@@ -1,0 +1,221 @@
+"""SimplifyCFG and LICM passes."""
+
+import pytest
+
+from repro.compiler.licm import LICMPass
+from repro.compiler.pass_manager import PassContext, PassManager
+from repro.compiler.pipeline import CompilerConfig
+from repro.compiler.simplify_cfg import SimplifyCFGPass
+from repro.ir import IRBuilder, I64, PTR, Module, verify_module
+from repro.ir.instructions import Br, CondBr, Load
+from repro.ir.values import Constant
+from repro.sim.interpreter import Interpreter
+
+from irprograms import build_sum_loop, build_write_then_sum
+
+
+def ctx():
+    return PassContext(config=CompilerConfig())
+
+
+class TestSimplifyCFG:
+    def test_unreachable_block_removed(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        orphan = f.add_block("orphan")
+        b = IRBuilder(entry)
+        b.ret(1)
+        b.set_block(orphan)
+        b.ret(2)
+        c = ctx()
+        PassManager([SimplifyCFGPass()]).run(m, c)
+        assert c.get_stat("simplifycfg.blocks_removed") == 1
+        assert len(f.blocks) == 1
+        assert Interpreter(m).run("main").value == 1
+
+    def test_constant_branch_folded(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        yes = f.add_block("yes")
+        no = f.add_block("no")
+        b = IRBuilder(entry)
+        from repro.ir.types import I1
+
+        b.condbr(Constant(I1, 1), yes, no)
+        b.set_block(yes)
+        b.ret(10)
+        b.set_block(no)
+        b.ret(20)
+        c = ctx()
+        PassManager([SimplifyCFGPass()]).run(m, c)
+        assert c.get_stat("simplifycfg.branches_folded") == 1
+        # The dead arm is removed too.
+        assert all(blk.name != "no" for blk in f.blocks)
+        assert Interpreter(m).run("main").value == 10
+
+    def test_chain_merge(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        a = f.add_block("a")
+        bb = f.add_block("b")
+        cc = f.add_block("c")
+        b = IRBuilder(a)
+        x = b.add(1, 2)
+        b.br(bb)
+        b.set_block(bb)
+        y = b.add(x, 3)
+        b.br(cc)
+        b.set_block(cc)
+        b.ret(y)
+        c = ctx()
+        PassManager([SimplifyCFGPass()]).run(m, c)
+        assert len(f.blocks) == 1
+        assert Interpreter(m).run("main").value == 6
+
+    def test_loop_structure_untouched(self):
+        m = build_sum_loop(50)
+        expected = Interpreter(build_sum_loop(50)).run("main").value
+        PassManager([SimplifyCFGPass()]).run(m, ctx())
+        verify_module(m)
+        assert Interpreter(m).run("main").value == expected
+
+    def test_merge_rewrites_phi_of_single_pred(self):
+        m = Module()
+        f = m.add_function("main", I64)
+        a = f.add_block("a")
+        bb = f.add_block("b")
+        b = IRBuilder(a)
+        v = b.add(4, 5)
+        b.br(bb)
+        b.set_block(bb)
+        phi = b.phi(I64, name="x")
+        phi.add_incoming(v, a)
+        b.ret(phi)
+        PassManager([SimplifyCFGPass()]).run(m, ctx())
+        verify_module(m)
+        assert Interpreter(m).run("main").value == 9
+
+    def test_full_pipeline_semantics_preserved(self):
+        expected = Interpreter(build_write_then_sum(200)).run("main").value
+        m = build_write_then_sum(200)
+        PassManager([SimplifyCFGPass()]).run(m, ctx())
+        assert Interpreter(m).run("main").value == expected
+
+
+class TestLICM:
+    def build_invariant_load_loop(self, n=100):
+        """sum += table[0] inside a loop: the load is invariant."""
+        m = Module()
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        table = b.call(PTR, "malloc", [Constant(I64, 64)], name="table")
+        b.store(7, table)
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        s = b.phi(I64, name="s")
+        v = b.load(I64, table, name="inv")  # loop-invariant load in header
+        b.condbr(b.icmp("slt", i, n), body, exit_)
+        b.set_block(body)
+        s2 = b.add(s, v)
+        i2 = b.add(i, 1)
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        s.add_incoming(Constant(I64, 0), entry)
+        s.add_incoming(s2, body)
+        b.set_block(exit_)
+        b.ret(s)
+        return m
+
+    def test_invariant_load_hoisted(self):
+        m = self.build_invariant_load_loop()
+        c = ctx()
+        PassManager([LICMPass()]).run(m, c)
+        assert c.get_stat("licm.loads_hoisted") == 1
+        f = m.get_function("main")
+        entry = f.entry
+        assert any(isinstance(i, Load) for i in entry.instructions)
+        header = f.get_block("header")
+        assert not any(isinstance(i, Load) for i in header.instructions)
+
+    def test_semantics_preserved(self):
+        expected = Interpreter(self.build_invariant_load_loop()).run("main").value
+        m = self.build_invariant_load_loop()
+        PassManager([LICMPass()]).run(m, ctx())
+        assert Interpreter(m).run("main").value == expected == 700
+
+    def test_load_not_hoisted_past_store(self):
+        # write_then_sum's write loop stores: its loads must stay put.
+        m = build_write_then_sum(50)
+        c = ctx()
+        PassManager([LICMPass()]).run(m, c)
+        assert c.get_stat("licm.loads_hoisted") == 0
+        assert Interpreter(m).run("main").value == 50 * 49 // 2
+
+    def test_variant_load_not_hoisted(self):
+        # a[i] depends on the IV: not invariant.
+        m = build_sum_loop(50)
+        c = ctx()
+        PassManager([LICMPass()]).run(m, c)
+        assert c.get_stat("licm.loads_hoisted") == 0
+
+    def test_invariant_arithmetic_hoisted(self):
+        m = Module()
+        f = m.add_function("main", I64, [I64], ["k"])
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        s = b.phi(I64, name="s")
+        b.condbr(b.icmp("slt", i, 10), body, exit_)
+        b.set_block(body)
+        expensive = b.mul(f.args[0], 1000, name="inv_math")
+        s2 = b.add(s, expensive)
+        i2 = b.add(i, 1)
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        s.add_incoming(Constant(I64, 0), entry)
+        s.add_incoming(s2, body)
+        b.set_block(exit_)
+        b.ret(s)
+        c = ctx()
+        PassManager([LICMPass()]).run(m, c)
+        assert c.get_stat("licm.hoisted") >= 1
+        assert Interpreter(m).run("main", [3]).value == 30_000
+
+    def test_hoisting_reduces_guard_count(self):
+        # The §6 connection: one guard per loop entry, not per iteration.
+        from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+        from repro.aifm.pool import PoolConfig
+        from repro.sim.irrun import TrackFMProgram
+        from repro.trackfm.runtime import TrackFMRuntime
+        from repro.units import KB, MB
+
+        def run(with_licm):
+            m = self.build_invariant_load_loop(n=500)
+            config = CompilerConfig(chunking=ChunkingPolicy.NONE, run_o1=False)
+            if with_licm:
+                PassManager([LICMPass()]).run(m, ctx())
+            compiled = TrackFMCompiler(config).compile(m)
+            rt = TrackFMRuntime(
+                PoolConfig(object_size=4 * KB, local_memory=16 * KB, heap_size=1 * MB)
+            )
+            value = TrackFMProgram(compiled.module, rt).run("main").value
+            return value, rt.metrics.total_guards
+
+        base_value, base_guards = run(False)
+        licm_value, licm_guards = run(True)
+        assert base_value == licm_value
+        assert licm_guards < base_guards / 100

@@ -1,0 +1,143 @@
+"""System-level property tests: invariants the figures quietly rely on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aifm.pool import PoolConfig
+from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
+from repro.machine.costs import AccessKind
+from repro.trackfm.runtime import GuardStrategy, TrackFMRuntime
+from repro.units import KB, MB
+from repro.workloads.stream import StreamKernel, StreamWorkload
+
+fractions = st.floats(min_value=0.05, max_value=1.0)
+strategies = st.sampled_from(list(GuardStrategy))
+object_sizes = st.sampled_from([256, 1024, 4096])
+
+
+def tfm(ws, frac, object_size=4 * KB):
+    return TrackFMRuntime(
+        PoolConfig(
+            object_size=object_size,
+            local_memory=max(object_size, int(ws * frac)),
+            heap_size=2 * ws,
+        )
+    )
+
+
+class TestMonotonicity:
+    @given(st.tuples(fractions, fractions), strategies)
+    @settings(max_examples=40, deadline=None)
+    def test_more_local_memory_never_slower(self, fracs, strategy):
+        lo, hi = sorted(fracs)
+        ws = 4 * MB
+        slow = StreamWorkload(ws).run_trackfm(tfm(ws, lo), strategy)
+        fast = StreamWorkload(ws).run_trackfm(tfm(ws, hi), strategy)
+        assert fast <= slow + 1e-6
+
+    @given(fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_fastswap_monotone_too(self, frac):
+        ws = 4 * MB
+        base = StreamWorkload(ws).run_fastswap(
+            FastswapRuntime(FastswapConfig(local_memory=max(4096, int(ws * frac)), heap_size=2 * ws))
+        )
+        full = StreamWorkload(ws).run_fastswap(
+            FastswapRuntime(FastswapConfig(local_memory=ws, heap_size=2 * ws))
+        )
+        assert full <= base + 1e-6
+
+    @given(object_sizes, fractions)
+    @settings(max_examples=25, deadline=None)
+    def test_prefetch_never_hurts_streams(self, object_size, frac):
+        ws = 4 * MB
+        plain = StreamWorkload(ws).run_trackfm(
+            tfm(ws, frac, object_size), GuardStrategy.CHUNKED
+        )
+        pref = StreamWorkload(ws).run_trackfm(
+            tfm(ws, frac, object_size), GuardStrategy.CHUNKED_PREFETCH
+        )
+        assert pref <= plain + 1e-6
+
+
+class TestConservation:
+    @given(
+        st.lists(st.integers(0, 15), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_fetched_equals_fetch_count_times_object(self, objects, capacity):
+        rt = TrackFMRuntime(
+            PoolConfig(
+                object_size=4 * KB,
+                local_memory=capacity * 4 * KB,
+                heap_size=64 * KB,
+            )
+        )
+        ptr = rt.tfm_malloc(64 * KB)
+        for obj in objects:
+            rt.access(ptr + obj * 4 * KB, AccessKind.READ)
+        m = rt.metrics
+        assert m.bytes_fetched == m.remote_fetches * 4 * KB
+        # Reads never produce writebacks.
+        assert m.bytes_evacuated == 0
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_guard_count_equals_access_count(self, objects):
+        rt = TrackFMRuntime(
+            PoolConfig(object_size=4 * KB, local_memory=16 * KB, heap_size=64 * KB)
+        )
+        ptr = rt.tfm_malloc(64 * KB)
+        for obj in objects:
+            rt.access(ptr + obj * 4 * KB, AccessKind.READ)
+        m = rt.metrics
+        assert m.total_guards == len(objects)
+        assert m.accesses == len(objects)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 15), st.booleans()), min_size=1, max_size=60)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dirty_writeback_bounded_by_writes(self, ops):
+        rt = TrackFMRuntime(
+            PoolConfig(object_size=4 * KB, local_memory=8 * KB, heap_size=64 * KB)
+        )
+        ptr = rt.tfm_malloc(64 * KB)
+        writes = 0
+        for obj, is_write in ops:
+            kind = AccessKind.WRITE if is_write else AccessKind.READ
+            writes += int(is_write)
+            rt.access(ptr + obj * 4 * KB, kind)
+        # At most one writeback per write (an object written once can be
+        # evacuated at most once while dirty).
+        assert rt.metrics.bytes_evacuated <= writes * 4 * KB
+
+
+class TestCrossSystemOrdering:
+    @given(fractions)
+    @settings(max_examples=20, deadline=None)
+    def test_local_baseline_is_a_lower_bound(self, frac):
+        from repro.sim.local import LocalRuntime
+
+        ws = 4 * MB
+        local = StreamWorkload(ws).run_local(LocalRuntime())
+        far = StreamWorkload(ws).run_trackfm(
+            tfm(ws, frac), GuardStrategy.CHUNKED_PREFETCH
+        )
+        assert local <= far
+
+    @given(st.sampled_from([StreamKernel.SUM, StreamKernel.COPY, StreamKernel.TRIAD]))
+    @settings(max_examples=10, deadline=None)
+    def test_trackfm_beats_fastswap_under_pressure(self, kernel):
+        ws = 4 * MB
+        frac = 0.2
+        tfm_cycles = StreamWorkload(ws, kernel=kernel).run_trackfm(
+            tfm(ws, frac), GuardStrategy.CHUNKED_PREFETCH
+        )
+        fs_cycles = StreamWorkload(ws, kernel=kernel).run_fastswap(
+            FastswapRuntime(
+                FastswapConfig(local_memory=int(ws * frac), heap_size=2 * ws)
+            )
+        )
+        assert tfm_cycles < fs_cycles

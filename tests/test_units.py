@@ -1,0 +1,76 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro.units import (
+    CACHE_LINE,
+    GB,
+    KB,
+    MB,
+    PLAUSIBLE_OBJECT_SIZES,
+    align_down,
+    align_up,
+    ceil_div,
+    fmt_bytes,
+    fmt_cycles,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+def test_size_constants():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+    assert CACHE_LINE == 64
+
+
+def test_plausible_object_sizes_match_paper_range():
+    # §3.2: powers of two from cache line (64B) to base page (4KB).
+    assert PLAUSIBLE_OBJECT_SIZES[0] == 64
+    assert PLAUSIBLE_OBJECT_SIZES[-1] == 4 * KB
+    assert all(is_power_of_two(s) for s in PLAUSIBLE_OBJECT_SIZES)
+
+
+@pytest.mark.parametrize("n,expected", [(1, True), (2, True), (3, False), (0, False), (-4, False), (4096, True)])
+def test_is_power_of_two(n, expected):
+    assert is_power_of_two(n) is expected
+
+
+def test_log2_exact():
+    assert log2_exact(4096) == 12
+    assert log2_exact(64) == 6
+    with pytest.raises(ValueError):
+        log2_exact(100)
+
+
+def test_align_up_down():
+    assert align_up(5, 8) == 8
+    assert align_up(8, 8) == 8
+    assert align_down(5, 8) == 0
+    assert align_down(17, 8) == 16
+    with pytest.raises(ValueError):
+        align_up(1, 0)
+    with pytest.raises(ValueError):
+        align_down(1, -2)
+
+
+def test_ceil_div():
+    assert ceil_div(10, 3) == 4
+    assert ceil_div(9, 3) == 3
+    assert ceil_div(0, 5) == 0
+    with pytest.raises(ValueError):
+        ceil_div(1, 0)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(3 * GB) == "3.0GB"
+    assert fmt_bytes(1536) == "1.5KB"
+
+
+def test_fmt_cycles():
+    assert fmt_cycles(34_000) == "34.0K"
+    assert fmt_cycles(21) == "21"
+    assert fmt_cycles(2.4e9) == "2.4G"
+    assert fmt_cycles(1.5e6) == "1.5M"
