@@ -1,0 +1,65 @@
+"""Lint every example-built IR module for guard safety.
+
+Builds each IR-producing example module, pushes it through the default
+TrackFM pipeline, prints it to ``.ir`` text, and runs the sanitizer CLI
+over the result — the same path a user takes when saving pipeline
+output to disk.  Exits non-zero if any module fails, which makes this
+the CI gate for "the shipped examples stay guard-safe".
+
+Run from the repository root::
+
+    PYTHONPATH=src:examples python examples/lint_all.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from linked_list import build_list_program
+from object_size_autotune import build_probe
+from quickstart import build_unmodified_program
+
+from repro import CompilerConfig, TrackFMCompiler
+from repro.ir import print_module
+from repro.sanitizer.__main__ import main as sanitizer_main
+from repro.workloads.nas import NAS_SUITE, build_nas_ir
+
+BUILDERS = {
+    "quickstart": build_unmodified_program,
+    "linked_list": build_list_program,
+    "probe_sequential": lambda: build_probe(sequential=True),
+    "probe_random": lambda: build_probe(sequential=False),
+}
+BUILDERS.update(
+    {f"nas_{b.name.lower()}": (lambda name=b.name: build_nas_ir(name, n=32))
+     for b in NAS_SUITE}
+)
+
+
+def main() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="tfm-lint-") as tmp:
+        for name, builder in sorted(BUILDERS.items()):
+            module = builder()
+            # verify_guards already sanitizes between passes and
+            # post-pipeline; the CLI run below additionally covers the
+            # print -> parse path.
+            TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+            path = Path(tmp) / f"{name}.ir"
+            path.write_text(print_module(module))
+            rc = sanitizer_main([str(path)])
+            status = "ok" if rc == 0 else f"FAILED (exit {rc})"
+            print(f"[lint] {name}: {status}")
+            if rc != 0:
+                failures += 1
+    if failures:
+        print(f"[lint] {failures} module(s) failed guard-safety linting")
+        return 1
+    print(f"[lint] all {len(BUILDERS)} modules guard-safe")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,8 @@ from repro.fastswap import FastswapConfig, FastswapRuntime
 from repro.hybrid import HybridRuntime, Placement
 from repro.sim import LocalRuntime, Metrics
 from repro.sim.irrun import TrackFMProgram
-from repro.analysis import profile_module
+from repro.analysis import DataflowAnalysis, profile_module
+from repro.sanitizer import Diagnostic, Sanitizer, SanitizerReport, sanitize_module
 
 __version__ = "1.0.0"
 
@@ -81,6 +82,11 @@ __all__ = [
     "LocalRuntime",
     "Metrics",
     "TrackFMProgram",
+    "DataflowAnalysis",
     "profile_module",
+    "Sanitizer",
+    "SanitizerReport",
+    "Diagnostic",
+    "sanitize_module",
     "__version__",
 ]

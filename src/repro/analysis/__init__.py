@@ -8,6 +8,12 @@ implements each from scratch over :mod:`repro.ir`.
 """
 
 from repro.analysis.cfg import CFG, reverse_postorder
+from repro.analysis.dataflow import (
+    TOP,
+    DataflowAnalysis,
+    Direction,
+    LiveVariables,
+)
 from repro.analysis.dominators import DominatorTree
 from repro.analysis.loops import Loop, LoopInfo, find_loops
 from repro.analysis.induction import (
@@ -25,6 +31,10 @@ from repro.analysis.profiler import LoopProfile, ProfileData, profile_module
 __all__ = [
     "CFG",
     "reverse_postorder",
+    "TOP",
+    "DataflowAnalysis",
+    "Direction",
+    "LiveVariables",
     "DominatorTree",
     "Loop",
     "LoopInfo",

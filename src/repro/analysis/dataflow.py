@@ -1,0 +1,228 @@
+"""A generic worklist dataflow engine over :mod:`repro.ir`.
+
+TrackFM's correctness tooling needs several classic dataflow problems
+(reaching guards, live localized addresses), and earlier passes each
+hand-rolled their own fixpoints.  This module factors the machinery out
+once: a :class:`DataflowAnalysis` subclass supplies the lattice (a
+``join``), the boundary state, and a per-instruction ``transfer``
+function; the engine runs the standard iterative worklist algorithm to
+a fixed point and exposes per-block in/out states plus exact states at
+individual instructions.
+
+States are treated as immutable values: ``transfer`` must return a new
+state rather than mutate its argument, and states are compared with
+``==`` to detect convergence.  ``frozenset`` is the usual choice.
+
+Blocks that have not been reached yet hold the distinguished :data:`TOP`
+sentinel; the engine joins only non-TOP predecessor states, which makes
+both may- (union) and must- (intersection) analyses come out right under
+optimistic iteration without the subclass having to model a synthetic
+universal set.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.analysis.cfg import CFG, reverse_postorder
+from repro.errors import AnalysisError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+
+
+class _Top:
+    """Sentinel for 'not yet computed' (the lattice top)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TOP"
+
+
+#: The unreached-state sentinel shared by every analysis instance.
+TOP = _Top()
+
+
+class Direction(enum.Enum):
+    """Which way information flows through the CFG."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowAnalysis:
+    """Iterative worklist dataflow over one function.
+
+    Subclasses set :attr:`direction` and implement:
+
+    * :meth:`boundary_state` — the state at the entry block's start
+      (forward) or at every exit block's end (backward);
+    * :meth:`join` — combine two states at a control-flow merge;
+    * :meth:`transfer` — the effect of one instruction on a state.
+
+    After :meth:`run`, :meth:`in_state`/:meth:`out_state` give the fixed
+    point at block boundaries and :meth:`state_before`/
+    :meth:`state_after` recover the state at an individual instruction.
+    """
+
+    direction: Direction = Direction.FORWARD
+
+    def __init__(self, func: Function, cfg: Optional[CFG] = None) -> None:
+        if func.is_declaration:
+            raise AnalysisError(f"@{func.name} is a declaration; no dataflow")
+        self.function = func
+        self.cfg = cfg if cfg is not None else CFG(func)
+        self._rpo = reverse_postorder(self.cfg)
+        self._in: Dict[BasicBlock, Any] = {b: TOP for b in self._rpo}
+        self._out: Dict[BasicBlock, Any] = {b: TOP for b in self._rpo}
+        self._ran = False
+
+    # -- subclass API ---------------------------------------------------
+
+    def boundary_state(self) -> Any:
+        """State at the analysis boundary (entry or exits)."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Lattice join of two (non-TOP) states."""
+        raise NotImplementedError
+
+    def transfer(self, inst: Instruction, state: Any) -> Any:
+        """State after (forward) / before (backward) ``inst``."""
+        raise NotImplementedError
+
+    def transfer_block(self, block: BasicBlock, state: Any) -> Any:
+        """Fold :meth:`transfer` across the block; override for speed."""
+        insts: Iterable[Instruction] = block.instructions
+        if self.direction is Direction.BACKWARD:
+            insts = reversed(block.instructions)
+        for inst in insts:
+            state = self.transfer(inst, state)
+        return state
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self) -> "DataflowAnalysis":
+        """Iterate to a fixed point; returns ``self`` for chaining."""
+        forward = self.direction is Direction.FORWARD
+        order = self._rpo if forward else list(reversed(self._rpo))
+        entry = self.cfg.entry
+        exits = [b for b in self._rpo if not self.cfg.succs(b)]
+        worklist: List[BasicBlock] = list(order)
+        pending = set(worklist)
+        while worklist:
+            block = worklist.pop(0)
+            pending.discard(block)
+            if forward:
+                start = self._meet_over(self.cfg.preds(block), self._out)
+                if block is entry:
+                    start = (
+                        self.boundary_state()
+                        if start is TOP
+                        else self.join(start, self.boundary_state())
+                    )
+                self._in[block] = start
+                end = TOP if start is TOP else self.transfer_block(block, start)
+                if end == self._out[block]:
+                    continue
+                self._out[block] = end
+                nexts = self.cfg.succs(block)
+            else:
+                start = self._meet_over(self.cfg.succs(block), self._in)
+                if block in exits or not self.cfg.succs(block):
+                    start = (
+                        self.boundary_state()
+                        if start is TOP
+                        else self.join(start, self.boundary_state())
+                    )
+                self._out[block] = start
+                end = TOP if start is TOP else self.transfer_block(block, start)
+                if end == self._in[block]:
+                    continue
+                self._in[block] = end
+                nexts = self.cfg.preds(block)
+            for nxt in nexts:
+                if nxt in self._in and nxt not in pending:
+                    pending.add(nxt)
+                    worklist.append(nxt)
+        self._ran = True
+        return self
+
+    def _meet_over(self, blocks: Iterable[BasicBlock], table: Dict) -> Any:
+        state: Any = TOP
+        for b in blocks:
+            other = table.get(b, TOP)
+            if other is TOP:
+                continue
+            state = other if state is TOP else self.join(state, other)
+        return state
+
+    # -- queries --------------------------------------------------------
+
+    def _require_run(self) -> None:
+        if not self._ran:
+            self.run()
+
+    def in_state(self, block: BasicBlock) -> Any:
+        """Fixed-point state at ``block``'s start (TOP if unreachable)."""
+        self._require_run()
+        return self._in.get(block, TOP)
+
+    def out_state(self, block: BasicBlock) -> Any:
+        """Fixed-point state at ``block``'s end (TOP if unreachable)."""
+        self._require_run()
+        return self._out.get(block, TOP)
+
+    def state_before(self, inst: Instruction) -> Any:
+        """The state holding just before ``inst`` executes."""
+        return self._state_at(inst, before=True)
+
+    def state_after(self, inst: Instruction) -> Any:
+        """The state holding just after ``inst`` executes."""
+        return self._state_at(inst, before=False)
+
+    def _state_at(self, inst: Instruction, before: bool) -> Any:
+        self._require_run()
+        block = inst.parent
+        if block is None:
+            raise AnalysisError(f"instruction {inst.render()} has no block")
+        forward = self.direction is Direction.FORWARD
+        state = self._in[block] if forward else self._out[block]
+        if state is TOP:
+            return TOP
+        insts = block.instructions if forward else list(reversed(block.instructions))
+        # In a forward analysis the pre-state is what holds *before* the
+        # instruction; in a backward one it is the post-state.
+        stop_early = before if forward else not before
+        for cur in insts:
+            if cur is inst and stop_early:
+                return state
+            state = self.transfer(cur, state)
+            if cur is inst:
+                return state
+        raise AnalysisError(f"instruction not found in %{block.name}")
+
+
+class LiveVariables(DataflowAnalysis):
+    """Classic backward liveness over SSA values (a reference client).
+
+    ``in_state(block)`` is the frozenset of values live on entry.  Phi
+    operands are charged to the predecessor edge they flow along, which
+    for block-granular liveness means the phi's *block* sees its
+    incoming values as live-in from each predecessor; we approximate by
+    treating all phi operands as used at the phi, the standard
+    block-level simplification.
+    """
+
+    direction = Direction.BACKWARD
+
+    def boundary_state(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, inst: Instruction, state: frozenset) -> frozenset:
+        state = state - {inst}
+        uses = {op for op in inst.operands if isinstance(op, Instruction)}
+        return state | uses

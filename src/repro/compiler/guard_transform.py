@@ -49,4 +49,8 @@ class GuardTransformPass(Pass):
                 block.insert_before(inst, guard)
                 inst.replace_uses_of(ptr, guard)
                 inst.metadata[GUARDED_MD] = True
+                # Back-link guard -> access: the sanitizer (and anyone
+                # reading printed IR) can pair each guard with the
+                # dereference it protects.
+                guard.metadata[GUARDED_MD] = inst
                 ctx.bump(f"{self.name}.guards_inserted")

@@ -10,7 +10,7 @@ policies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import PassError
 from repro.ir.module import Module
@@ -51,13 +51,26 @@ class Pass:
 
 
 class PassManager:
-    """Runs a pass sequence with optional verification between passes."""
+    """Runs a pass sequence with optional verification between passes.
 
-    def __init__(self, passes: List[Pass], verify_each: bool = True) -> None:
+    ``post_pass_hook`` (if given) runs after each pass — after the
+    structural verifier, so it sees only well-formed IR.  The guard
+    pipeline uses it to run the guard-safety sanitizer between stages
+    (``CompilerConfig(verify_guards=True)``), which bisects a broken
+    invariant to the exact pass that introduced it.
+    """
+
+    def __init__(
+        self,
+        passes: List[Pass],
+        verify_each: bool = True,
+        post_pass_hook: Optional[Callable[[Pass, Module, PassContext], None]] = None,
+    ) -> None:
         if not passes:
             raise PassError("empty pass pipeline")
         self.passes = list(passes)
         self.verify_each = verify_each
+        self.post_pass_hook = post_pass_hook
 
     def run(self, module: Module, ctx: PassContext) -> None:
         for p in self.passes:
@@ -69,6 +82,8 @@ class PassManager:
                     raise PassError(
                         f"IR verification failed after pass {p.name!r}: {exc}"
                     ) from exc
+            if self.post_pass_hook is not None:
+                self.post_pass_hook(p, module, ctx)
 
     def pass_names(self) -> List[str]:
         return [p.name for p in self.passes]

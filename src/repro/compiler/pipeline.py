@@ -69,6 +69,11 @@ class CompilerConfig:
     pin_budget_bytes: int = 0
     costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
     verify_between_passes: bool = True
+    #: Run the guard-safety sanitizer after every pipeline stage (in
+    #: incremental mode) and once post-pipeline (strict).  A violation
+    #: raises :class:`PassError` naming the pass that broke the
+    #: invariant — the bisecting debug mode for pass authors.
+    verify_guards: bool = False
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.object_size):
@@ -147,6 +152,38 @@ class TrackFMCompiler:
     def __init__(self, config: Optional[CompilerConfig] = None) -> None:
         self.config = config if config is not None else CompilerConfig()
 
+    def _guard_hook(self):
+        """Between-passes guard-safety hook (``verify_guards=True``)."""
+        from repro.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer(strict=False)
+
+        def hook(p: Pass, module: Module, ctx: PassContext) -> None:
+            report = sanitizer.run(module)
+            ctx.results.setdefault("sanitizer_per_pass", {})[p.name] = report
+            if not report.ok:
+                first = report.errors[0]
+                raise PassError(
+                    f"guard-safety sanitizer failed after pass {p.name!r}: "
+                    f"{first.render()} "
+                    f"(+{len(report.errors) - 1} more error(s))"
+                )
+
+        return hook
+
+    def _sanitize_final(self, module: Module, ctx: PassContext) -> None:
+        """Post-pipeline strict check: everything heap-may is guarded."""
+        from repro.sanitizer import Sanitizer
+
+        report = Sanitizer(strict=True).run(module)
+        ctx.results["sanitizer_report"] = report
+        if not report.ok:
+            first = report.errors[0]
+            raise PassError(
+                "guard-safety sanitizer failed post-pipeline: "
+                f"{first.render()} (+{len(report.errors) - 1} more error(s))"
+            )
+
     def build_pipeline(self) -> List[Pass]:
         passes: List[Pass] = []
         if self.config.run_o1:
@@ -184,9 +221,13 @@ class TrackFMCompiler:
         mems_before = module.memory_access_count()
         started = time.perf_counter()
         pm = PassManager(
-            self.build_pipeline(), verify_each=self.config.verify_between_passes
+            self.build_pipeline(),
+            verify_each=self.config.verify_between_passes,
+            post_pass_hook=self._guard_hook() if self.config.verify_guards else None,
         )
         pm.run(module, ctx)
+        if self.config.verify_guards:
+            self._sanitize_final(module, ctx)
         elapsed = time.perf_counter() - started
         return CompileResult(
             module=module,

@@ -5,23 +5,27 @@ Checks the invariants the passes and the interpreter rely on:
 * every reachable block ends in exactly one terminator, which is its
   last instruction;
 * phi nodes appear only at the top of a block, and their incoming edges
-  exactly match the block's CFG predecessors;
+  exactly match the block's CFG predecessors *as a multiset* — a
+  predecessor reached along two edges (e.g. a condbr whose arms both
+  target the block) must contribute two incoming entries;
 * branch targets belong to the same function;
 * instruction operands are defined in the same function (or are
   constants/arguments);
 * call instructions name functions that exist in the module or are
   conventionally-external (intrinsics are allowed through a whitelist
-  prefix check).
+  prefix check), and calls to known ``tfm_`` intrinsics pass the arity
+  the runtime dispatch expects.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Set
 
 from repro.errors import IRVerifyError
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
-from repro.ir.instructions import Br, Call, CondBr, Instruction, Phi
+from repro.ir.instructions import Call, Instruction, Phi
 from repro.ir.module import Module
 from repro.ir.values import Argument, Constant, UndefValue, Value
 
@@ -39,6 +43,29 @@ EXTERNAL_BUILTINS = {
     "print_i64",
     "print_f64",
     "abort",
+}
+
+
+#: Argument counts of the runtime intrinsics the passes inject,
+#: matching the dispatch table in :mod:`repro.sim.irrun`.  A guard call
+#: with the wrong arity would be silently mis-executed at run time, so
+#: the verifier rejects it before any analysis consumes the module.
+INTRINSIC_ARITIES = {
+    "tfm_runtime_init": 0,
+    "tfm_malloc": 1,
+    "tfm_malloc_pinned": 1,
+    "tfm_calloc": 2,
+    "tfm_realloc": 2,
+    "tfm_free": 1,
+    "tfm_guard_read": 1,
+    "tfm_guard_write": 1,
+    "tfm_chunk_begin": 2,
+    "tfm_chunk_deref": 2,
+    "tfm_chunk_deref_write": 2,
+    "tfm_chunk_end": 1,
+    "tfm_chase_deref": 4,
+    "tfm_chase_deref_write": 4,
+    "tfm_offload_reduce": 5,
 }
 
 
@@ -98,15 +125,17 @@ def verify_function(func: Function) -> None:
         for inst in block.instructions:
             if isinstance(inst, Phi):
                 incoming_blocks = [b for _, b in inst.incoming]
-                if set(incoming_blocks) != set(preds[block]):
+                # Multiset comparison: a duplicate predecessor (both arms
+                # of a condbr targeting this block) needs one incoming
+                # entry per edge, and vice versa.
+                have = Counter(id(b) for b in incoming_blocks)
+                want = Counter(id(b) for b in preds[block])
+                if have != want:
                     raise IRVerifyError(
                         f"@{func.name} %{block.name}: phi %{inst.name} edges "
                         f"{sorted(b.name for b in incoming_blocks)} != preds "
-                        f"{sorted(b.name for b in preds[block])}"
-                    )
-                if len(incoming_blocks) != len(set(incoming_blocks)):
-                    raise IRVerifyError(
-                        f"@{func.name} %{block.name}: phi %{inst.name} duplicate edges"
+                        f"{sorted(b.name for b in preds[block])} "
+                        "(incoming-edge multiset disagrees with predecessors)"
                     )
             for op in inst.operands:
                 if isinstance(op, (Constant, UndefValue)):
@@ -134,6 +163,13 @@ def verify_function(func: Function) -> None:
                         raise IRVerifyError(
                             f"@{func.name}: call to unknown @{inst.callee}"
                         )
+                arity = INTRINSIC_ARITIES.get(inst.callee)
+                if arity is not None and len(inst.operands) != arity:
+                    raise IRVerifyError(
+                        f"@{func.name} %{block.name}: @{inst.callee} expects "
+                        f"{arity} argument(s), got {len(inst.operands)} "
+                        f"({inst.render()})"
+                    )
 
 
 def verify_module(module: Module) -> None:

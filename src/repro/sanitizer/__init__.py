@@ -1,0 +1,62 @@
+"""Guard-safety sanitizer for TrackFM-transformed IR.
+
+TrackFM's correctness rests on an invariant the compiler must
+*establish* and nothing previously *checked*: every dereference of a
+heap-may pointer executes through a guard, and the localized address a
+guard returns must not outlive an evacuation point (§3.3, Fig. 4).
+This package proves it statically, post-pipeline or between passes:
+
+* :class:`Sanitizer` / :func:`sanitize_module` — run all checks,
+  returning a :class:`SanitizerReport` of :class:`Diagnostic`\\ s;
+* ``python -m repro.sanitizer file.ir`` — lint textual IR from the
+  command line (non-zero exit on errors);
+* ``CompilerConfig(verify_guards=True)`` — re-run the sanitizer after
+  every pipeline stage to bisect which pass broke an invariant.
+
+Diagnostic codes are documented in ``docs/sanitizer.md`` and in
+:mod:`repro.sanitizer.diagnostics`.
+"""
+
+from repro.sanitizer.checks import GuardSafetyChecker, check_function
+from repro.sanitizer.core import Sanitizer, sanitize_module
+from repro.sanitizer.diagnostics import (
+    CHUNK_INVARIANT,
+    CODE_SUMMARIES,
+    GUARD_ON_LOCAL,
+    LOCALIZED_ESCAPE,
+    REDUNDANT_GUARD,
+    STALE_LOCALIZED,
+    UNGUARDED_DEREF,
+    Diagnostic,
+    SanitizerReport,
+    Severity,
+)
+from repro.sanitizer.guards import (
+    LOCALIZER_CALLS,
+    ReachingGuards,
+    is_evacuation_point,
+    is_localizer,
+    localized_root,
+)
+
+__all__ = [
+    "Sanitizer",
+    "sanitize_module",
+    "GuardSafetyChecker",
+    "check_function",
+    "Diagnostic",
+    "SanitizerReport",
+    "Severity",
+    "UNGUARDED_DEREF",
+    "LOCALIZED_ESCAPE",
+    "STALE_LOCALIZED",
+    "CHUNK_INVARIANT",
+    "REDUNDANT_GUARD",
+    "GUARD_ON_LOCAL",
+    "CODE_SUMMARIES",
+    "ReachingGuards",
+    "LOCALIZER_CALLS",
+    "is_localizer",
+    "is_evacuation_point",
+    "localized_root",
+]

@@ -1,0 +1,85 @@
+"""``python -m repro.sanitizer`` — lint textual IR for guard safety.
+
+Usage::
+
+    python -m repro.sanitizer [--no-strict] [--max-diagnostics N] \\
+        [--explain] file.ir [more.ir ...]
+
+Exit status: 0 when no file has errors, 1 when any does, 2 when a file
+cannot be read, parsed, or structurally verified.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import IRError, IRVerifyError
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+from repro.sanitizer.core import Sanitizer
+from repro.sanitizer.diagnostics import CODE_SUMMARIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitizer",
+        description="Guard-safety sanitizer for TrackFM-transformed IR.",
+    )
+    parser.add_argument("files", nargs="*", help="textual .ir files to lint")
+    parser.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="between-passes mode: only validate transformed accesses",
+    )
+    parser.add_argument(
+        "--max-diagnostics",
+        type=int,
+        default=50,
+        metavar="N",
+        help="print at most N diagnostics per file (default 50)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the diagnostic code table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.explain:
+        for code, summary in sorted(CODE_SUMMARIES.items()):
+            print(f"{code}  {summary}")
+        return 0
+    if not args.files:
+        print("error: no input files (try --explain)", file=sys.stderr)
+        return 2
+    sanitizer = Sanitizer(strict=not args.no_strict)
+    worst = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        try:
+            module = parse_module(text, name=path)
+            verify_module(module)
+        except (IRError, IRVerifyError) as exc:
+            print(f"{path}: invalid IR: {exc}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        report = sanitizer.run(module)
+        print(report.render(max_lines=args.max_diagnostics))
+        if not report.ok:
+            worst = max(worst, 1)
+    return worst
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

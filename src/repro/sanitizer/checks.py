@@ -1,0 +1,324 @@
+"""The guard-safety checks, one function at a time.
+
+Four families (§3.3's invariants, made checkable):
+
+* **Unguarded deref** (``TFM-S101``): every load/store whose pointer
+  may be a TrackFM (heap) pointer must dereference the *result* of a
+  localizer call — geps over it included — not the raw pointer.
+* **Escape** (``TFM-S102``/``TFM-S103``): a localized address is only
+  meaningful between its guard and the next evacuation point; it must
+  not be stored to memory, returned, passed to calls, merged with
+  unlocalized values, or used after an evacuation point.
+* **Chunk invariant** (``TFM-S104``): chunked accesses go through
+  ``tfm_chunk_deref`` and every chunk deref is dominated by the
+  ``tfm_chunk_begin`` that set up its stream.
+* **Redundant guard** (``TFM-S201``, lint): a pure guard whose pointer
+  is already covered by a valid earlier guard could be elided.
+
+Checks run in two modes.  *Strict* (post-pipeline, and the CLI) demands
+the final state: every heap-may access localized.  *Incremental* (the
+``verify_guards`` hook between passes) only validates what transforms
+claim to have done — an access marked guarded/chunked/chased whose
+pointer is no longer localized means the last pass broke the invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.provenance import ProvenanceAnalysis
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Call,
+    Instruction,
+    Load,
+    Phi,
+    PtrToInt,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.values import Constant, Value
+from repro.sanitizer.diagnostics import (
+    CHUNK_INVARIANT,
+    GUARD_ON_LOCAL,
+    LOCALIZED_ESCAPE,
+    REDUNDANT_GUARD,
+    STALE_LOCALIZED,
+    UNGUARDED_DEREF,
+    Diagnostic,
+    Severity,
+)
+from repro.sanitizer.guards import (
+    ReachingGuards,
+    guarded_pointer,
+    is_localizer,
+    is_pure_guard,
+    localized_root,
+)
+
+#: Access-side metadata marks meaning "a transform localized me".
+_TRANSFORMED_MARKS = ("tfm.guarded", "tfm.chunked", "tfm.chase")
+#: Pending mark meaning "guard-analysis scheduled me for localization".
+_PENDING_MARK = "tfm.guard"
+
+_CHUNK_DEREFS = frozenset({"tfm_chunk_deref", "tfm_chunk_deref_write"})
+_CHUNK_BEGIN = "tfm_chunk_begin"
+
+
+class GuardSafetyChecker:
+    """Run every check over one defined function."""
+
+    def __init__(self, func: Function, strict: bool = True) -> None:
+        self.func = func
+        self.strict = strict
+        self.cfg = CFG(func)
+        self.dom = DominatorTree(self.cfg)
+        self.reaching = ReachingGuards(func, self.cfg).run()
+        self.prov = ProvenanceAnalysis(func)
+        self.diags: List[Diagnostic] = []
+        self._chunk_begins = self._collect_chunk_begins()
+
+    # -- driver ---------------------------------------------------------
+
+    def check(self) -> List[Diagnostic]:
+        reachable = self.cfg.reachable()
+        for block in self.func.blocks:
+            if block not in reachable:
+                continue
+            state = self.reaching.in_state(block)
+            if not isinstance(state, frozenset):
+                continue  # unreached by the dataflow (degenerate CFG)
+            for inst in block.instructions:
+                self._check_instruction(inst, state)
+                state = self.reaching.transfer(inst, state)
+        return self.diags
+
+    def _emit(
+        self, code: str, severity: Severity, message: str, inst: Instruction
+    ) -> None:
+        self.diags.append(Diagnostic.at(code, severity, message, inst))
+
+    # -- per-instruction dispatch ---------------------------------------
+
+    def _check_instruction(self, inst: Instruction, state: frozenset) -> None:
+        if isinstance(inst, Phi):
+            self._check_phi(inst)
+            return
+        self._check_localized_uses(inst, state)
+        if isinstance(inst, (Load, Store)):
+            self._check_deref(inst, state)
+            self._check_chunk_mark(inst)
+        if isinstance(inst, Call):
+            if inst.callee in _CHUNK_DEREFS:
+                self._check_chunk_deref(inst)
+            if is_localizer(inst):
+                self._check_guard_target(inst)
+            if is_pure_guard(inst):
+                self._check_redundant_guard(inst, state)
+
+    # -- escape / staleness ---------------------------------------------
+
+    def _check_localized_uses(self, inst: Instruction, state: frozenset) -> None:
+        for i, op in enumerate(inst.operands):
+            guard = localized_root(op)
+            if guard is None:
+                continue
+            if guard not in state:
+                self._emit(
+                    STALE_LOCALIZED,
+                    Severity.ERROR,
+                    f"localized address %{guard.name} (from @{guard.callee}) "
+                    "used after a potential evacuation point",
+                    inst,
+                )
+            self._check_escape(inst, op, i, guard)
+
+    def _check_escape(
+        self, inst: Instruction, op: Value, index: int, guard: Call
+    ) -> None:
+        where: Optional[str] = None
+        if isinstance(inst, Store) and index == 0:
+            where = "stored to memory"
+        elif isinstance(inst, Ret):
+            where = "returned from the function"
+        elif isinstance(inst, Call):
+            where = f"passed to call @{inst.callee}"
+        elif isinstance(inst, PtrToInt):
+            where = "cast to an integer (laundering the localization)"
+        elif isinstance(inst, Select) and index in (1, 2):
+            other = inst.operands[2 if index == 1 else 1]
+            if localized_root(other) is None:
+                where = "select-merged with an unlocalized pointer"
+        if where is not None:
+            self._emit(
+                LOCALIZED_ESCAPE,
+                Severity.ERROR,
+                f"localized address %{guard.name} (from @{guard.callee}) "
+                f"escapes its guard window: {where}",
+                inst,
+            )
+
+    def _check_phi(self, phi: Phi) -> None:
+        roots = [(value, pred, localized_root(value)) for value, pred in phi.incoming]
+        localized = [r for r in roots if r[2] is not None]
+        if not localized:
+            return
+        if len(localized) < len(roots):
+            value, _pred, guard = localized[0]
+            assert guard is not None
+            self._emit(
+                LOCALIZED_ESCAPE,
+                Severity.ERROR,
+                f"localized address %{guard.name} (from @{guard.callee}) "
+                "phi-merged with unlocalized pointers",
+                phi,
+            )
+        for _value, pred, guard in localized:
+            assert guard is not None
+            out = self.reaching.out_state(pred)
+            if isinstance(out, frozenset) and guard not in out:
+                self._emit(
+                    STALE_LOCALIZED,
+                    Severity.ERROR,
+                    f"localized address %{guard.name} flows along the edge "
+                    f"%{pred.name} -> %{phi.parent.name if phi.parent else '?'} "
+                    "after a potential evacuation point",
+                    phi,
+                )
+
+    # -- unguarded dereference ------------------------------------------
+
+    def _check_deref(self, inst: Instruction, state: frozenset) -> None:
+        assert isinstance(inst, (Load, Store))
+        ptr = inst.pointer
+        if localized_root(ptr) is not None:
+            return  # validity already checked by _check_localized_uses
+        if not self.prov.of(ptr).may_be_heap():
+            return  # provably stack/global: no guard needed (§3.1)
+        marks = [m for m in _TRANSFORMED_MARKS if inst.metadata.get(m)]
+        if marks:
+            self._emit(
+                UNGUARDED_DEREF,
+                Severity.ERROR,
+                f"access marked {marks[0]!r} but its pointer is not a "
+                "localized address — a pass dropped or bypassed the guard",
+                inst,
+            )
+            return
+        if not self.strict:
+            return  # untransformed-yet access; only strict mode demands it
+        if inst.metadata.get(_PENDING_MARK):
+            message = (
+                "guard candidate was never transformed (pipeline ended "
+                "with the 'tfm.guard' mark still pending)"
+            )
+        else:
+            message = (
+                "heap-may pointer dereferenced without a guard or "
+                "locality-guarded chunk/chase deref"
+            )
+        self._emit(UNGUARDED_DEREF, Severity.ERROR, message, inst)
+
+    # -- chunk protocol --------------------------------------------------
+
+    def _collect_chunk_begins(self) -> List[Tuple[Call, BasicBlock, int]]:
+        begins: List[Tuple[Call, BasicBlock, int]] = []
+        for block in self.func.blocks:
+            for i, inst in enumerate(block.instructions):
+                if isinstance(inst, Call) and inst.callee == _CHUNK_BEGIN:
+                    begins.append((inst, block, i))
+        return begins
+
+    def _check_chunk_mark(self, inst: Instruction) -> None:
+        assert isinstance(inst, (Load, Store))
+        if not inst.metadata.get("tfm.chunked"):
+            return
+        root = localized_root(inst.pointer)
+        if root is None or root.callee not in _CHUNK_DEREFS:
+            self._emit(
+                CHUNK_INVARIANT,
+                Severity.ERROR,
+                "access marked 'tfm.chunked' is not routed through a "
+                "boundary-checked tfm_chunk_deref",
+                inst,
+            )
+
+    def _check_chunk_deref(self, deref: Call) -> None:
+        if len(deref.args) < 2 or not isinstance(deref.args[1], Constant):
+            self._emit(
+                CHUNK_INVARIANT,
+                Severity.ERROR,
+                "chunk deref has no constant stream id; the runtime cannot "
+                "associate it with its tfm_chunk_begin",
+                deref,
+            )
+            return
+        stream = deref.args[1]
+        block = deref.parent
+        assert block is not None
+        index = block.index_of(deref)
+        for begin, bblock, bindex in self._chunk_begins:
+            if not begin.args or not isinstance(begin.args[0], Constant):
+                continue
+            if begin.args[0] != stream:
+                continue
+            if bblock is block and bindex < index:
+                return
+            if bblock is not block and self.dom.dominates(bblock, block):
+                return
+        self._emit(
+            CHUNK_INVARIANT,
+            Severity.ERROR,
+            f"chunk deref of stream {stream.value} is not dominated by a "
+            "tfm_chunk_begin for that stream (locality guard never set up)",
+            deref,
+        )
+
+    # -- lints -----------------------------------------------------------
+
+    def _check_guard_target(self, guard: Call) -> None:
+        ptr = guarded_pointer(guard)
+        if ptr is None:
+            return
+        if self.prov.of(ptr).definitely_local_only():
+            self._emit(
+                GUARD_ON_LOCAL,
+                Severity.WARNING,
+                f"guard @{guard.callee} protects a pointer provenance proves "
+                "is stack/global-only; the custody check is wasted",
+                guard,
+            )
+
+    def _check_redundant_guard(self, guard: Call, state: frozenset) -> None:
+        ptr = guarded_pointer(guard)
+        if ptr is None:
+            return
+        for earlier in state:
+            if earlier is guard or not is_pure_guard(earlier):
+                continue
+            if guarded_pointer(earlier) is not ptr:
+                continue
+            # A write guard establishes custody for reads too; a read
+            # guard does not cover a later write's dirty tracking.
+            if guard.callee == "tfm_guard_write" and earlier.callee != "tfm_guard_write":
+                continue
+            self._emit(
+                REDUNDANT_GUARD,
+                Severity.WARNING,
+                f"guard dominated by %{earlier.name} (@{earlier.callee}) on "
+                "the same pointer with no intervening evacuation point; "
+                "a guard-elision pass could drop it",
+                guard,
+            )
+            return
+
+
+def check_function(func: Function, strict: bool = True) -> List[Diagnostic]:
+    """All guard-safety diagnostics for one defined function."""
+    if func.is_declaration:
+        return []
+    return GuardSafetyChecker(func, strict=strict).check()

@@ -1,0 +1,45 @@
+"""The Sanitizer facade: run every guard-safety check over a module."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.module import Module
+from repro.sanitizer.checks import check_function
+from repro.sanitizer.diagnostics import Diagnostic, SanitizerReport
+
+
+class Sanitizer:
+    """Guard-safety sanitizer over whole modules.
+
+    ``strict=True`` (the default; post-pipeline and CLI behaviour)
+    demands the finished-compilation invariant: every heap-may
+    dereference localized.  ``strict=False`` is the between-passes mode:
+    it only validates invariants transforms claim to have established,
+    so it can run after *any* pipeline stage without false positives —
+    which is what lets ``verify_guards`` bisect a broken pipeline to the
+    pass that broke it.
+    """
+
+    def __init__(self, strict: bool = True, max_diagnostics: int = 1000) -> None:
+        self.strict = strict
+        self.max_diagnostics = max_diagnostics
+
+    def run(self, module: Module) -> SanitizerReport:
+        """Check every defined function; findings sorted errors-first."""
+        report = SanitizerReport(module_name=module.name, strict=self.strict)
+        for func in module.defined_functions():
+            report.diagnostics.extend(self.run_function(func))
+            if len(report.diagnostics) >= self.max_diagnostics:
+                break
+        report.diagnostics.sort(key=lambda d: (d.severity.value, d.code))
+        del report.diagnostics[self.max_diagnostics:]
+        return report
+
+    def run_function(self, func) -> List[Diagnostic]:
+        return check_function(func, strict=self.strict)
+
+
+def sanitize_module(module: Module, strict: bool = True) -> SanitizerReport:
+    """One-shot convenience wrapper around :class:`Sanitizer`."""
+    return Sanitizer(strict=strict).run(module)

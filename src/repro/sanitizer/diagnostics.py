@@ -1,0 +1,140 @@
+"""Structured diagnostics for the guard-safety sanitizer.
+
+Every finding carries a machine-readable code, a severity, and a
+precise location (function, block, instruction), so CI can gate on
+errors while humans and tools triage the rest.
+
+Code space::
+
+    TFM-S1xx   errors — the compiled module is unsafe under far memory
+    TFM-S2xx   lints  — safe but wasteful; fodder for optimizations
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ir.instructions import Instruction
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+#: A heap-may load/store dereferences a pointer that never passed
+#: through a guard (or chunk/chase locality deref) on some path.
+UNGUARDED_DEREF = "TFM-S101"
+#: A localized (guard-returned) address escapes: stored to memory,
+#: returned, passed to a call, or phi-merged with unlocalized values.
+LOCALIZED_ESCAPE = "TFM-S102"
+#: A localized address is used after a potential evacuation point, so
+#: the object it names may have moved remote since the guard ran.
+STALE_LOCALIZED = "TFM-S103"
+#: A chunked access violates the chunk protocol: not routed through a
+#: locality-guarded deref, or no dominating ``tfm_chunk_begin``.
+CHUNK_INVARIANT = "TFM-S104"
+#: A guard is dominated by an earlier guard of the same pointer with no
+#: intervening evacuation point; a guard-elision pass could drop it.
+REDUNDANT_GUARD = "TFM-S201"
+#: A guard protects a pointer that provenance proves can never be a
+#: TrackFM pointer (stack/global only) — a wasted custody check.
+GUARD_ON_LOCAL = "TFM-S202"
+
+#: Human one-liners keyed by code, for ``--explain`` style output.
+CODE_SUMMARIES = {
+    UNGUARDED_DEREF: "heap-may dereference not covered by a guard",
+    LOCALIZED_ESCAPE: "localized address escapes its guard window",
+    STALE_LOCALIZED: "localized address used across an evacuation point",
+    CHUNK_INVARIANT: "chunked access breaks the chunk protocol",
+    REDUNDANT_GUARD: "guard dominated by an equivalent earlier guard",
+    GUARD_ON_LOCAL: "guard on a provably stack/global-only pointer",
+}
+
+
+@dataclass
+class Diagnostic:
+    """One sanitizer finding, locatable and machine-readable."""
+
+    code: str
+    severity: Severity
+    message: str
+    function: str
+    block: str = ""
+    instruction: str = ""
+
+    @classmethod
+    def at(
+        cls,
+        code: str,
+        severity: Severity,
+        message: str,
+        inst: Instruction,
+    ) -> "Diagnostic":
+        """Build a diagnostic anchored at ``inst``."""
+        block = inst.parent
+        func = block.parent if block is not None else None
+        return cls(
+            code=code,
+            severity=severity,
+            message=message,
+            function=func.name if func is not None else "?",
+            block=block.name if block is not None else "?",
+            instruction=inst.render(),
+        )
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def render(self) -> str:
+        """``error[TFM-S101] @main %body: 'load i64, %p': message``."""
+        loc = f"@{self.function}"
+        if self.block:
+            loc += f" %{self.block}"
+        at = f" '{self.instruction}'" if self.instruction else ""
+        return f"{self.severity.value}[{self.code}] {loc}:{at} {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+@dataclass
+class SanitizerReport:
+    """All findings from one sanitizer run over a module."""
+
+    module_name: str
+    strict: bool
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (lints do not fail a run)."""
+        return not self.errors
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def render(self, max_lines: Optional[int] = None) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        if max_lines is not None and len(lines) > max_lines:
+            lines = lines[:max_lines] + [f"... {len(lines) - max_lines} more"]
+        mode = "strict" if self.strict else "incremental"
+        lines.append(
+            f"{self.module_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) [{mode}]"
+        )
+        return "\n".join(lines)

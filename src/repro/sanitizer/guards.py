@@ -1,0 +1,122 @@
+"""Guard/evacuation classification and the reaching-guards dataflow.
+
+The sanitizer's core question is flow-sensitive: *at this program
+point, which localized addresses are still valid?*  A localizer call
+(``tfm_guard_read``/``tfm_guard_write``, the chunk locality derefs, the
+chase derefs) returns a canonical address whose object is guaranteed
+local — but only until the next *evacuation point*: any runtime entry
+(another guard, an allocator call, a chunk begin/end) or an unknown
+call may trigger evacuation and move the object remote, after which the
+canonical address is a dangling raw pointer (§3.3).
+
+:class:`ReachingGuards` runs the generic engine forward with
+intersection join (a localized address is valid only if valid on *all*
+paths): the state is the frozenset of localizer ``Call`` instructions
+whose results are currently safe to dereference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dataflow import DataflowAnalysis, Direction
+from repro.ir.instructions import Call, Gep, Instruction
+from repro.ir.values import Value
+
+#: Runtime calls whose pointer result is a *localized* canonical
+#: address: the guards proper (Fig. 4), the chunk boundary-check +
+#: locality-guard derefs (Fig. 5), and the chase-prefetch derefs.
+LOCALIZER_CALLS = frozenset(
+    {
+        "tfm_guard_read",
+        "tfm_guard_write",
+        "tfm_chunk_deref",
+        "tfm_chunk_deref_write",
+        "tfm_chase_deref",
+        "tfm_chase_deref_write",
+    }
+)
+
+#: The pure guards (for the redundant-guard lint; chunk/chase derefs
+#: carry stream bookkeeping, so eliding them is not a pure win).
+PURE_GUARD_CALLS = frozenset({"tfm_guard_read", "tfm_guard_write"})
+
+#: Callees that can never enter the TrackFM runtime and therefore never
+#: evacuate an object: compile-time address formation, the simulator's
+#: print/abort builtins, and LLVM intrinsics.
+_SAFE_CALL_PREFIXES = ("global_addr.", "llvm.")
+_SAFE_CALLS = frozenset({"print_i64", "print_f64", "abort"})
+
+
+def is_localizer(inst: Instruction) -> bool:
+    """Does ``inst`` return a localized (canonical, pinned-ish) address?"""
+    return isinstance(inst, Call) and inst.callee in LOCALIZER_CALLS
+
+
+def is_pure_guard(inst: Instruction) -> bool:
+    return isinstance(inst, Call) and inst.callee in PURE_GUARD_CALLS
+
+
+def is_evacuation_point(inst: Instruction) -> bool:
+    """May executing ``inst`` evacuate (move remote) a local object?
+
+    Conservatively, every call is an evacuation point unless it is in
+    the known-safe set: runtime entries evacuate by design, and calls
+    to defined or unknown functions may reach the runtime transitively.
+    Localizer calls are themselves evacuation points *for other
+    objects* — guarding ``q`` may evict the object behind ``p``.
+    """
+    if not isinstance(inst, Call):
+        return False
+    if inst.callee in _SAFE_CALLS:
+        return False
+    return not any(inst.callee.startswith(p) for p in _SAFE_CALL_PREFIXES)
+
+
+def guarded_pointer(inst: Call) -> Optional[Value]:
+    """The raw (non-canonical) pointer a localizer call protects."""
+    if inst.callee in LOCALIZER_CALLS and inst.args:
+        return inst.args[0]
+    return None
+
+
+def localized_root(value: Value) -> Optional[Call]:
+    """The localizer call ``value`` derives from through geps, if any.
+
+    Guard results are canonical addresses; pointer arithmetic on them
+    stays within the localized object, so the sanitizer treats
+    ``gep(gep(guard, i), j)`` as the same localized address (the
+    GEP-transparency the reaching-guards check needs).
+    """
+    node = value
+    while isinstance(node, Gep):
+        node = node.base
+    if isinstance(node, Call) and is_localizer(node):
+        return node
+    return None
+
+
+class ReachingGuards(DataflowAnalysis):
+    """Forward must-analysis: which localized addresses are valid here.
+
+    State: ``frozenset`` of localizer :class:`Call` instructions whose
+    results may still be dereferenced.  An evacuation point kills the
+    whole set; a localizer call then gens itself (kill happens first —
+    the guard may evict every *other* local object before pinning its
+    own target).  Join is intersection: validity must hold on all paths.
+    """
+
+    direction = Direction.FORWARD
+
+    def boundary_state(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def transfer(self, inst: Instruction, state: frozenset) -> frozenset:
+        if is_evacuation_point(inst):
+            state = frozenset()
+        if is_localizer(inst):
+            state = state | {inst}
+        return state

@@ -1,0 +1,540 @@
+"""Guard-safety sanitizer: dataflow engine, checks, CLI, pipeline hook.
+
+The adversarial fixtures hand-build modules that violate exactly one
+invariant each and assert the matching diagnostic code fires; the
+clean-run tests push every IR program this repo builds through the full
+default pipeline and require zero errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from irprograms import build_sum_loop, build_write_then_sum
+
+from repro.analysis import LiveVariables
+from repro.analysis.dataflow import TOP
+from repro.compiler.guard_transform import GUARDED_MD
+from repro.compiler.pass_manager import Pass
+from repro.compiler.pipeline import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+from repro.errors import IRVerifyError, PassError
+from repro.ir import IRBuilder, Module, I64, PTR, parse_module, print_module
+from repro.ir.instructions import Call, CondBr, Load, Phi, Ret, Store
+from repro.ir.values import Constant
+from repro.ir.verifier import verify_module
+from repro.sanitizer import (
+    CHUNK_INVARIANT,
+    GUARD_ON_LOCAL,
+    LOCALIZED_ESCAPE,
+    REDUNDANT_GUARD,
+    STALE_LOCALIZED,
+    UNGUARDED_DEREF,
+    ReachingGuards,
+    Sanitizer,
+    sanitize_module,
+)
+from repro.sanitizer.__main__ import main as sanitizer_cli
+from repro.workloads.nas import NAS_SUITE, build_nas_ir
+from repro.workloads.nas_kernels import (
+    build_cg_kernel,
+    build_ft_kernel,
+    build_is_kernel,
+    build_mg_kernel,
+    build_sp_kernel,
+)
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+def error_codes(report):
+    return {d.code for d in report.errors}
+
+
+# ---------------------------------------------------------------------------
+# adversarial fixture builders
+# ---------------------------------------------------------------------------
+
+
+def build_dropped_guard() -> Module:
+    """A heap load that never goes through a guard."""
+    m = Module("dropped_guard")
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+    v = b.load(I64, p, name="v")
+    b.ret(v)
+    return m
+
+
+def build_escaped_localized() -> Module:
+    """A guard result returned from the function."""
+    m = Module("escaped")
+    f = m.add_function("main", PTR)
+    b = IRBuilder(f.add_block("entry"))
+    p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+    g = b.call(PTR, "tfm_guard_read", [p], name="g")
+    b.ret(g)
+    return m
+
+
+def build_chunked_without_begin() -> Module:
+    """A chunk deref whose stream was never set up."""
+    m = Module("chunk_no_begin")
+    f = m.add_function("main", I64)
+    b = IRBuilder(f.add_block("entry"))
+    p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+    d = b.call(PTR, "tfm_chunk_deref", [p, Constant(I64, 0)], name="d")
+    v = b.load(I64, d, name="v")
+    b.ret(v)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# dataflow engine
+# ---------------------------------------------------------------------------
+
+
+class TestDataflowEngine:
+    def test_liveness_on_sum_loop(self):
+        m = build_sum_loop()
+        f = m.get_function("main")
+        live = LiveVariables(f).run()
+        header = f.get_block("header")
+        p = next(i for i in f.instructions() if i.name == "p")
+        # p (the malloc) is used in the body every iteration, so it is
+        # live into the header; but not live into the entry block where
+        # it is defined.
+        assert p in live.in_state(header)
+        assert p not in live.in_state(f.get_block("entry"))
+
+    def test_liveness_state_queries(self):
+        m = build_sum_loop()
+        f = m.get_function("main")
+        live = LiveVariables(f).run()
+        body = f.get_block("body")
+        load = next(i for i in body.instructions if isinstance(i, Load))
+        # The loaded value is consumed by the add right after it.
+        assert load in live.state_after(load)
+
+    def test_reaching_guards_straight_line_and_kill(self):
+        m = Module("rg")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        g = b.call(PTR, "tfm_guard_read", [p], name="g")
+        v = b.load(I64, g, name="v")
+        q = b.call(PTR, "tfm_malloc", [Constant(I64, 8)], name="q")
+        b.ret(v)
+        rg = ReachingGuards(f).run()
+        assert g in rg.state_before(v)
+        # The second malloc is an evacuation point: kills the guard.
+        assert g not in rg.state_after(q)
+
+    def test_reaching_guards_joins_by_intersection(self):
+        m = Module("rgjoin")
+        f = m.add_function("main", I64, [I64], ["c"])
+        entry = f.add_block("entry")
+        a = f.add_block("a")
+        bb = f.add_block("b")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        b.condbr(b.icmp("ne", f.args[0], Constant(I64, 0)), a, bb)
+        b.set_block(a)
+        g = b.call(PTR, "tfm_guard_read", [p], name="g")
+        b.br(join)
+        b.set_block(bb)
+        b.br(join)
+        b.set_block(join)
+        b.ret(Constant(I64, 0))
+        rg = ReachingGuards(f).run()
+        assert g in rg.out_state(a)
+        # Guarded on only one path: invalid at the merge.
+        assert g not in rg.in_state(join)
+
+    def test_unreachable_blocks_stay_top(self):
+        m = Module("unreach")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(Constant(I64, 0))
+        dead = f.add_block("dead")
+        IRBuilder(dead).ret(Constant(I64, 1))
+        rg = ReachingGuards(f).run()
+        assert rg.in_state(dead) is TOP
+
+
+# ---------------------------------------------------------------------------
+# adversarial fixtures -> distinct diagnostic codes
+# ---------------------------------------------------------------------------
+
+
+class TestAdversarialFixtures:
+    def test_dropped_guard_fires_unguarded_deref(self):
+        report = sanitize_module(build_dropped_guard())
+        assert not report.ok
+        assert error_codes(report) == {UNGUARDED_DEREF}
+        diag = report.errors[0]
+        assert diag.function == "main" and diag.block == "entry"
+        assert "load" in diag.instruction
+
+    def test_returned_localized_fires_escape(self):
+        report = sanitize_module(build_escaped_localized())
+        assert LOCALIZED_ESCAPE in error_codes(report)
+
+    def test_stored_localized_fires_escape(self):
+        m = Module("stored")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8, name="slot")
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        g = b.call(PTR, "tfm_guard_read", [p], name="g")
+        b.store(g, slot)
+        b.ret(Constant(I64, 0))
+        report = sanitize_module(m)
+        assert LOCALIZED_ESCAPE in error_codes(report)
+        assert "stored to memory" in report.by_code(LOCALIZED_ESCAPE)[0].message
+
+    def test_phi_merge_with_unlocalized_fires_escape(self):
+        m = Module("phimerge")
+        f = m.add_function("main", I64, [I64], ["c"])
+        entry = f.add_block("entry")
+        a = f.add_block("a")
+        bb = f.add_block("b")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        b.condbr(b.icmp("ne", f.args[0], Constant(I64, 0)), a, bb)
+        b.set_block(a)
+        g = b.call(PTR, "tfm_guard_read", [p], name="g")
+        b.br(join)
+        b.set_block(bb)
+        b.br(join)
+        b.set_block(join)
+        q = b.phi(PTR, name="q")
+        q.add_incoming(g, a)
+        q.add_incoming(p, bb)
+        b.ret(Constant(I64, 0))
+        report = sanitize_module(m)
+        assert LOCALIZED_ESCAPE in error_codes(report)
+
+    def test_use_across_evacuation_fires_stale(self):
+        m = Module("stale")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        g = b.call(PTR, "tfm_guard_read", [p], name="g")
+        b.call(PTR, "tfm_malloc", [Constant(I64, 8)], name="q")
+        v = b.load(I64, g, name="v")
+        b.ret(v)
+        report = sanitize_module(m)
+        assert STALE_LOCALIZED in error_codes(report)
+
+    def test_gep_transparency_over_localized(self):
+        """A gep over a guard result is still the localized address."""
+        m = Module("gepok")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        g = b.call(PTR, "tfm_guard_read", [p], name="g")
+        v = b.load(I64, b.gep(g, Constant(I64, 2), 8, name="addr"), name="v")
+        b.ret(v)
+        report = sanitize_module(m)
+        assert report.ok
+
+    def test_chunk_deref_without_begin_fires_chunk_invariant(self):
+        report = sanitize_module(build_chunked_without_begin())
+        assert CHUNK_INVARIANT in error_codes(report)
+
+    def test_chunk_mark_without_deref_fires_chunk_invariant(self):
+        m = Module("chunkmark")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        v = b.load(I64, p, name="v")
+        v.metadata["tfm.chunked"] = True
+        b.ret(v)
+        report = sanitize_module(m)
+        assert CHUNK_INVARIANT in error_codes(report)
+
+    def test_three_fixtures_have_distinct_codes(self):
+        """Acceptance: dropped guard / escape / chunk map 1:1 to codes."""
+        dropped = error_codes(sanitize_module(build_dropped_guard()))
+        escaped = error_codes(sanitize_module(build_escaped_localized()))
+        chunked = error_codes(sanitize_module(build_chunked_without_begin()))
+        assert UNGUARDED_DEREF in dropped and UNGUARDED_DEREF not in (escaped | chunked)
+        assert LOCALIZED_ESCAPE in escaped and LOCALIZED_ESCAPE not in (dropped | chunked)
+        assert CHUNK_INVARIANT in chunked and CHUNK_INVARIANT not in (dropped | escaped)
+
+
+class TestLints:
+    def test_redundant_guard_lint(self):
+        m = Module("redundant")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        g1 = b.call(PTR, "tfm_guard_read", [p], name="g1")
+        v1 = b.load(I64, g1, name="v1")
+        g2 = b.call(PTR, "tfm_guard_read", [p], name="g2")
+        v2 = b.load(I64, g2, name="v2")
+        b.ret(b.add(v1, v2))
+        report = sanitize_module(m)
+        assert report.ok  # a lint, not an error
+        assert [d.code for d in report.warnings] == [REDUNDANT_GUARD]
+
+    def test_write_guard_not_covered_by_read_guard(self):
+        m = Module("wnotr")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        g1 = b.call(PTR, "tfm_guard_read", [p], name="g1")
+        v1 = b.load(I64, g1, name="v1")
+        g2 = b.call(PTR, "tfm_guard_write", [p], name="g2")
+        b.store(v1, g2)
+        b.ret(v1)
+        report = sanitize_module(m)
+        assert not report.by_code(REDUNDANT_GUARD)
+
+    def test_guard_on_stack_pointer_lint(self):
+        m = Module("wasted")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(8, name="slot")
+        g = b.call(PTR, "tfm_guard_read", [slot], name="g")
+        v = b.load(I64, g, name="v")
+        b.ret(v)
+        report = sanitize_module(m)
+        assert GUARD_ON_LOCAL in codes(report)
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# strict vs incremental mode
+# ---------------------------------------------------------------------------
+
+
+class TestModes:
+    def test_incremental_tolerates_untransformed_module(self):
+        m = build_dropped_guard()
+        assert Sanitizer(strict=False).run(m).ok
+        assert not Sanitizer(strict=True).run(m).ok
+
+    def test_incremental_rejects_broken_guarded_mark(self):
+        m = build_dropped_guard()
+        load = next(
+            i for i in m.get_function("main").instructions() if isinstance(i, Load)
+        )
+        load.metadata[GUARDED_MD] = True  # claims guarded; pointer is raw
+        report = Sanitizer(strict=False).run(m)
+        assert UNGUARDED_DEREF in error_codes(report)
+
+    def test_strict_flags_pending_guard_mark(self):
+        m = build_dropped_guard()
+        load = next(
+            i for i in m.get_function("main").instructions() if isinstance(i, Load)
+        )
+        load.metadata["tfm.guard"] = True  # scheduled but never transformed
+        report = Sanitizer(strict=True).run(m)
+        assert UNGUARDED_DEREF in error_codes(report)
+        assert "never transformed" in report.errors[0].message
+
+
+# ---------------------------------------------------------------------------
+# clean runs: every program this repo builds, full default pipeline
+# ---------------------------------------------------------------------------
+
+
+IR_BUILDERS = {
+    "sum_loop": build_sum_loop,
+    "write_then_sum": build_write_then_sum,
+    "nas_cg_kernel": build_cg_kernel,
+    "nas_is_kernel": build_is_kernel,
+    "nas_mg_kernel": build_mg_kernel,
+    "nas_sp_kernel": build_sp_kernel,
+    "nas_ft_kernel": build_ft_kernel,
+}
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("name", sorted(IR_BUILDERS))
+    def test_pipeline_output_is_guard_safe(self, name):
+        module = IR_BUILDERS[name]()
+        result = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        report = result.ctx.results["sanitizer_report"]
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("bench", [b.name for b in NAS_SUITE])
+    def test_nas_suite_is_guard_safe(self, bench):
+        module = build_nas_ir(bench, n=32)
+        result = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        assert result.ctx.results["sanitizer_report"].ok
+
+    def test_printed_pipeline_output_reparses_clean(self):
+        """The CLI path: print -> parse -> strict sanitize, no errors."""
+        module = build_write_then_sum()
+        TrackFMCompiler(CompilerConfig()).compile(module)
+        reparsed = parse_module(print_module(module))
+        verify_module(reparsed)
+        assert sanitize_module(reparsed).ok
+
+    def test_per_pass_reports_are_recorded(self):
+        module = build_sum_loop()
+        result = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        per_pass = result.ctx.results["sanitizer_per_pass"]
+        assert "guard-transform" in per_pass
+        assert all(rep.ok for rep in per_pass.values())
+
+
+# ---------------------------------------------------------------------------
+# pipeline bisection: verify_guards names the breaking pass
+# ---------------------------------------------------------------------------
+
+
+class _GuardBreakerPass(Pass):
+    """Reroute every guarded access back to its raw pointer (sabotage)."""
+
+    name = "guard-breaker"
+
+    def run(self, module, ctx):
+        for func in module.defined_functions():
+            for inst in func.instructions():
+                if not isinstance(inst, (Load, Store)):
+                    continue
+                guard = inst.pointer
+                if isinstance(guard, Call) and guard.callee.startswith("tfm_guard"):
+                    inst.replace_uses_of(guard, guard.args[0])
+
+
+class _SabotagedCompiler(TrackFMCompiler):
+    def build_pipeline(self):
+        return super().build_pipeline() + [_GuardBreakerPass()]
+
+
+class TestPipelineBisection:
+    def test_verify_guards_names_breaking_pass(self):
+        module = build_sum_loop()
+        compiler = _SabotagedCompiler(CompilerConfig(verify_guards=True))
+        with pytest.raises(PassError, match="guard-breaker"):
+            compiler.compile(module)
+
+    def test_sabotage_goes_unnoticed_without_verify_guards(self):
+        module = build_sum_loop()
+        _SabotagedCompiler(CompilerConfig()).compile(module)  # no error
+        assert not sanitize_module(module).ok
+
+
+# ---------------------------------------------------------------------------
+# verifier satellites
+# ---------------------------------------------------------------------------
+
+
+class TestVerifierSatellites:
+    def _double_edge_func(self, incoming_count):
+        m = Module("dup")
+        f = m.add_function("main", I64, [I64], ["c"])
+        entry = f.add_block("entry")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("ne", f.args[0], Constant(I64, 0))
+        entry.append(CondBr(cond, join, join))  # both arms -> join
+        b.set_block(join)
+        phi = Phi(I64, name="x")
+        for _ in range(incoming_count):
+            phi.add_incoming(Constant(I64, 1), entry)
+        join.insert(0, phi)
+        phi.parent = join
+        join.append(Ret(phi))
+        return m
+
+    def test_phi_needs_one_incoming_per_duplicate_edge(self):
+        # Two edges from entry -> join: two incoming entries verify...
+        verify_module(self._double_edge_func(2))
+        # ...but a single entry (edge-count disagreement) is rejected.
+        with pytest.raises(IRVerifyError, match="multiset"):
+            verify_module(self._double_edge_func(1))
+
+    def test_intrinsic_arity_checked(self):
+        m = Module("arity")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        p = b.call(PTR, "tfm_malloc", [Constant(I64, 64)], name="p")
+        b.call(PTR, "tfm_guard_read", [p, Constant(I64, 1)], name="g")
+        b.ret(Constant(I64, 0))
+        with pytest.raises(IRVerifyError, match="tfm_guard_read expects 1"):
+            verify_module(m)
+
+    def test_chunk_begin_arity_checked(self):
+        m = Module("arity2")
+        f = m.add_function("main", I64)
+        b = IRBuilder(f.add_block("entry"))
+        from repro.ir.types import VOID
+
+        b.call(VOID, "tfm_chunk_begin", [Constant(I64, 0)])
+        b.ret(Constant(I64, 0))
+        with pytest.raises(IRVerifyError, match="tfm_chunk_begin expects 2"):
+            verify_module(m)
+
+
+# ---------------------------------------------------------------------------
+# guard <-> access metadata link
+# ---------------------------------------------------------------------------
+
+
+class TestGuardAccessLink:
+    def test_guard_call_links_back_to_access(self):
+        module = build_sum_loop(n=4)
+        TrackFMCompiler(
+            CompilerConfig(chunking=ChunkingPolicy.NONE, enable_chase_prefetch=False)
+        ).compile(module)
+        f = module.get_function("main")
+        guards = [
+            i
+            for i in f.instructions()
+            if isinstance(i, Call) and i.callee.startswith("tfm_guard")
+        ]
+        assert guards
+        for guard in guards:
+            access = guard.metadata.get(GUARDED_MD)
+            assert isinstance(access, (Load, Store))
+            assert access.pointer is guard  # the link is the protected access
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def _write_ir(self, tmp_path, module, name):
+        path = tmp_path / name
+        path.write_text(print_module(module))
+        return str(path)
+
+    def test_clean_module_exits_zero(self, tmp_path, capsys):
+        module = build_write_then_sum()
+        TrackFMCompiler(CompilerConfig()).compile(module)
+        path = self._write_ir(tmp_path, module, "clean.ir")
+        assert sanitizer_cli([path]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_dropped_guard_exits_nonzero_with_coded_diag(self, tmp_path, capsys):
+        path = self._write_ir(tmp_path, build_dropped_guard(), "bad.ir")
+        assert sanitizer_cli([path]) == 1
+        out = capsys.readouterr().out
+        assert UNGUARDED_DEREF in out
+        assert "@main" in out and "%entry" in out
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.ir"
+        path.write_text("this is not IR\n")
+        assert sanitizer_cli([str(path)]) == 2
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert sanitizer_cli([str(tmp_path / "nope.ir")]) == 2
+
+    def test_explain_lists_codes(self, capsys):
+        assert sanitizer_cli(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in (UNGUARDED_DEREF, LOCALIZED_ESCAPE, CHUNK_INVARIANT):
+            assert code in out
