@@ -22,6 +22,18 @@ def run_experiment(benchmark, fn, *args, **kwargs):
         s.name: s.values for s in result.series
     }
     benchmark.extra_info["notes"] = result.notes
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None:
+        record_metrics(benchmark, metrics)
     print()
     print(result.to_text())
     return result
+
+
+def record_metrics(benchmark, metrics):
+    """Attach runtime counters in the canonical ``Metrics.as_dict`` form.
+
+    The same serialization the trace layer embeds in Chrome traces'
+    ``otherData``, so benchmark JSON and trace files agree field for field.
+    """
+    benchmark.extra_info["metrics"] = metrics.as_dict()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Export a Chrome trace of one full compile-and-run, ready for Perfetto.
+
+Runs the ``stream`` workload through the complete TrackFM pipeline with
+tracing on and writes:
+
+* ``trace_stream_trackfm.json``  — Chrome ``trace_event`` JSON: open it
+  at https://ui.perfetto.dev or ``chrome://tracing``.  Process 2 shows
+  the compiler passes on the wall clock; process 1 shows guards,
+  fetches and evictions on the simulated-cycle timeline.
+* ``trace_stream_trackfm.jsonl`` — the same events, one JSON object per
+  line, for grep/jq pipelines.
+
+Run:  python examples/export_trace.py [output-directory]
+
+Equivalent CLI:  python -m repro.trace --workload stream \\
+                     --runtime trackfm --out trace_stream_trackfm.json
+"""
+
+import sys
+from pathlib import Path
+
+from repro.trace import export_chrome_trace, export_jsonl, run_traced
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    result = run_traced("stream", "trackfm", seed=0)
+    chrome = out_dir / "trace_stream_trackfm.json"
+    jsonl = out_dir / "trace_stream_trackfm.jsonl"
+    export_chrome_trace(result.tracer, chrome, metadata=result.metadata())
+    lines = export_jsonl(result.tracer, jsonl)
+
+    summary = result.tracer.summary()
+    print(f"stream under trackfm: value={result.value}, "
+          f"{summary['events']} events {summary['by_category']}")
+    for name, stats in summary["histograms"].items():
+        print(f"  {name}: p50={stats['p50']:.0f} p95={stats['p95']:.0f} "
+              f"p99={stats['p99']:.0f} (n={stats['count']})")
+    print(f"wrote {chrome} and {jsonl} ({lines} lines)")
+    print("load the .json in https://ui.perfetto.dev to explore it")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

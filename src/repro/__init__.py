@@ -51,6 +51,13 @@ from repro.sim import LocalRuntime, Metrics
 from repro.sim.irrun import TrackFMProgram
 from repro.analysis import DataflowAnalysis, profile_module
 from repro.sanitizer import Diagnostic, Sanitizer, SanitizerReport, sanitize_module
+from repro.trace import (
+    NULL_TRACER,
+    StreamingHistogram,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -88,5 +95,10 @@ __all__ = [
     "SanitizerReport",
     "Diagnostic",
     "sanitize_module",
+    "Tracer",
+    "NULL_TRACER",
+    "StreamingHistogram",
+    "export_chrome_trace",
+    "export_jsonl",
     "__version__",
 ]

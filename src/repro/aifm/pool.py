@@ -33,6 +33,7 @@ from repro.machine.costs import CostTable, DEFAULT_COSTS
 from repro.net.backends import RemoteBackend, make_tcp_backend
 from repro.sim.metrics import Metrics
 from repro.sim.residency import ResidencySet
+from repro.trace.tracer import NULL_TRACER
 from repro.units import ceil_div, is_power_of_two, log2_exact
 
 
@@ -81,10 +82,13 @@ class ObjectPool:
         config: PoolConfig,
         backend: Optional[RemoteBackend] = None,
         metrics: Optional[Metrics] = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.backend = backend if backend is not None else make_tcp_backend()
         self.metrics = metrics if metrics is not None else Metrics()
+        #: Trace sink (disabled by default: one attribute check per event site).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.object_size = config.object_size
         self.object_shift = log2_exact(config.object_size)
         self.residency = ResidencySet(
@@ -157,12 +161,27 @@ class ObjectPool:
         outcome = self.residency.access(obj_id, write=write)
         cycles = 0.0
         if not outcome.hit:
-            cycles += self.backend.fetch(self.object_size, depth=depth)
+            fetch_cycles = self.backend.fetch(self.object_size, depth=depth)
+            cycles += fetch_cycles
             self.metrics.remote_fetches += 1
             self.metrics.bytes_fetched += self.object_size
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.fetch(
+                    self.object_size, fetch_cycles, self.metrics.cycles, obj_id=obj_id
+                )
         for victim, _dirty in outcome.evicted:
             self._set_remote(victim)
         cycles += self.evacuator.process(outcome.evicted, self.metrics)
+        if outcome.evicted:
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.evict(
+                    len(outcome.evicted) * self.object_size,
+                    self.metrics.cycles,
+                    n=len(outcome.evicted),
+                    dirty=sum(1 for _v, d in outcome.evicted if d),
+                )
         self._set_local(obj_id, dirty=self.residency.is_dirty(obj_id))
         return outcome.hit, cycles
 
@@ -179,6 +198,9 @@ class ObjectPool:
         self._check_id(obj_id)
         self.metrics.prefetches_issued += 1
         if obj_id in self.residency:
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.prefetch(self.object_size, self.metrics.cycles, useful=False)
             return 0.0
         evicted = self.residency.insert(obj_id)
         if depth is None:
@@ -192,6 +214,16 @@ class ObjectPool:
         for victim, _dirty in evicted:
             self._set_remote(victim)
         cost += self.evacuator.process(evicted, self.metrics)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.prefetch(self.object_size, self.metrics.cycles, useful=True)
+            if evicted:
+                tracer.evict(
+                    len(evicted) * self.object_size,
+                    self.metrics.cycles,
+                    n=len(evicted),
+                    dirty=sum(1 for _v, d in evicted if d),
+                )
         self._set_local(obj_id, dirty=False)
         return cost
 

@@ -39,13 +39,22 @@ class AIFMRuntime:
         backend: Optional[RemoteBackend] = None,
         prefetch_depth: int = 8,
         deref_overhead: float = AIFM_DEREF_OVERHEAD,
+        tracer=None,
     ) -> None:
         self.config = config
-        self.pool = ObjectPool(config, backend=backend)
+        self.pool = ObjectPool(config, backend=backend, tracer=tracer)
         self.allocator = RegionAllocator(config.heap_size, config.object_size)
         self.prefetcher = StridePrefetcher(depth=prefetch_depth) if prefetch_depth else None
         self.deref_overhead = deref_overhead
         self.object_size = config.object_size
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer (the pool is this runtime's only event source)."""
+        self.pool.tracer = tracer
+
+    @property
+    def tracer(self):
+        return self.pool.tracer
 
     @property
     def metrics(self) -> Metrics:
@@ -139,11 +148,26 @@ class AIFMRuntime:
             self.pool.backend.link.stats.bytes_fetched += misses * self.object_size
             self.metrics.prefetches_issued += misses
             self.metrics.prefetches_useful += misses
+            tracer = self.pool.tracer
+            if tracer.enabled:
+                tracer.fetch(
+                    misses * self.object_size, wire, self.metrics.cycles,
+                    n=misses, name="scan_fetch",
+                )
+                tracer.prefetch(
+                    misses * self.object_size, self.metrics.cycles,
+                    useful=True, n=misses, name="scan_prefetch",
+                )
             if kind is AccessKind.WRITE:
                 evict = self.pool.backend.link.wire_cycles(self.object_size)
                 cycles += misses * evict * self.pool.evacuator.sync_fraction
                 self.metrics.bytes_evacuated += misses * self.object_size
                 self.metrics.evictions += misses
+                if tracer.enabled:
+                    tracer.evict(
+                        misses * self.object_size, self.metrics.cycles,
+                        n=misses, dirty=misses, name="scan_evict",
+                    )
         self.metrics.accesses += n_elems
         self.metrics.cycles += cycles
         return cycles

@@ -130,7 +130,24 @@ class Mem2RegPass(Pass):
                 if pred in reachable:
                     phi.add_incoming(end_value(var, pred), pred)
 
-        # Rewrite loads and drop stores.
+        # The rewrite below deletes stores block by block; an end value
+        # computed lazily after that would miss them and fall back to
+        # the block-entry value.  Snapshot every end value from the
+        # still-pristine IR first.
+        for block in func.blocks:
+            if block in reachable:
+                for var in variables:
+                    end_value(var, block)
+
+        # Rewrite loads and drop stores.  A cached end value may itself
+        # be a load this rewrite removes; chase it to the live value.
+        replaced: Dict[Instruction, Value] = {}
+
+        def resolve(value: Value) -> Value:
+            while isinstance(value, Instruction) and value in replaced:
+                value = replaced[value]
+            return value
+
         for block in func.blocks:
             if block not in reachable:
                 continue
@@ -143,6 +160,8 @@ class Mem2RegPass(Pass):
                     value = current.get(var)
                     if value is None:
                         value = entry_value(var, block)
+                    value = resolve(value)
+                    replaced[inst] = value
                     func.replace_all_uses(inst, value)
                     block.remove(inst)
                 elif isinstance(inst, Store) and isinstance(inst.pointer, Alloca):

@@ -9,12 +9,14 @@ policies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import PassError
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
+from repro.trace.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.profiler import ProfileData
@@ -58,6 +60,12 @@ class PassManager:
     pipeline uses it to run the guard-safety sanitizer between stages
     (``CompilerConfig(verify_guards=True)``), which bisects a broken
     invariant to the exact pass that introduced it.
+
+    ``tracer`` (if enabled) records one ``pass`` event per pass on the
+    wall-clock track: duration, the IR instruction-count delta, and the
+    :class:`PassContext` stat counters the pass bumped.  Pass timing
+    includes the between-pass verifier and ``post_pass_hook`` work so
+    the trace answers "where did compile time go" end to end.
     """
 
     def __init__(
@@ -65,15 +73,22 @@ class PassManager:
         passes: List[Pass],
         verify_each: bool = True,
         post_pass_hook: Optional[Callable[[Pass, Module, PassContext], None]] = None,
+        tracer=None,
     ) -> None:
         if not passes:
             raise PassError("empty pass pipeline")
         self.passes = list(passes)
         self.verify_each = verify_each
         self.post_pass_hook = post_pass_hook
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self, module: Module, ctx: PassContext) -> None:
+        tracer = self.tracer
         for p in self.passes:
+            if tracer.enabled:
+                started_us = time.perf_counter() * 1e6
+                inst_before = module.instruction_count()
+                stats_before = dict(ctx.stats)
             p.run(module, ctx)
             if self.verify_each:
                 try:
@@ -84,6 +99,21 @@ class PassManager:
                     ) from exc
             if self.post_pass_hook is not None:
                 self.post_pass_hook(p, module, ctx)
+            if tracer.enabled:
+                now_us = time.perf_counter() * 1e6
+                stats_delta = {
+                    k: v - stats_before.get(k, 0)
+                    for k, v in ctx.stats.items()
+                    if v != stats_before.get(k, 0)
+                }
+                tracer.pass_event(
+                    p.name,
+                    ts_us=started_us,
+                    dur_us=now_us - started_us,
+                    inst_before=inst_before,
+                    inst_after=module.instruction_count(),
+                    stats=stats_delta,
+                )
 
     def pass_names(self) -> List[str]:
         return [p.name for p in self.passes]

@@ -209,12 +209,17 @@ class TrackFMCompiler:
         return passes
 
     def compile(
-        self, module: Module, profile: Optional[ProfileData] = None
+        self,
+        module: Module,
+        profile: Optional[ProfileData] = None,
+        tracer=None,
     ) -> CompileResult:
         """Transform ``module`` for far memory; returns stats.
 
         ``profile`` (from :func:`repro.analysis.profiler.profile_module`
         on the *untransformed* module) sharpens the chunking cost model.
+        ``tracer`` (a :class:`repro.trace.Tracer`) records one ``pass``
+        event per pipeline stage on the wall-clock track.
         """
         ctx = PassContext(config=self.config, profile=profile)
         insts_before = module.instruction_count()
@@ -224,11 +229,19 @@ class TrackFMCompiler:
             self.build_pipeline(),
             verify_each=self.config.verify_between_passes,
             post_pass_hook=self._guard_hook() if self.config.verify_guards else None,
+            tracer=tracer,
         )
         pm.run(module, ctx)
         if self.config.verify_guards:
             self._sanitize_final(module, ctx)
         elapsed = time.perf_counter() - started
+        if tracer is not None and tracer.enabled:
+            tracer.counter(
+                "compile", started * 1e6, track="wall",
+                seconds=elapsed,
+                instructions_before=insts_before,
+                instructions_after=module.instruction_count(),
+            )
         return CompileResult(
             module=module,
             config=self.config,

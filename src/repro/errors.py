@@ -70,3 +70,7 @@ class WorkloadError(ReproError):
 
 class BenchError(ReproError):
     """A benchmark harness failure (bad sweep spec, missing series)."""
+
+
+class TraceError(ReproError):
+    """Trace-layer misuse (bad histogram config, unknown workload/runtime)."""

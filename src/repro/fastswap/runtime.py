@@ -10,6 +10,7 @@ from repro.machine.costs import AccessKind, CostTable, DEFAULT_COSTS
 from repro.net.backends import RemoteBackend, make_rdma_backend
 from repro.sim.metrics import Metrics
 from repro.sim.residency import ResidencySet
+from repro.trace.tracer import NULL_TRACER
 from repro.units import BASE_PAGE, align_up, ceil_div, is_power_of_two, log2_exact
 
 
@@ -58,10 +59,13 @@ class FastswapRuntime:
         self,
         config: FastswapConfig,
         backend: Optional[RemoteBackend] = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.backend = backend if backend is not None else make_rdma_backend()
         self.metrics = Metrics()
+        #: Trace sink (disabled by default: one attribute check per event site).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.page_shift = log2_exact(config.page_size)
         # Linux reclaim approximates LRU with active/inactive lists;
         # CLOCK-style second chance is the closest simple model.
@@ -112,12 +116,19 @@ class FastswapRuntime:
         outcome = self.residency.access(page, write=kind is AccessKind.WRITE)
         if outcome.hit:
             return 0.0
-        cycles = self.config.costs.fastswap_fault(kind, remote=True)
+        fault_cycles = self.config.costs.fastswap_fault(kind, remote=True)
+        cycles = fault_cycles
         self.metrics.major_faults += 1
         self.metrics.remote_fetches += 1
         self.metrics.bytes_fetched += self.page_size
         self.backend.link.stats.messages += 1
         self.backend.link.stats.bytes_fetched += self.page_size
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.fetch(
+                self.page_size, fault_cycles, self.metrics.cycles,
+                obj_id=page, name="major_fault",
+            )
         for _victim, dirty in outcome.evicted:
             cycles += self.config.reclaim_cycles
             self.metrics.evictions += 1
@@ -126,6 +137,11 @@ class FastswapRuntime:
                 cycles += wb * self.config.writeback_sync_fraction
                 self.metrics.bytes_evacuated += self.page_size
                 self.backend.link.stats.bytes_evicted += self.page_size
+            if tracer.enabled:
+                tracer.evict(
+                    self.page_size, self.metrics.cycles,
+                    dirty=int(dirty), name="reclaim",
+                )
         return cycles
 
     # -- closed-form scan ------------------------------------------------------
@@ -165,11 +181,22 @@ class FastswapRuntime:
         self.metrics.bytes_fetched += misses * self.page_size
         self.backend.link.stats.messages += misses
         self.backend.link.stats.bytes_fetched += misses * self.page_size
+        tracer = self.tracer
+        if tracer.enabled and misses:
+            tracer.fetch(
+                misses * self.page_size, costs.fastswap_fault(kind, remote=True),
+                self.metrics.cycles, n=misses, name="scan_fault",
+            )
         if kind is AccessKind.WRITE and misses:
             wb = self.backend.link.wire_cycles(self.page_size)
             cycles += misses * wb * self.config.writeback_sync_fraction
             self.metrics.bytes_evacuated += misses * self.page_size
             self.backend.link.stats.bytes_evicted += misses * self.page_size
+            if tracer.enabled:
+                tracer.evict(
+                    misses * self.page_size, self.metrics.cycles,
+                    n=misses, dirty=misses, name="scan_writeback",
+                )
         self.metrics.accesses += n_elems
         self.metrics.cycles += cycles
         return cycles

@@ -69,6 +69,15 @@ class HybridRuntime:
         self.page_fraction = page_fraction
         self._handles: Dict[int, HybridHandle] = {}
 
+    def set_tracer(self, tracer) -> None:
+        """Attach one tracer to both mechanisms (events share a timeline)."""
+        self.trackfm.set_tracer(tracer)
+        self.fastswap.tracer = tracer
+
+    @property
+    def tracer(self):
+        return self.trackfm.tracer
+
     # -- allocation -----------------------------------------------------
 
     def allocate(self, size: int, placement: Placement) -> HybridHandle:

@@ -49,8 +49,25 @@ class TrackFMProgram:
     # -- public API --------------------------------------------------------
 
     def run(self, entry: str = "main", args: Optional[List[object]] = None) -> InterpResult:
-        """Execute the transformed program."""
-        return self.interp.run(entry, args or [])
+        """Execute the transformed program.
+
+        When the runtime carries an enabled tracer, the whole interpreted
+        run is bracketed as a ``phase`` span on the simulated-cycle
+        timeline (so guard/fetch events nest under it in Perfetto).
+        """
+        tracer = self.runtime.tracer
+        if not tracer.enabled:
+            return self.interp.run(entry, args or [])
+        name = f"interpret:{entry}"
+        tracer.begin_phase(name, self.runtime.metrics.cycles)
+        try:
+            result = self.interp.run(entry, args or [])
+        finally:
+            tracer.end_phase(name, self.runtime.metrics.cycles)
+        tracer.counter(
+            "interp_steps", self.runtime.metrics.cycles, steps=result.steps
+        )
+        return result
 
     def twin_addr(self, tfm_ptr: int) -> int:
         """Canonical twin of a TrackFM pointer."""
@@ -264,6 +281,12 @@ class TrackFMProgram:
         runtime.metrics.bytes_fetched += self.OFFLOAD_MESSAGE_BYTES
         runtime.metrics.cycles += cycles
         runtime.metrics.remote_fetches += 1
+        tracer = runtime.tracer
+        if tracer.enabled:
+            tracer.fetch(
+                self.OFFLOAD_MESSAGE_BYTES, cycles, runtime.metrics.cycles,
+                n=1, name="offload_reduce",
+            )
 
         # The remote node computes over its authoritative copy — in the
         # simulation that is the twin memory.  Arithmetic matches the

@@ -112,3 +112,45 @@ class Metrics:
             prefetches_useful=self.prefetches_useful,
         )
         return copy
+
+    def as_dict(self) -> Dict[str, object]:
+        """The canonical JSON-safe form, shared by benchmarks and traces.
+
+        Guard counts are keyed by :class:`GuardKind` value strings and
+        sorted, so equal metrics serialize identically.
+        """
+        return {
+            "cycles": self.cycles,
+            "accesses": self.accesses,
+            "guards": {
+                kind.value: n
+                for kind, n in sorted(self.guards.items(), key=lambda kv: kv[0].value)
+            },
+            "minor_faults": self.minor_faults,
+            "major_faults": self.major_faults,
+            "remote_fetches": self.remote_fetches,
+            "bytes_fetched": self.bytes_fetched,
+            "bytes_evacuated": self.bytes_evacuated,
+            "evictions": self.evictions,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_useful": self.prefetches_useful,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Metrics":
+        """Inverse of :meth:`as_dict` (lossless round-trip)."""
+        m = cls(
+            cycles=float(data.get("cycles", 0.0)),
+            accesses=int(data.get("accesses", 0)),
+            minor_faults=int(data.get("minor_faults", 0)),
+            major_faults=int(data.get("major_faults", 0)),
+            remote_fetches=int(data.get("remote_fetches", 0)),
+            bytes_fetched=int(data.get("bytes_fetched", 0)),
+            bytes_evacuated=int(data.get("bytes_evacuated", 0)),
+            evictions=int(data.get("evictions", 0)),
+            prefetches_issued=int(data.get("prefetches_issued", 0)),
+            prefetches_useful=int(data.get("prefetches_useful", 0)),
+        )
+        for key, n in dict(data.get("guards", {})).items():
+            m.count_guard(GuardKind(key), int(n))
+        return m

@@ -1,0 +1,99 @@
+"""repro.trace — structured event tracing across compiler and runtime.
+
+The observability layer: a :class:`Tracer` threads through the compiler
+pipeline (per-pass events on the wall clock) and the runtime simulators
+(guard/fetch/evict/prefetch/phase events on the simulated-cycle clock),
+feeds streaming histograms (p50/p95/p99 fetch latency, bytes-per-fetch),
+and exports Chrome ``trace_event`` JSON (Perfetto-loadable) plus compact
+JSONL.
+
+Quick start::
+
+    from repro.trace import Tracer, export_chrome_trace
+
+    tracer = Tracer()
+    runtime = TrackFMRuntime(config, tracer=tracer)
+    compiled = TrackFMCompiler(cfg).compile(module, tracer=tracer)
+    TrackFMProgram(compiled.module, runtime).run("main")
+    export_chrome_trace(tracer, "trace.json")
+
+or from the shell::
+
+    python -m repro.trace --workload stream --runtime trackfm --out t.json
+
+Disabled tracing costs one attribute check per instrumentation site: the
+default tracer everywhere is the shared :data:`NULL_TRACER` no-op.
+
+See ``docs/observability.md`` for the event schema and the golden-trace
+testing workflow.
+"""
+
+from repro.trace.events import (
+    ALL_CATEGORIES,
+    CAT_COUNTER,
+    CAT_EVICT,
+    CAT_FETCH,
+    CAT_GUARD,
+    CAT_META,
+    CAT_PASS,
+    CAT_PHASE,
+    CAT_PREFETCH,
+    TRACK_CYCLES,
+    TRACK_WALL,
+    TraceEvent,
+)
+from repro.trace.histogram import StreamingHistogram
+from repro.trace.tracer import (
+    HIST_FETCH_BYTES,
+    HIST_FETCH_LATENCY,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+from repro.trace.export import (
+    export_chrome_trace,
+    export_jsonl,
+    normalize_events,
+    to_chrome_events,
+)
+# The driver layer imports the runtimes, which themselves import
+# repro.trace.tracer — load it lazily (PEP 562) to keep the instrumented
+# hot paths free of import cycles.
+_DRIVER_EXPORTS = ("RUNTIMES", "WORKLOADS", "TraceRunResult", "run_traced")
+
+
+def __getattr__(name: str):
+    if name in _DRIVER_EXPORTS:
+        from repro.trace import drivers
+
+        return getattr(drivers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "CAT_COUNTER",
+    "CAT_EVICT",
+    "CAT_FETCH",
+    "CAT_GUARD",
+    "CAT_META",
+    "CAT_PASS",
+    "CAT_PHASE",
+    "CAT_PREFETCH",
+    "TRACK_CYCLES",
+    "TRACK_WALL",
+    "TraceEvent",
+    "StreamingHistogram",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "HIST_FETCH_BYTES",
+    "HIST_FETCH_LATENCY",
+    "export_chrome_trace",
+    "export_jsonl",
+    "normalize_events",
+    "to_chrome_events",
+    "RUNTIMES",
+    "WORKLOADS",
+    "TraceRunResult",
+    "run_traced",
+]

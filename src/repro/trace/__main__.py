@@ -1,0 +1,80 @@
+"""``python -m repro.trace``: run a workload under tracing, export both formats.
+
+Examples::
+
+    python -m repro.trace --workload stream --runtime trackfm --out /tmp/t.json
+    python -m repro.trace --workload hashmap --runtime fastswap \\
+        --out hashmap.json --jsonl hashmap.jsonl --seed 3
+
+The ``--out`` file is Chrome ``trace_event`` JSON (load it in
+``chrome://tracing`` or https://ui.perfetto.dev); the JSONL sibling
+(``--jsonl``, default ``<out>.jsonl``) is one compact event per line
+for grep/jq pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.trace.drivers import RUNTIMES, WORKLOADS, run_traced
+from repro.trace.export import export_chrome_trace, export_jsonl
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Run a registered workload under a runtime with tracing on.",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="stream",
+        help="which workload shape to run (default: stream)",
+    )
+    parser.add_argument(
+        "--runtime", choices=sorted(RUNTIMES), default="trackfm",
+        help="which runtime model to run it under (default: trackfm)",
+    )
+    parser.add_argument(
+        "--out", type=Path, required=True,
+        help="Chrome trace_event JSON output path",
+    )
+    parser.add_argument(
+        "--jsonl", type=Path, default=None,
+        help="compact JSONL output path (default: <out>.jsonl)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (default: 0)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary printed to stdout",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    result = run_traced(args.workload, args.runtime, seed=args.seed)
+    export_chrome_trace(result.tracer, args.out, metadata=result.metadata())
+    jsonl_path = args.jsonl
+    if jsonl_path is None:
+        jsonl_path = args.out.with_suffix(args.out.suffix + "l")
+    lines = export_jsonl(result.tracer, jsonl_path)
+    if not args.quiet:
+        summary = result.tracer.summary()
+        print(f"{args.workload} under {args.runtime} (seed {args.seed}):")
+        print(f"  value   = {result.value}")
+        print(f"  cycles  = {result.cycles:.0f}")
+        print(f"  events  = {summary['events']} ({summary['by_category']})")
+        for name, stats in summary["histograms"].items():
+            print(f"  {name}: {json.dumps(stats)}")
+        print(f"  chrome trace -> {args.out}")
+        print(f"  jsonl ({lines} lines) -> {jsonl_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,343 @@
+"""Traceable workload drivers: what ``python -m repro.trace`` runs.
+
+Each registered workload is a small, deterministic program shape —
+``stream`` (sequential write-then-sum passes) and ``hashmap`` (an
+LCG-scattered probe loop) — runnable under any of the four runtime
+models.  Under ``trackfm`` the workload is built as IR, compiled
+through the full pipeline (so the trace carries ``pass`` events), and
+interpreted on a far-memory runtime (``guard``/``fetch`` events).
+The other runtimes replay the same access pattern through their
+``access()`` paths.
+
+Everything here is deterministic for a given ``(workload, runtime,
+seed)``: no wall-clock or ``random`` state leaks into the simulated
+event stream, which is what makes golden-trace snapshots possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.machine.costs import AccessKind
+from repro.sim.metrics import Metrics
+from repro.trace.tracer import Tracer
+from repro.units import KB, MB
+
+#: Elements per workload array (power of two: the hashmap IR masks).
+N_ELEMS = 1024
+ELEM = 8
+ARRAY_BYTES = N_ELEMS * ELEM
+
+#: Compile-time object size for object-granular runtimes.
+OBJECT_SIZE = 256
+#: Local memory small enough that the array does not fit (forces
+#: fetch/evict traffic, which is the point of a trace).
+OBJECT_LOCAL = 2 * KB
+PAGE_LOCAL = 4 * KB
+HEAP = 1 * MB
+
+#: LCG constants for the hashmap probe stream (Knuth's MMIX multiplier
+#: truncated; any odd multiplier works — determinism is what matters).
+_LCG_MUL = 2654435761
+_LCG_ADD = 40503
+
+
+# -- access-pattern generators ---------------------------------------------
+
+
+def _stream_pattern(seed: int) -> Iterator[Tuple[int, AccessKind]]:
+    """Write pass then read pass over the whole array, in order."""
+    del seed  # the stream shape is seed-independent
+    for i in range(N_ELEMS):
+        yield i * ELEM, AccessKind.WRITE
+    for i in range(N_ELEMS):
+        yield i * ELEM, AccessKind.READ
+
+
+def _hashmap_pattern(seed: int) -> Iterator[Tuple[int, AccessKind]]:
+    """Sequential init writes, then 2N LCG-scattered probe reads."""
+    for i in range(N_ELEMS):
+        yield i * ELEM, AccessKind.WRITE
+    state = seed & 0xFFFFFFFF
+    for _ in range(2 * N_ELEMS):
+        state = (state * _LCG_MUL + _LCG_ADD) & 0xFFFFFFFF
+        yield (state & (N_ELEMS - 1)) * ELEM, AccessKind.READ
+
+
+_PATTERNS: Dict[str, Callable[[int], Iterator[Tuple[int, AccessKind]]]] = {
+    "stream": _stream_pattern,
+    "hashmap": _hashmap_pattern,
+}
+
+
+# -- IR builders (the trackfm path compiles and interprets these) -----------
+
+
+def _build_stream_module():
+    """``p[i] = i`` for all i, then ``sum p[i]``; returns n*(n-1)/2."""
+    from repro.ir import IRBuilder, Module
+    from repro.ir.types import I64, PTR
+    from repro.ir.values import Constant
+
+    n = N_ELEMS
+    m = Module("trace_stream")
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    wh, wb = f.add_block("wh"), f.add_block("wb")
+    mid = f.add_block("mid")
+    rh, rb = f.add_block("rh"), f.add_block("rb")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    p = b.call(PTR, "malloc", [Constant(I64, n * ELEM)], name="p")
+    b.br(wh)
+    b.set_block(wh)
+    i = b.phi(I64, name="i")
+    b.condbr(b.icmp("slt", i, n), wb, mid)
+    b.set_block(wb)
+    b.store(i, b.gep(p, i, ELEM))
+    i2 = b.add(i, 1)
+    b.br(wh)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, wb)
+    b.set_block(mid)
+    b.br(rh)
+    b.set_block(rh)
+    j = b.phi(I64, name="j")
+    s = b.phi(I64, name="s")
+    b.condbr(b.icmp("slt", j, n), rb, exit_)
+    b.set_block(rb)
+    v = b.load(I64, b.gep(p, j, ELEM))
+    s2 = b.add(s, v)
+    j2 = b.add(j, 1)
+    b.br(rh)
+    j.add_incoming(Constant(I64, 0), mid)
+    j.add_incoming(j2, rb)
+    s.add_incoming(Constant(I64, 0), mid)
+    s.add_incoming(s2, rb)
+    b.set_block(exit_)
+    b.ret(s)
+    return m
+
+
+def _build_hashmap_module(seed: int):
+    """Init ``p[i] = 3i+1``, then sum N LCG-probed slots.
+
+    The probe index is ``((j*MUL + seed') & (n-1))`` — the same family
+    of indices :func:`_hashmap_pattern` replays on the other runtimes.
+    """
+    from repro.ir import IRBuilder, Module
+    from repro.ir.types import I64, PTR
+    from repro.ir.values import Constant
+
+    n = N_ELEMS
+    m = Module("trace_hashmap")
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    wh, wb = f.add_block("wh"), f.add_block("wb")
+    mid = f.add_block("mid")
+    rh, rb = f.add_block("rh"), f.add_block("rb")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    p = b.call(PTR, "malloc", [Constant(I64, n * ELEM)], name="p")
+    b.br(wh)
+    b.set_block(wh)
+    i = b.phi(I64, name="i")
+    b.condbr(b.icmp("slt", i, n), wb, mid)
+    b.set_block(wb)
+    b.store(b.add(b.mul(i, 3), 1), b.gep(p, i, ELEM))
+    i2 = b.add(i, 1)
+    b.br(wh)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, wb)
+    b.set_block(mid)
+    b.br(rh)
+    b.set_block(rh)
+    j = b.phi(I64, name="j")
+    s = b.phi(I64, name="s")
+    b.condbr(b.icmp("slt", j, n), rb, exit_)
+    b.set_block(rb)
+    h = b.add(b.mul(j, _LCG_MUL), (seed & 0xFFFFFFFF) + _LCG_ADD)
+    idx = b.and_(h, n - 1)
+    v = b.load(I64, b.gep(p, idx, ELEM))
+    s2 = b.add(s, v)
+    j2 = b.add(j, 1)
+    b.br(rh)
+    j.add_incoming(Constant(I64, 0), mid)
+    j.add_incoming(j2, rb)
+    s.add_incoming(Constant(I64, 0), mid)
+    s.add_incoming(s2, rb)
+    b.set_block(exit_)
+    b.ret(s)
+    return m
+
+
+_IR_BUILDERS = {
+    "stream": lambda seed: _build_stream_module(),
+    "hashmap": _build_hashmap_module,
+}
+
+
+# -- result ------------------------------------------------------------------
+
+
+@dataclass
+class TraceRunResult:
+    """One traced run: the tracer plus what the workload computed."""
+
+    workload: str
+    runtime: str
+    seed: int
+    tracer: Tracer
+    #: Program result (trackfm interprets real IR; replay drivers
+    #: report the checksum of touched offsets).
+    value: Optional[int]
+    cycles: float
+    #: Final runtime counters (the canonical ``Metrics.as_dict`` form
+    #: lands in the Chrome trace's ``otherData``).
+    metrics: Metrics
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "runtime": self.runtime,
+            "seed": self.seed,
+            "value": self.value,
+            "cycles": self.cycles,
+            "metrics": self.metrics.as_dict(),
+        }
+
+
+# -- per-runtime drivers ------------------------------------------------------
+
+
+def _run_trackfm(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
+    from repro.aifm.pool import PoolConfig
+    from repro.compiler.pipeline import CompilerConfig, TrackFMCompiler
+    from repro.sim.irrun import TrackFMProgram
+    from repro.trackfm.runtime import TrackFMRuntime
+
+    module = _IR_BUILDERS[workload](seed)
+    config = CompilerConfig(object_size=OBJECT_SIZE)
+    TrackFMCompiler(config).compile(module, tracer=tracer)
+    runtime = TrackFMRuntime(
+        PoolConfig(
+            object_size=OBJECT_SIZE, local_memory=OBJECT_LOCAL, heap_size=HEAP
+        )
+    )
+    runtime.set_tracer(tracer)
+    with tracer.phase(f"workload:{workload}", lambda: runtime.metrics.cycles):
+        result = TrackFMProgram(module, runtime, max_steps=5_000_000).run("main")
+    return TraceRunResult(
+        workload, "trackfm", seed, tracer, result.value,
+        runtime.metrics.cycles, runtime.metrics.snapshot(),
+    )
+
+
+def _replay(runtime_name: str, workload: str, seed: int, tracer: Tracer,
+            access: Callable[[int, AccessKind], float],
+            cycles_of: Callable[[], float],
+            metrics_of: Callable[[], Metrics]) -> TraceRunResult:
+    """Drive one access-pattern replay with phase bracketing."""
+    checksum = 0
+    with tracer.phase(f"workload:{workload}", cycles_of):
+        for offset, kind in _PATTERNS[workload](seed):
+            access(offset, kind)
+            checksum = (checksum * 31 + offset + 1) & 0xFFFFFFFF
+    return TraceRunResult(
+        workload, runtime_name, seed, tracer, checksum, cycles_of(),
+        metrics_of().snapshot(),
+    )
+
+
+def _run_aifm(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
+    from repro.aifm.pool import PoolConfig
+    from repro.aifm.runtime import AIFMRuntime
+
+    runtime = AIFMRuntime(
+        PoolConfig(
+            object_size=OBJECT_SIZE, local_memory=OBJECT_LOCAL, heap_size=HEAP
+        )
+    )
+    runtime.set_tracer(tracer)
+    runtime.allocate(ARRAY_BYTES)
+    return _replay(
+        "aifm", workload, seed, tracer,
+        lambda off, kind: runtime.access(off, kind, size=ELEM),
+        lambda: runtime.metrics.cycles,
+        lambda: runtime.metrics,
+    )
+
+
+def _run_fastswap(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
+    from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
+
+    runtime = FastswapRuntime(
+        FastswapConfig(local_memory=PAGE_LOCAL, heap_size=HEAP)
+    )
+    runtime.tracer = tracer
+    runtime.allocate(ARRAY_BYTES)
+    return _replay(
+        "fastswap", workload, seed, tracer,
+        lambda off, kind: runtime.access(off, kind, size=ELEM),
+        lambda: runtime.metrics.cycles,
+        lambda: runtime.metrics,
+    )
+
+
+def _run_hybrid(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
+    from repro.hybrid.runtime import HybridRuntime, Placement
+
+    runtime = HybridRuntime(
+        local_memory=OBJECT_LOCAL + PAGE_LOCAL,
+        heap_size=HEAP,
+        object_size=OBJECT_SIZE,
+    )
+    runtime.set_tracer(tracer)
+    # Half the array on guarded objects, half on kernel pages — the
+    # §5 split this runtime exists to model.
+    half = ARRAY_BYTES // 2
+    objects = runtime.allocate(half, Placement.OBJECTS)
+    pages = runtime.allocate(half, Placement.PAGES)
+
+    def access(offset: int, kind: AccessKind) -> float:
+        if offset < half:
+            return runtime.access(objects, offset, kind, size=ELEM)
+        return runtime.access(pages, offset - half, kind, size=ELEM)
+
+    return _replay(
+        "hybrid", workload, seed, tracer, access,
+        lambda: runtime.metrics.cycles,
+        lambda: runtime.metrics,
+    )
+
+
+RUNTIMES: Dict[str, Callable[[str, int, Tracer], TraceRunResult]] = {
+    "trackfm": _run_trackfm,
+    "aifm": _run_aifm,
+    "fastswap": _run_fastswap,
+    "hybrid": _run_hybrid,
+}
+
+WORKLOADS: Tuple[str, ...] = tuple(sorted(_PATTERNS))
+
+
+def run_traced(
+    workload: str,
+    runtime: str,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> TraceRunResult:
+    """Run ``workload`` under ``runtime`` with tracing on; returns the run."""
+    if workload not in _PATTERNS:
+        raise TraceError(
+            f"unknown workload {workload!r}; have {sorted(_PATTERNS)}"
+        )
+    if runtime not in RUNTIMES:
+        raise TraceError(
+            f"unknown runtime {runtime!r}; have {sorted(RUNTIMES)}"
+        )
+    if tracer is None:
+        tracer = Tracer()
+    return RUNTIMES[runtime](workload, seed, tracer)

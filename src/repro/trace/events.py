@@ -1,0 +1,87 @@
+"""Trace event model: a small, Chrome-`trace_event`-shaped record.
+
+One :class:`TraceEvent` is one row on a timeline.  Two timelines
+(tracks) exist because the system spans two worlds with incompatible
+clocks:
+
+* ``cycles`` — the *simulated*-cycle clock of the runtime simulators
+  (guards, fetches, evictions, prefetches, workload phases);
+* ``wall``   — the host wall clock, used for compiler passes, which are
+  real Python computations with real durations.
+
+Event categories mirror where TrackFM's performance comes from:
+
+=========== ==============================================================
+category    meaning
+=========== ==============================================================
+``pass``    one compiler pass: duration, IR instruction delta, stats
+``guard``   one guard execution: path taken (fast/slow/...), object id
+``fetch``   object/page pulled from the remote node (bytes, latency)
+``evict``   objects/pages displaced (bytes, dirty writeback or clean)
+``prefetch`` prefetch issued (bytes, useful vs wasted)
+``phase``   workload-defined span (``B``/``E`` pairs)
+``counter`` point-in-time counter sample (Chrome ``C`` events)
+``meta``    process/track naming metadata
+=========== ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Track (clock-domain) names.
+TRACK_CYCLES = "cycles"
+TRACK_WALL = "wall"
+
+#: Event categories (the ``cat`` field).
+CAT_PASS = "pass"
+CAT_GUARD = "guard"
+CAT_FETCH = "fetch"
+CAT_EVICT = "evict"
+CAT_PREFETCH = "prefetch"
+CAT_PHASE = "phase"
+CAT_COUNTER = "counter"
+CAT_META = "meta"
+
+ALL_CATEGORIES = (
+    CAT_PASS,
+    CAT_GUARD,
+    CAT_FETCH,
+    CAT_EVICT,
+    CAT_PREFETCH,
+    CAT_PHASE,
+    CAT_COUNTER,
+    CAT_META,
+)
+
+#: Chrome trace_event phase codes used by the exporter.
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_BEGIN = "B"
+PH_END = "E"
+PH_COUNTER = "C"
+PH_METADATA = "M"
+
+
+@dataclass
+class TraceEvent:
+    """One timeline record.
+
+    ``ts``/``dur`` are in the track's native unit: simulated cycles on
+    the ``cycles`` track, microseconds on the ``wall`` track.  The
+    Chrome exporter rescales both into the microsecond timebase Perfetto
+    expects.
+    """
+
+    name: str
+    cat: str
+    ts: float
+    ph: str = PH_INSTANT
+    dur: float = 0.0
+    track: str = TRACK_CYCLES
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> str:
+        """Stable ``cat:name`` label used by golden-trace normalization."""
+        return f"{self.cat}:{self.name}"

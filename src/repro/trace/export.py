@@ -1,0 +1,186 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, compact JSONL, goldens.
+
+The Chrome format is the JSON object form (``{"traceEvents": [...]}``)
+that Perfetto and ``chrome://tracing`` both load.  Each clock domain
+becomes its own process row:
+
+* pid 1 — ``runtime (simulated cycles)``: guards, fetches, evictions,
+  prefetches and workload phases, with 1 simulated cycle rendered as
+  1 µs so relative durations survive the timebase;
+* pid 2 — ``compiler (wall clock)``: one complete (``X``) slice per
+  pass, in real microseconds.
+
+JSONL is one event object per line — cheap to stream, grep and diff.
+
+``normalize_events`` is the substrate of the golden-trace tests: it
+reduces an event list to its *behavioural shape* — categories, names,
+counts and ordering, run-length encoded — and drops every
+non-deterministic field (timestamps, durations, latencies).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Union
+
+from repro.trace.events import (
+    CAT_META,
+    PH_BEGIN,
+    PH_COUNTER,
+    PH_END,
+    PH_METADATA,
+    TRACK_CYCLES,
+    TRACK_WALL,
+    TraceEvent,
+)
+from repro.trace.tracer import Tracer
+
+#: Process ids of the two clock domains in the Chrome export.
+PID_RUNTIME = 1
+PID_COMPILER = 2
+
+_TRACK_PIDS = {TRACK_CYCLES: PID_RUNTIME, TRACK_WALL: PID_COMPILER}
+_TRACK_LABELS = {
+    TRACK_CYCLES: "runtime (simulated cycles)",
+    TRACK_WALL: "compiler (wall clock)",
+}
+
+
+def _sanitize_args(args: Dict[str, object]) -> Dict[str, object]:
+    """JSON-safe argument dict (drops Nones, stringifies odd types)."""
+    out: Dict[str, object] = {}
+    for key, value in args.items():
+        if value is None:
+            continue
+        if isinstance(value, (bool, int, float, str, list, dict)):
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def to_chrome_events(events: Sequence[TraceEvent]) -> List[Dict[str, object]]:
+    """Convert to Chrome ``trace_event`` dicts (metadata rows included)."""
+    rows: List[Dict[str, object]] = []
+    tracks_seen = []
+    for track in (TRACK_CYCLES, TRACK_WALL):
+        if any(ev.track == track for ev in events):
+            tracks_seen.append(track)
+    for track in tracks_seen:
+        rows.append(
+            {
+                "name": "process_name",
+                "ph": PH_METADATA,
+                "pid": _TRACK_PIDS[track],
+                "tid": 0,
+                "args": {"name": _TRACK_LABELS[track]},
+            }
+        )
+    for ev in events:
+        pid = _TRACK_PIDS.get(ev.track, PID_RUNTIME)
+        row: Dict[str, object] = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": ev.ph,
+            "ts": float(ev.ts),
+            "pid": pid,
+            "tid": 0,
+        }
+        if ev.ph == "X":
+            row["dur"] = float(ev.dur)
+        if ev.ph == PH_COUNTER:
+            # Chrome counters carry their series directly in args.
+            row["args"] = _sanitize_args(ev.args)
+        elif ev.ph == "i":
+            row["s"] = "t"  # instant scope: thread
+            row["args"] = _sanitize_args(ev.args)
+        else:
+            row["args"] = _sanitize_args(ev.args)
+        rows.append(row)
+    return rows
+
+
+def export_chrome_trace(
+    tracer: Tracer,
+    out: Union[str, IO[str]],
+    metadata: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write a Perfetto-loadable Chrome trace; returns the trace dict."""
+    trace: Dict[str, object] = {
+        "traceEvents": to_chrome_events(tracer.events),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "summary": tracer.summary(),
+            **(metadata or {}),
+        },
+    }
+    if isinstance(out, (str, os.PathLike)):
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=None, separators=(",", ":"))
+    else:
+        json.dump(trace, out, indent=None, separators=(",", ":"))
+    return trace
+
+
+def export_jsonl(tracer: Tracer, out: Union[str, IO[str]]) -> int:
+    """Write one compact JSON object per event; returns the line count."""
+
+    def _write(fh: IO[str]) -> int:
+        n = 0
+        for ev in tracer.events:
+            fh.write(
+                json.dumps(
+                    {
+                        "cat": ev.cat,
+                        "name": ev.name,
+                        "ph": ev.ph,
+                        "ts": ev.ts,
+                        "dur": ev.dur,
+                        "track": ev.track,
+                        "args": _sanitize_args(ev.args),
+                    },
+                    separators=(",", ":"),
+                )
+            )
+            fh.write("\n")
+            n += 1
+        return n
+
+    if isinstance(out, (str, os.PathLike)):
+        with open(out, "w", encoding="utf-8") as fh:
+            return _write(fh)
+    return _write(out)
+
+
+# -- golden-trace normalization -------------------------------------------
+
+
+def normalize_events(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """The deterministic behavioural shape of an event stream.
+
+    Returns::
+
+        {"sequence": [[cat, name, count], ...],   # RLE over (cat, name)
+         "totals":   {"cat:name": count, ...}}
+
+    Timestamps, durations, latencies and wall-clock pass times are all
+    excluded; phase begin/end markers keep their ordering (``B``/``E``
+    suffix) so span nesting is part of the shape.
+    """
+    sequence: List[List[object]] = []
+    totals: Dict[str, int] = {}
+    for ev in events:
+        if ev.cat == CAT_META:
+            continue
+        name = ev.name
+        if ev.ph == PH_BEGIN:
+            name += "/B"
+        elif ev.ph == PH_END:
+            name += "/E"
+        totals[f"{ev.cat}:{name}"] = totals.get(f"{ev.cat}:{name}", 0) + 1
+        if sequence and sequence[-1][0] == ev.cat and sequence[-1][1] == name:
+            sequence[-1][2] += 1  # type: ignore[operator]
+        else:
+            sequence.append([ev.cat, name, 1])
+    return {"sequence": sequence, "totals": dict(sorted(totals.items()))}

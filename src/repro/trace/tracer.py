@@ -1,0 +1,280 @@
+"""The tracer: structured event recording across compiler and runtime.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records :class:`~repro.trace.events.TraceEvent`
+  rows and feeds the streaming histograms;
+* :class:`NullTracer` — the disabled singleton (:data:`NULL_TRACER`).
+
+**The hot-path contract.**  Instrumented code must gate every emission
+on the ``enabled`` flag::
+
+    tracer = self.tracer
+    if tracer.enabled:
+        tracer.guard(kind, obj_id, access, ts, cycles)
+
+so a disabled tracer costs exactly one attribute check per
+instrumentation site (verified by ``benchmarks/bench_trace_overhead.py``).
+:class:`NullTracer` still implements the full interface as no-ops, so
+un-gated cold-path calls (CLI plumbing, phase spans) are safe either way.
+
+Timestamps are the caller's business because the two halves of the
+system live on different clocks: runtimes pass their simulated-cycle
+counter (``metrics.cycles``), the compiler passes wall-clock
+microseconds.  Events land on the matching *track*.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.machine.costs import AccessKind, GuardKind
+from repro.trace.events import (
+    CAT_COUNTER,
+    CAT_EVICT,
+    CAT_FETCH,
+    CAT_GUARD,
+    CAT_PASS,
+    CAT_PHASE,
+    CAT_PREFETCH,
+    PH_BEGIN,
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_END,
+    PH_INSTANT,
+    TRACK_CYCLES,
+    TRACK_WALL,
+    TraceEvent,
+)
+from repro.trace.histogram import StreamingHistogram
+
+#: Histogram names the fetch/prefetch helpers feed.
+HIST_FETCH_LATENCY = "fetch_latency_cycles"
+HIST_FETCH_BYTES = "fetch_bytes"
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op, ``enabled`` is False.
+
+    A single shared instance (:data:`NULL_TRACER`) is the default
+    ``tracer`` attribute of every instrumented object, so "tracing off"
+    costs one attribute load + truth test on hot paths and nothing else.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def emit(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def guard(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def fetch(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def evict(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def prefetch(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def pass_event(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def counter(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def begin_phase(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def end_phase(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    @contextmanager
+    def phase(self, name: str, clock: Optional[Callable[[], float]] = None) -> Iterator[None]:
+        yield
+
+    def histogram(self, name: str) -> StreamingHistogram:
+        # Cold path only (reports); hand out a throwaway sink.
+        return StreamingHistogram()
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records structured events plus streaming distributions.
+
+    ``max_events`` bounds memory on pathological runs; once hit, further
+    events are counted in ``dropped`` instead of stored (histograms keep
+    recording — they are O(1) per sample).
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.events: List[TraceEvent] = []
+        self.histograms: Dict[str, StreamingHistogram] = {}
+        self.max_events = max_events
+        self.dropped = 0
+
+    # -- core emission -----------------------------------------------------
+
+    def emit(
+        self,
+        cat: str,
+        name: str,
+        ts: float,
+        ph: str = PH_INSTANT,
+        dur: float = 0.0,
+        track: str = TRACK_CYCLES,
+        **args: Any,
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(name=name, cat=cat, ts=ts, ph=ph, dur=dur, track=track, args=args)
+        )
+
+    # -- category helpers (the instrumentation API) -------------------------
+
+    def guard(
+        self,
+        kind: GuardKind,
+        obj_id: Optional[int],
+        access: AccessKind,
+        ts: float,
+        cycles: float,
+    ) -> None:
+        """One guard execution: which path fired, on which object."""
+        self.emit(
+            CAT_GUARD,
+            kind.value,
+            ts,
+            obj=obj_id,
+            access=access.value,
+            cycles=cycles,
+        )
+
+    def fetch(
+        self,
+        nbytes: int,
+        latency: float,
+        ts: float,
+        obj_id: Optional[int] = None,
+        n: int = 1,
+        name: str = "fetch",
+    ) -> None:
+        """``n`` remote fetches totalling ``nbytes`` at ``latency`` each."""
+        self.emit(CAT_FETCH, name, ts, bytes=nbytes, latency=latency, n=n, obj=obj_id)
+        self.histogram(HIST_FETCH_LATENCY).record(latency, n)
+        if n > 0:
+            self.histogram(HIST_FETCH_BYTES).record(nbytes / n, n)
+
+    def evict(
+        self,
+        nbytes: int,
+        ts: float,
+        n: int = 1,
+        dirty: int = 0,
+        name: str = "evict",
+    ) -> None:
+        """``n`` displacements totalling ``nbytes`` (``dirty`` written back)."""
+        self.emit(CAT_EVICT, name, ts, bytes=nbytes, n=n, dirty=dirty)
+
+    def prefetch(
+        self,
+        nbytes: int,
+        ts: float,
+        useful: bool,
+        n: int = 1,
+        name: str = "prefetch",
+    ) -> None:
+        """Prefetch issued: ``useful`` means it brought in non-local data."""
+        self.emit(CAT_PREFETCH, name, ts, bytes=nbytes, n=n, useful=bool(useful))
+
+    def pass_event(
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        inst_before: int,
+        inst_after: int,
+        stats: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """One compiler pass (wall-clock track): duration + IR delta."""
+        self.emit(
+            CAT_PASS,
+            name,
+            ts_us,
+            ph=PH_COMPLETE,
+            dur=dur_us,
+            track=TRACK_WALL,
+            instructions_before=inst_before,
+            instructions_after=inst_after,
+            instruction_delta=inst_after - inst_before,
+            stats=dict(stats or {}),
+        )
+
+    def counter(self, name: str, ts: float, track: str = TRACK_CYCLES, **values: float) -> None:
+        """Point-in-time counter sample (renders as a Chrome counter row)."""
+        self.emit(CAT_COUNTER, name, ts, ph=PH_COUNTER, track=track, **values)
+
+    # -- phases -----------------------------------------------------------
+
+    def begin_phase(self, name: str, ts: float, track: str = TRACK_CYCLES, **args: Any) -> None:
+        self.emit(CAT_PHASE, name, ts, ph=PH_BEGIN, track=track, **args)
+
+    def end_phase(self, name: str, ts: float, track: str = TRACK_CYCLES, **args: Any) -> None:
+        self.emit(CAT_PHASE, name, ts, ph=PH_END, track=track, **args)
+
+    @contextmanager
+    def phase(self, name: str, clock: Optional[Callable[[], float]] = None) -> Iterator[None]:
+        """Span a workload-defined phase; ``clock`` supplies timestamps.
+
+        With no clock the span is stamped with the event count — ordering
+        is preserved even when no natural timeline exists.
+        """
+        read = clock if clock is not None else (lambda: float(len(self.events)))
+        self.begin_phase(name, read())
+        try:
+            yield
+        finally:
+            self.end_phase(name, read())
+
+    # -- distributions -----------------------------------------------------
+
+    def histogram(self, name: str) -> StreamingHistogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = StreamingHistogram()
+        return hist
+
+    # -- summaries ---------------------------------------------------------
+
+    def category_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.cat] = counts.get(ev.cat, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        """Percentile summary of every histogram plus event totals."""
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "by_category": self.category_counts(),
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    **h.percentiles((50.0, 95.0, 99.0)),
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }

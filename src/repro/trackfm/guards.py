@@ -27,6 +27,7 @@ from typing import Optional
 from repro.aifm.pool import ObjectPool
 from repro.machine.costs import AccessKind, CostTable, GuardKind
 from repro.sim.metrics import Metrics
+from repro.trace.tracer import NULL_TRACER
 from repro.trackfm.pointer import is_tfm_pointer, object_id_of
 from repro.trackfm.state_table import ObjectStateTable
 
@@ -56,6 +57,8 @@ class GuardEngine:
         self.table = table
         self.metrics = metrics if metrics is not None else pool.metrics
         self.costs: CostTable = pool.config.costs
+        #: Trace sink; disabled by default (one attribute check per guard).
+        self.tracer = NULL_TRACER
 
     # -- the full guard (naive transformation) ----------------------------
 
@@ -68,6 +71,12 @@ class GuardEngine:
         """
         if not is_tfm_pointer(addr):
             self.metrics.count_guard(GuardKind.CUSTODY_MISS)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.guard(
+                    GuardKind.CUSTODY_MISS, None, kind,
+                    self.metrics.cycles, self.costs.custody_miss,
+                )
             return GuardResult(GuardKind.CUSTODY_MISS, self.costs.custody_miss)
         obj_id = object_id_of(addr, self.pool.object_size)
         safe, cache_hit = self.table.is_safe(obj_id)
@@ -78,6 +87,9 @@ class GuardEngine:
             self.pool.residency.access(obj_id, write=kind is AccessKind.WRITE)
             cycles = self.costs.fast_guard(kind, cached=cache_hit)
             self.metrics.count_guard(GuardKind.FAST)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.guard(GuardKind.FAST, obj_id, kind, self.metrics.cycles, cycles)
             return GuardResult(GuardKind.FAST, cycles, cache_hit=cache_hit)
         return self._slow_path(obj_id, kind, cache_hit, depth)
 
@@ -89,6 +101,9 @@ class GuardEngine:
         )
         cycles = self.costs.slow_guard_local(kind, cached=cache_hit) + movement
         self.metrics.count_guard(GuardKind.SLOW)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.guard(GuardKind.SLOW, obj_id, kind, self.metrics.cycles, cycles)
         return GuardResult(
             GuardKind.SLOW,
             cycles,
@@ -114,6 +129,12 @@ class GuardEngine:
         """
         if not is_tfm_pointer(addr):
             self.metrics.count_guard(GuardKind.CUSTODY_MISS)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.guard(
+                    GuardKind.CUSTODY_MISS, None, kind,
+                    self.metrics.cycles, self.costs.custody_miss,
+                )
             return GuardResult(GuardKind.CUSTODY_MISS, self.costs.custody_miss)
         obj_id = object_id_of(addr, self.pool.object_size)
         was_local, movement = self.pool.ensure_local(
@@ -121,6 +142,9 @@ class GuardEngine:
         )
         cycles = self.costs.locality_guard + movement
         self.metrics.count_guard(GuardKind.LOCALITY)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.guard(GuardKind.LOCALITY, obj_id, kind, self.metrics.cycles, cycles)
         return GuardResult(
             GuardKind.LOCALITY, cycles, remote_fetch=not was_local
         )

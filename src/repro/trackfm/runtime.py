@@ -29,6 +29,7 @@ from repro.machine.cache import CacheModel
 from repro.machine.costs import AccessKind, GuardKind
 from repro.net.backends import RemoteBackend
 from repro.sim.metrics import Metrics
+from repro.trace.tracer import NULL_TRACER
 from repro.trackfm.guards import GuardEngine, GuardResult
 from repro.trackfm.pointer import (
     decode_tfm_pointer,
@@ -68,6 +69,7 @@ class TrackFMRuntime:
         backend: Optional[RemoteBackend] = None,
         cache: Optional[CacheModel] = None,
         prefetch_depth: int = 8,
+        tracer=None,
     ) -> None:
         if prefetch_depth < 1:
             raise RuntimeConfigError("prefetch_depth must be >= 1")
@@ -81,6 +83,15 @@ class TrackFMRuntime:
         self.object_size = config.object_size
         self._chunks: Dict[int, _ChunkState] = {}
         self.initialized = False
+        self.tracer = NULL_TRACER
+        if tracer is not None:
+            self.set_tracer(tracer)
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to every event source in this runtime."""
+        self.tracer = tracer
+        self.pool.tracer = tracer
+        self.guards.tracer = tracer
 
     @property
     def metrics(self) -> Metrics:
@@ -259,18 +270,25 @@ class TrackFMRuntime:
         cycles = n_elems * body
         link = self.pool.backend.link
 
+        tracer = self.tracer
         if strategy is GuardStrategy.NAIVE:
             # One slow-path guard per object (its first touch), fast-path
             # guards for the rest.  State-table lookups for one object's
             # elements share a cache line, so fast guards are cached.
             fast = n_elems - n_objects
+            fetch_each = link.transfer_cycles(self.object_size)
             cycles += fast * costs.fast_guard(kind, cached=True)
             cycles += misses * (
-                costs.slow_guard_local(kind, cached=False) + link.transfer_cycles(self.object_size)
+                costs.slow_guard_local(kind, cached=False) + fetch_each
             )
             cycles += hits * costs.slow_guard_local(kind, cached=True)
             self.metrics.count_guard(GuardKind.FAST, max(fast, 0))
             self.metrics.count_guard(GuardKind.SLOW, n_objects)
+            if tracer.enabled:
+                tracer.counter(
+                    "scan_guards", self.metrics.cycles,
+                    fast=max(fast, 0), slow=n_objects,
+                )
         else:
             prefetch = strategy is GuardStrategy.CHUNKED_PREFETCH
             cycles += loop_entries * costs.chunk_setup
@@ -280,17 +298,32 @@ class TrackFMRuntime:
                 fetch_each = link.wire_cycles(self.object_size)
                 self.metrics.prefetches_issued += misses
                 self.metrics.prefetches_useful += misses
+                if tracer.enabled and misses:
+                    tracer.prefetch(
+                        misses * self.object_size, self.metrics.cycles,
+                        useful=True, n=misses, name="scan_prefetch",
+                    )
             else:
                 fetch_each = link.transfer_cycles(self.object_size)
             cycles += misses * fetch_each
             self.metrics.count_guard(GuardKind.BOUNDARY, n_elems)
             self.metrics.count_guard(GuardKind.LOCALITY, n_objects)
+            if tracer.enabled:
+                tracer.counter(
+                    "scan_guards", self.metrics.cycles,
+                    boundary=n_elems, locality=n_objects,
+                )
 
         if misses:
             self.metrics.remote_fetches += misses
             self.metrics.bytes_fetched += misses * self.object_size
             link.stats.messages += misses
             link.stats.bytes_fetched += misses * self.object_size
+            if tracer.enabled:
+                tracer.fetch(
+                    misses * self.object_size, fetch_each, self.metrics.cycles,
+                    n=misses, name="scan_fetch",
+                )
             if kind is AccessKind.WRITE:
                 # Displaced dirty objects are written back by the evacuator.
                 wb = link.wire_cycles(self.object_size)
@@ -298,6 +331,11 @@ class TrackFMRuntime:
                 self.metrics.bytes_evacuated += misses * self.object_size
                 self.metrics.evictions += misses
                 link.stats.bytes_evicted += misses * self.object_size
+                if tracer.enabled:
+                    tracer.evict(
+                        misses * self.object_size, self.metrics.cycles,
+                        n=misses, dirty=misses, name="scan_evict",
+                    )
 
         self.metrics.accesses += n_elems
         self.metrics.cycles += cycles

@@ -10,6 +10,21 @@ from repro.trackfm.runtime import TrackFMRuntime
 from repro.units import KB, MB
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current trace output "
+        "instead of comparing against it",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def small_pool_config() -> PoolConfig:
     return PoolConfig(object_size=4 * KB, local_memory=64 * KB, heap_size=1 * MB)

@@ -1,0 +1,181 @@
+"""Seeded random IR program generator for differential fuzzing.
+
+``generate_module(seed)`` builds one self-contained *unoptimized-style*
+program (locals in ``alloca`` stack slots, so the O1 pipeline has real
+work to do) that exercises every shape the TrackFM pipeline transforms:
+
+* a heap **data array** scanned and updated with data-dependent indices;
+* a heap **chase array** holding in-range indices, walked pointer-chase
+  style (``j = C[j]``) so addresses depend on loaded values;
+* **branches** — a diamond inside the loop body, picked per iteration
+  from the running state;
+* **calls** — a generated helper function with baked-in constants.
+
+Everything is derived from ``random.Random(seed)`` at *build* time; the
+emitted IR is deterministic, loop trips are bounded, and all indices are
+reduced mod the array length, so any (seed, pipeline) pair terminates
+with a defined result.  Differential tests interpret the raw module and
+the fully compiled module and demand identical values.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir import IRBuilder, I64, PTR, Module
+from repro.ir.values import Constant
+
+#: Heap array length (elements); every index is taken mod this.
+ARRAY_ELEMS = 64
+ELEM = 8
+
+#: Body op kinds the generator draws from (weights roughly even, with
+#: arithmetic slightly favoured so programs aren't all memory traffic).
+_OP_KINDS = (
+    "arith_x", "arith_x", "arith_y",
+    "load_x", "load_y", "store_x", "store_y",
+    "branch", "call", "chase",
+)
+
+_ARITH = ("add", "sub", "mul", "xor_")
+
+
+def _arith(b: IRBuilder, op: str, a, c):
+    if op == "xor_":
+        return b.xor(a, c)
+    return getattr(b, op)(a, c)
+
+
+def _build_helper(m: Module, rng: random.Random) -> str:
+    """A pure two-argument helper with seed-chosen constants."""
+    name = "mix"
+    f = m.add_function(name, I64, [I64, I64], ["a", "b"])
+    b = IRBuilder(f.add_block("entry"))
+    k1 = rng.randrange(1, 17)
+    k2 = rng.randrange(-64, 64)
+    op = rng.choice(_ARITH)
+    t = _arith(b, op, b.mul(f.args[0], k1), f.args[1])
+    b.ret(b.add(t, k2))
+    return name
+
+
+def generate_module(seed: int) -> Module:
+    """One deterministic random program for ``seed``."""
+    rng = random.Random(seed)
+    m = Module(f"fuzz_seed{seed}")
+    helper = _build_helper(m, rng)
+
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    init_h = f.add_block("init_h")
+    init_b = f.add_block("init_b")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+
+    b = IRBuilder(entry)
+    data = b.call(PTR, "malloc", [Constant(I64, ARRAY_ELEMS * ELEM)], name="data")
+    chase = b.call(PTR, "malloc", [Constant(I64, ARRAY_ELEMS * ELEM)], name="chase")
+    x_slot = b.alloca(8, name="x")
+    y_slot = b.alloca(8, name="y")
+    i_slot = b.alloca(8, name="islot")
+    j_slot = b.alloca(8, name="jslot")
+    b.store(rng.randrange(1, 8), x_slot)
+    b.store(rng.randrange(1, 8), y_slot)
+    b.store(0, i_slot)
+    b.br(init_h)
+
+    # Init loop: data[i] = i*k1 + k2; chase[i] = (i*stride + off) % N.
+    k1 = rng.randrange(-16, 17)
+    k2 = rng.randrange(-100, 101)
+    stride = rng.choice((3, 5, 7, 11, 13, 19))
+    off = rng.randrange(ARRAY_ELEMS)
+    b.set_block(init_h)
+    i0 = b.load(I64, i_slot)
+    b.condbr(b.icmp("slt", i0, ARRAY_ELEMS), init_b, header)
+    b.set_block(init_b)
+    i = b.load(I64, i_slot)
+    b.store(b.add(b.mul(i, k1), k2), b.gep(data, i, ELEM))
+    target = b.srem(b.add(b.mul(i, stride), off), ARRAY_ELEMS)
+    b.store(target, b.gep(chase, i, ELEM))
+    b.store(b.add(i, 1), i_slot)
+    b.br(init_h)
+
+    # The main loop reuses the counter slot; its bound is seed-chosen.
+    b.set_block(header)
+    trip = rng.randrange(1, 49)
+    b.store(0, i_slot)
+    hdr_check = f.add_block("hdr_check")
+    b.br(hdr_check)
+    b.set_block(hdr_check)
+    iv = b.load(I64, i_slot)
+    b.condbr(b.icmp("slt", iv, trip), body, exit_)
+
+    def index(selector: int):
+        i = b.load(I64, i_slot)
+        return b.srem(b.mul(i, selector), ARRAY_ELEMS)
+
+    b.set_block(body)
+    n_ops = rng.randrange(3, 11)
+    for op_idx in range(n_ops):
+        kind = rng.choice(_OP_KINDS)
+        sel = rng.randrange(1, 9)
+        const = rng.randrange(-50, 51)
+        if kind == "arith_x":
+            x = b.load(I64, x_slot)
+            b.store(_arith(b, rng.choice(_ARITH), x, const), x_slot)
+        elif kind == "arith_y":
+            y = b.load(I64, y_slot)
+            b.store(_arith(b, rng.choice(_ARITH), y, const), y_slot)
+        elif kind == "load_x":
+            v = b.load(I64, b.gep(data, index(sel), ELEM))
+            b.store(v, x_slot)
+        elif kind == "load_y":
+            v = b.load(I64, b.gep(data, index(sel), ELEM))
+            y = b.load(I64, y_slot)
+            b.store(b.add(y, v), y_slot)
+        elif kind == "store_x":
+            x = b.load(I64, x_slot)
+            b.store(x, b.gep(data, index(sel), ELEM))
+        elif kind == "store_y":
+            y = b.load(I64, y_slot)
+            b.store(y, b.gep(data, index(sel), ELEM))
+        elif kind == "branch":
+            then_bb = f.add_block(f"then{op_idx}")
+            else_bb = f.add_block(f"else{op_idx}")
+            join_bb = f.add_block(f"join{op_idx}")
+            x = b.load(I64, x_slot)
+            b.condbr(b.icmp("eq", b.and_(x, 1), 0), then_bb, else_bb)
+            b.set_block(then_bb)
+            y = b.load(I64, y_slot)
+            b.store(b.add(y, const), y_slot)
+            b.br(join_bb)
+            b.set_block(else_bb)
+            y = b.load(I64, y_slot)
+            b.store(b.xor(y, const), y_slot)
+            b.br(join_bb)
+            b.set_block(join_bb)
+        elif kind == "call":
+            x = b.load(I64, x_slot)
+            y = b.load(I64, y_slot)
+            b.store(b.call(I64, helper, [x, y]), x_slot)
+        elif kind == "chase":
+            # j = i % N; then j = chase[j] a few times, summing data[j].
+            i = b.load(I64, i_slot)
+            b.store(b.srem(i, ARRAY_ELEMS), j_slot)
+            for _ in range(rng.randrange(2, 5)):
+                j = b.load(I64, j_slot)
+                b.store(b.load(I64, b.gep(chase, j, ELEM)), j_slot)
+            j = b.load(I64, j_slot)
+            v = b.load(I64, b.gep(data, j, ELEM))
+            y = b.load(I64, y_slot)
+            b.store(b.add(y, v), y_slot)
+    i = b.load(I64, i_slot)
+    b.store(b.add(i, 1), i_slot)
+    b.br(hdr_check)
+
+    b.set_block(exit_)
+    xf = b.load(I64, x_slot)
+    yf = b.load(I64, y_slot)
+    b.ret(b.xor(xf, yf))
+    return m
