@@ -6,9 +6,9 @@ over the result — the same path a user takes when saving pipeline
 output to disk.  Exits non-zero if any module fails, which makes this
 the CI gate for "the shipped examples stay guard-safe".
 
-Run from the repository root::
+Run from the repository root (after ``pip install -e .``)::
 
-    PYTHONPATH=src:examples python examples/lint_all.py
+    python examples/lint_all.py
 """
 
 from __future__ import annotations
@@ -16,6 +16,10 @@ from __future__ import annotations
 import sys
 import tempfile
 from pathlib import Path
+
+# Sibling example modules are imported by file location, so the script
+# works under a plain ``pip install -e .`` with no PYTHONPATH set.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from linked_list import build_list_program
 from object_size_autotune import build_probe

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench table1 fig07   # several
     python -m repro.bench --list         # show what exists
     python -m repro.bench --all          # everything (a few seconds)
+    python -m repro.bench regress --check   # baseline gate (see regress.py)
 
 The original artifact exposes ``make trackfm_fig14a`` etc.; this is the
 equivalent entry point for the reproduction.
@@ -79,6 +80,14 @@ EXPERIMENTS: Dict[str, Callable] = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "regress":
+        # The baseline gate has its own flags (--record/--check/...);
+        # hand the rest of the command line straight to it.
+        from repro.bench.regress import main as regress_main
+
+        return regress_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

@@ -90,6 +90,9 @@ class PassManager:
                 inst_before = module.instruction_count()
                 stats_before = dict(ctx.stats)
             p.run(module, ctx)
+            # Every pass may have rewritten IR: drop the interpreter's
+            # pre-decoded form so the next run re-lowers current code.
+            module.invalidate_decode()
             if self.verify_each:
                 try:
                     verify_module(module)

@@ -34,6 +34,22 @@ class Module:
         self.name = name
         self._functions: Dict[str, Function] = {}
         self._globals: Dict[str, GlobalVariable] = {}
+        #: Pre-decode cache (see :mod:`repro.sim.decode`).  ``decode_epoch``
+        #: stamps each decoded form; :meth:`invalidate_decode` bumps it.
+        self.decode_epoch: int = 0
+        self._decoded_cache = None
+
+    # -- decode cache ---------------------------------------------------
+
+    def invalidate_decode(self) -> None:
+        """Drop the cached pre-decoded form (after any IR mutation).
+
+        The :class:`~repro.compiler.pass_manager.PassManager` calls this
+        after every pass; code that mutates IR outside a pass pipeline
+        should call it directly before re-interpreting.
+        """
+        self.decode_epoch += 1
+        self._decoded_cache = None
 
     # -- functions ----------------------------------------------------------
 

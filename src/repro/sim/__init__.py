@@ -12,6 +12,7 @@ Two tiers, sharing one cost table:
 """
 
 from repro.sim.memory import AddressSpace, MemoryRegion
+from repro.sim.decode import DecodedFunction, DecodedModule, decode_module
 from repro.sim.interpreter import Interpreter, InterpResult
 from repro.sim.metrics import Metrics
 from repro.sim.residency import ResidencySet, AccessOutcome
@@ -26,6 +27,9 @@ from repro.sim.local import LocalRuntime
 __all__ = [
     "AddressSpace",
     "MemoryRegion",
+    "DecodedFunction",
+    "DecodedModule",
+    "decode_module",
     "Interpreter",
     "InterpResult",
     "Metrics",

@@ -32,6 +32,14 @@ class AccessStreamExecutor:
     ) -> float:
         """Replay a homogeneous stream; returns total cycles."""
         access = self.access_fn
+        if isinstance(addrs, np.ndarray):
+            # One bulk conversion instead of one numpy-scalar __int__
+            # per access; ndarray.tolist() yields native Python ints.
+            addrs = addrs.tolist()
+            total = 0.0
+            for addr in addrs:
+                total += access(addr, kind, size)
+            return total
         total = 0.0
         for addr in addrs:
             total += access(int(addr), kind, size)
@@ -47,10 +55,14 @@ class AccessStreamExecutor:
         if len(addrs) != len(write_mask):
             raise WorkloadError("addrs and write_mask length mismatch")
         access = self.access_fn
+        read, write = AccessKind.READ, AccessKind.WRITE
+        if isinstance(addrs, np.ndarray):
+            addrs = addrs.tolist()
+        if isinstance(write_mask, np.ndarray):
+            write_mask = write_mask.tolist()
         total = 0.0
         for addr, is_write in zip(addrs, write_mask):
-            kind = AccessKind.WRITE if is_write else AccessKind.READ
-            total += access(int(addr), kind, size)
+            total += access(int(addr), write if is_write else read, size)
         return total
 
 

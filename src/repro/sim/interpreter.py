@@ -9,12 +9,28 @@ addresses that were never mapped raise :class:`SegmentationFault`, just
 as the hardware would general-protection-fault — this is what makes the
 guard transformation *observable*: untransformed programs crash on
 TrackFM pointers, transformed ones run.
+
+Two execution engines share one semantics:
+
+* the **decoded** engine (default) runs :mod:`repro.sim.decode`'s flat,
+  slot-indexed op records — operands are list indices, branch targets
+  are block indices, callees resolve through a per-interpreter cache —
+  and is several times faster;
+* the **legacy** engine walks the IR objects directly, one
+  ``isinstance`` ladder per dynamic instruction.  It is kept as the
+  executable specification: the decoded engine must match it value for
+  value, step for step, metric for metric (``tests/test_decode_cache.py``
+  enforces this across the fuzzer's program shapes).
+
+Select with ``Interpreter(module, engine="legacy")`` or the
+``REPRO_INTERP_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import InterpError, SegmentationFault
 from repro.ir.basicblock import BasicBlock
@@ -98,18 +114,29 @@ class Interpreter:
         intrinsics: Optional[Dict[str, IntrinsicFn]] = None,
         block_hook: Optional[Callable[[Function, str], None]] = None,
         max_steps: int = 50_000_000,
+        engine: Optional[str] = None,
     ) -> None:
         self.module = module
         self.memory = AddressSpace()
         self.intrinsics: Dict[str, IntrinsicFn] = dict(intrinsics or {})
         self.block_hook = block_hook
         self.max_steps = max_steps
+        if engine is None:
+            engine = os.environ.get("REPRO_INTERP_ENGINE", "decoded")
+        if engine not in ("decoded", "legacy"):
+            raise InterpError(f"unknown interpreter engine {engine!r}")
+        self.engine = engine
         self.steps = 0
         self.output: List[str] = []
         self._stack_top = STACK_BASE
         self._heap_top = LIBC_HEAP_BASE
         self._heap_sizes: Dict[int, int] = {}
         self._globals: Dict[str, int] = {}
+        #: Decoded-engine state: the decoded module this interpreter last
+        #: ran, and its callee-id -> resolved-callable cache (reset when
+        #: the decode cache turns over or an intrinsic is registered).
+        self._dmod = None
+        self._callee_cache: List[Optional[tuple]] = []
         self._map_globals()
 
     # -- setup ----------------------------------------------------------
@@ -129,6 +156,9 @@ class Interpreter:
 
     def register_intrinsic(self, name: str, fn: IntrinsicFn) -> None:
         self.intrinsics[name] = fn
+        # A name previously resolved as a builtin (or left unresolved)
+        # may now bind to this intrinsic: drop the resolution cache.
+        self._callee_cache = [None] * len(self._callee_cache)
 
     # -- builtin libc heap --------------------------------------------------
 
@@ -167,8 +197,283 @@ class Interpreter:
     def run(self, entry: str = "main", args: Sequence[object] = ()) -> InterpResult:
         """Execute ``entry(args)`` to completion."""
         func = self.module.get_function(entry)
-        value = self._call_function(func, list(args))
+        if self.engine == "legacy" or func.is_declaration:
+            value = self._call_function(func, list(args))
+        else:
+            dmod = self._decoded()
+            value = self._call_decoded(dmod.functions[func.name], list(args))
         return InterpResult(value=value, steps=self.steps, output=list(self.output))
+
+    # -- decoded engine -----------------------------------------------------
+
+    def _decoded(self):
+        """The module's decoded form; one cache check per ``run``."""
+        from repro.sim.decode import decode_module
+
+        dmod = decode_module(self.module)
+        if dmod is not self._dmod:
+            self._dmod = dmod
+            self._callee_cache = [None] * len(dmod.callees)
+        return dmod
+
+    def _resolve_callee(self, cid: int) -> tuple:
+        """Resolve a callee id once; cached until intrinsics change.
+
+        The cached entry is ``(kind, payload)``: 0 = internal decoded
+        function, 1 = registered intrinsic, 2 = builtin libc wrapper,
+        3 = a ``global_addr.*`` constant.
+        """
+        from repro.sim.decode import CALLEE_GLOBAL, CALLEE_INTERNAL
+
+        tag, name = self._dmod.callee_static[cid]
+        if tag == CALLEE_GLOBAL:
+            entry = (3, self.global_addr(name))
+        elif tag == CALLEE_INTERNAL:
+            entry = (0, self._dmod.functions[name])
+        else:
+            fn = self.intrinsics.get(name)
+            if fn is not None:
+                entry = (1, fn)
+            else:
+                builtin = _BUILTIN_WRAPPERS.get(name)
+                if builtin is None:
+                    raise InterpError(f"call to unresolved function @{name}")
+                entry = (2, builtin(self))
+        self._callee_cache[cid] = entry
+        return entry
+
+    def _call_decoded(self, dfunc, args: List[object]) -> object:
+        """Run one decoded activation frame (the hot loop).
+
+        Mirrors ``_run_frame``/``_execute`` semantics exactly, including
+        step accounting: one step per executed non-phi instruction plus
+        one per phi evaluated on a taken edge.  ``self.steps`` is kept in
+        a local and synced around calls and at returns.
+        """
+        from repro.sim.decode import (
+            OP_ADD64, OP_ALLOCA, OP_AND64, OP_ASHR, OP_BINW, OP_BR, OP_CALL,
+            OP_CONDBR, OP_FADD, OP_FCMP, OP_FDIV, OP_FMUL, OP_FPTOSI, OP_FSUB,
+            OP_GEP, OP_ICMP_EQ, OP_ICMP_NE, OP_ICMP_SGE, OP_ICMP_SGT,
+            OP_ICMP_SLE, OP_ICMP_SLT, OP_ICMP_U, OP_INTTOPTR, OP_LOAD,
+            OP_LSHR, OP_MUL64, OP_OR64, OP_PTRTOINT, OP_RAISE, OP_RET,
+            OP_SDIV, OP_SELECT, OP_SHL, OP_SITOFP, OP_SREM, OP_STORE,
+            OP_SUB64, OP_WRAP, OP_XOR64, OP_ZEXT,
+        )
+
+        if len(args) != dfunc.nargs:
+            raise InterpError(
+                f"@{dfunc.name} expects {dfunc.nargs} args, got {len(args)}"
+            )
+        regs = dfunc.template[:]
+        if args:
+            regs[: len(args)] = args
+        func = dfunc.func
+        blocks = dfunc.blocks
+        names = dfunc.names
+        hook = self.block_hook
+        memory = self.memory
+        read_value = memory.read_value
+        write_value = memory.write_value
+        callees = self._callee_cache
+        max_steps = self.max_steps
+        steps = self.steps
+        allocas: List[int] = []
+        M64 = _U64
+        S63 = 1 << 63
+        P64 = 1 << 64
+        bi = dfunc.start
+        try:
+            while True:
+                if hook is not None:
+                    hook(func, names[bi])
+                for op in blocks[bi]:
+                    steps += 1
+                    if steps > max_steps:
+                        self.steps = steps
+                        raise InterpError(f"exceeded max_steps={max_steps}")
+                    tag = op[0]
+                    if tag == OP_ADD64:
+                        v = (regs[op[2]] + regs[op[3]]) & M64
+                        regs[op[1]] = v - P64 if v >= S63 else v
+                    elif tag == OP_GEP:
+                        regs[op[1]] = (regs[op[2]] + regs[op[3]] * op[4]) & M64
+                    elif tag == OP_LOAD:
+                        regs[op[1]] = read_value(regs[op[2]], op[3])
+                    elif tag == OP_CALL:
+                        ce = callees[op[2]]
+                        if ce is None:
+                            ce = self._resolve_callee(op[2])
+                        kind = ce[0]
+                        if kind == 3:
+                            result = ce[1]
+                        else:
+                            call_args = [regs[s] for s in op[3]]
+                            self.steps = steps
+                            if kind == 1:
+                                result = ce[1](self, call_args)
+                            elif kind == 0:
+                                result = self._call_decoded(ce[1], call_args)
+                            else:
+                                result = ce[1](call_args)
+                            steps = self.steps
+                        if op[1] is not None:
+                            regs[op[1]] = result
+                    elif tag == OP_ICMP_SLT:
+                        regs[op[1]] = 1 if regs[op[2]] < regs[op[3]] else 0
+                    elif tag == OP_CONDBR:
+                        if regs[op[1]]:
+                            bi = op[2]
+                            copies = op[3]
+                            nphi = op[4]
+                        else:
+                            bi = op[5]
+                            copies = op[6]
+                            nphi = op[7]
+                        if copies:
+                            if nphi == 1:
+                                d, s = copies[0]
+                                regs[d] = regs[s]
+                            else:
+                                vals = [regs[s] for _, s in copies]
+                                for (d, _), v in zip(copies, vals):
+                                    regs[d] = v
+                            steps += nphi
+                        break
+                    elif tag == OP_STORE:
+                        write_value(regs[op[3]], op[2], regs[op[1]])
+                    elif tag == OP_BR:
+                        copies = op[2]
+                        if copies:
+                            nphi = op[3]
+                            if nphi == 1:
+                                d, s = copies[0]
+                                regs[d] = regs[s]
+                            else:
+                                vals = [regs[s] for _, s in copies]
+                                for (d, _), v in zip(copies, vals):
+                                    regs[d] = v
+                            steps += nphi
+                        bi = op[1]
+                        break
+                    elif tag == OP_RET:
+                        self.steps = steps
+                        s = op[1]
+                        return regs[s] if s is not None else None
+                    elif tag == OP_MUL64:
+                        v = (regs[op[2]] * regs[op[3]]) & M64
+                        regs[op[1]] = v - P64 if v >= S63 else v
+                    elif tag == OP_SUB64:
+                        v = (regs[op[2]] - regs[op[3]]) & M64
+                        regs[op[1]] = v - P64 if v >= S63 else v
+                    elif tag == OP_AND64:
+                        v = (regs[op[2]] & regs[op[3]]) & M64
+                        regs[op[1]] = v - P64 if v >= S63 else v
+                    elif tag == OP_OR64:
+                        v = (regs[op[2]] | regs[op[3]]) & M64
+                        regs[op[1]] = v - P64 if v >= S63 else v
+                    elif tag == OP_XOR64:
+                        v = (regs[op[2]] ^ regs[op[3]]) & M64
+                        regs[op[1]] = v - P64 if v >= S63 else v
+                    elif tag == OP_ICMP_EQ:
+                        regs[op[1]] = 1 if regs[op[2]] == regs[op[3]] else 0
+                    elif tag == OP_ICMP_NE:
+                        regs[op[1]] = 1 if regs[op[2]] != regs[op[3]] else 0
+                    elif tag == OP_ICMP_SLE:
+                        regs[op[1]] = 1 if regs[op[2]] <= regs[op[3]] else 0
+                    elif tag == OP_ICMP_SGT:
+                        regs[op[1]] = 1 if regs[op[2]] > regs[op[3]] else 0
+                    elif tag == OP_ICMP_SGE:
+                        regs[op[1]] = 1 if regs[op[2]] >= regs[op[3]] else 0
+                    elif tag == OP_ICMP_U:
+                        regs[op[1]] = (
+                            1 if op[4](int(regs[op[2]]) & M64, int(regs[op[3]]) & M64)
+                            else 0
+                        )
+                    elif tag == OP_SELECT:
+                        regs[op[1]] = regs[op[3]] if regs[op[2]] else regs[op[4]]
+                    elif tag == OP_ALLOCA:
+                        addr = self._stack_top
+                        memory.map_region(addr, op[2], label="stack")
+                        allocas.append(addr)
+                        self._stack_top += (op[2] + 15) // 16 * 16
+                        regs[op[1]] = addr
+                    elif tag == OP_BINW:
+                        regs[op[1]] = _wrap(
+                            op[5](int(regs[op[2]]), int(regs[op[3]])), op[4]
+                        )
+                    elif tag == OP_SDIV:
+                        ia, ib = int(regs[op[2]]), int(regs[op[3]])
+                        if ib == 0:
+                            self.steps = steps
+                            raise InterpError("sdiv by zero")
+                        q = abs(ia) // abs(ib)
+                        regs[op[1]] = _wrap(-q if (ia < 0) != (ib < 0) else q, op[4])
+                    elif tag == OP_SREM:
+                        ia, ib = int(regs[op[2]]), int(regs[op[3]])
+                        if ib == 0:
+                            self.steps = steps
+                            raise InterpError("srem by zero")
+                        q = abs(ia) // abs(ib)
+                        q = -q if (ia < 0) != (ib < 0) else q
+                        regs[op[1]] = _wrap(ia - q * ib, op[4])
+                    elif tag == OP_SHL:
+                        bits = op[4]
+                        regs[op[1]] = _wrap(
+                            int(regs[op[2]]) << (int(regs[op[3]]) % bits), bits
+                        )
+                    elif tag == OP_LSHR:
+                        bits = op[4]
+                        regs[op[1]] = _wrap(
+                            _unsigned(int(regs[op[2]]), bits)
+                            >> (int(regs[op[3]]) % bits),
+                            bits,
+                        )
+                    elif tag == OP_ASHR:
+                        bits = op[4]
+                        regs[op[1]] = _wrap(
+                            int(regs[op[2]]) >> (int(regs[op[3]]) % bits), bits
+                        )
+                    elif tag == OP_FADD:
+                        regs[op[1]] = float(regs[op[2]]) + float(regs[op[3]])
+                    elif tag == OP_FSUB:
+                        regs[op[1]] = float(regs[op[2]]) - float(regs[op[3]])
+                    elif tag == OP_FMUL:
+                        regs[op[1]] = float(regs[op[2]]) * float(regs[op[3]])
+                    elif tag == OP_FDIV:
+                        fa, fb = float(regs[op[2]]), float(regs[op[3]])
+                        if fb == 0.0:
+                            regs[op[1]] = (
+                                float("inf") if fa > 0
+                                else float("-inf") if fa < 0
+                                else float("nan")
+                            )
+                        else:
+                            regs[op[1]] = fa / fb
+                    elif tag == OP_FCMP:
+                        regs[op[1]] = (
+                            1 if op[4](float(regs[op[2]]), float(regs[op[3]])) else 0
+                        )
+                    elif tag == OP_PTRTOINT:
+                        regs[op[1]] = _wrap(int(regs[op[2]]), 64)
+                    elif tag == OP_INTTOPTR:
+                        regs[op[1]] = int(regs[op[2]]) & M64
+                    elif tag == OP_WRAP:
+                        regs[op[1]] = _wrap(int(regs[op[2]]), op[3])
+                    elif tag == OP_ZEXT:
+                        regs[op[1]] = _wrap(int(regs[op[2]]) & op[3], op[4])
+                    elif tag == OP_SITOFP:
+                        regs[op[1]] = float(int(regs[op[2]]))
+                    elif tag == OP_FPTOSI:
+                        regs[op[1]] = _wrap(int(float(regs[op[2]])), 64)
+                    elif tag == OP_RAISE:
+                        self.steps = steps
+                        raise InterpError(op[1])
+                    else:  # pragma: no cover - decoder emits only known tags
+                        self.steps = steps
+                        raise InterpError(f"bad decoded op tag {tag}")
+        finally:
+            for addr in reversed(allocas):
+                memory.unmap(addr)
 
     def _call_function(self, func: Function, args: List[object]) -> object:
         if func.is_declaration:
@@ -430,6 +735,51 @@ class Interpreter:
         if name == "abort":
             raise InterpError("abort() called")
         raise InterpError(f"call to unresolved function @{name}")
+
+
+def _abort(interp: "Interpreter") -> Callable[[List[object]], object]:
+    def fn(args: List[object]) -> object:
+        raise InterpError("abort() called")
+
+    return fn
+
+
+def _memset(interp: "Interpreter") -> Callable[[List[object]], object]:
+    write_bytes = interp.memory.write_bytes
+
+    def fn(args: List[object]) -> object:
+        dst, byte, n = (int(a) for a in args)
+        write_bytes(dst, bytes([byte & 0xFF]) * n)
+        return dst
+
+    return fn
+
+
+def _memcpy(interp: "Interpreter") -> Callable[[List[object]], object]:
+    memory = interp.memory
+
+    def fn(args: List[object]) -> object:
+        dst, src, n = (int(a) for a in args)
+        memory.write_bytes(dst, memory.read_bytes(src, n))
+        return dst
+
+    return fn
+
+
+#: Decoded-engine equivalents of :meth:`Interpreter._call_external`'s
+#: builtin libc chain.  Each entry is a factory ``interp -> fn(args)`` so
+#: the resolved closure binds its interpreter once, not per call.
+_BUILTIN_WRAPPERS: Dict[str, Callable[["Interpreter"], Callable[[List[object]], object]]] = {
+    "malloc": lambda i: lambda args: i.libc_malloc(int(args[0])),
+    "calloc": lambda i: lambda args: i.libc_malloc(int(args[0]) * int(args[1])),
+    "realloc": lambda i: lambda args: i.libc_realloc(int(args[0]), int(args[1])),
+    "free": lambda i: lambda args: i.libc_free(int(args[0])),
+    "memset": _memset,
+    "memcpy": _memcpy,
+    "print_i64": lambda i: lambda args: i.output.append(str(int(args[0]))),
+    "print_f64": lambda i: lambda args: i.output.append(repr(float(args[0]))),
+    "abort": _abort,
+}
 
 
 class _Sentinel:

@@ -39,10 +39,11 @@ class TrackFMProgram:
         module: Module,
         runtime: TrackFMRuntime,
         max_steps: int = 50_000_000,
+        engine: Optional[str] = None,
     ) -> None:
         self.module = module
         self.runtime = runtime
-        self.interp = Interpreter(module, max_steps=max_steps)
+        self.interp = Interpreter(module, max_steps=max_steps, engine=engine)
         self._prefetch_flags: Dict[int, bool] = {}
         self._register_intrinsics()
 

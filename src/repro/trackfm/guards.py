@@ -59,6 +59,17 @@ class GuardEngine:
         self.costs: CostTable = pool.config.costs
         #: Trace sink; disabled by default (one attribute check per guard).
         self.tracer = NULL_TRACER
+        # Hot-path constants, hoisted once per engine (the CostTable is a
+        # frozen dataclass and the pool geometry is fixed): a fast guard
+        # then costs one dict lookup instead of a method-call chain.
+        c = self.costs
+        self._fast_cycles = {
+            (AccessKind.READ, True): c.fast_guard_read_cached,
+            (AccessKind.READ, False): c.fast_guard_read_uncached,
+            (AccessKind.WRITE, True): c.fast_guard_write_cached,
+            (AccessKind.WRITE, False): c.fast_guard_write_uncached,
+        }
+        self._object_size = pool.object_size
 
     # -- the full guard (naive transformation) ----------------------------
 
@@ -78,14 +89,14 @@ class GuardEngine:
                     self.metrics.cycles, self.costs.custody_miss,
                 )
             return GuardResult(GuardKind.CUSTODY_MISS, self.costs.custody_miss)
-        obj_id = object_id_of(addr, self.pool.object_size)
+        obj_id = object_id_of(addr, self._object_size)
         safe, cache_hit = self.table.is_safe(obj_id)
         if safe:
             # The evacuator barrier (§3.3) guarantees no TOCTOU: while a
             # thread is inside a guard it is never "out-of-scope", so the
             # object cannot be delocalized between the test and the access.
             self.pool.residency.access(obj_id, write=kind is AccessKind.WRITE)
-            cycles = self.costs.fast_guard(kind, cached=cache_hit)
+            cycles = self._fast_cycles[(kind, cache_hit)]
             self.metrics.count_guard(GuardKind.FAST)
             tracer = self.tracer
             if tracer.enabled:

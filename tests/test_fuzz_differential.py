@@ -15,6 +15,8 @@ exactly.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.aifm.pool import PoolConfig
@@ -28,8 +30,10 @@ from repro.units import KB, MB
 
 from tests.irgen import generate_module
 
-#: Seed corpus: 50 fixed seeds (reproducible; no time/randomness here).
-SEEDS = list(range(50))
+#: Seed corpus: fixed seeds (reproducible; no time/randomness here).
+#: PR CI runs the default 50; the nightly fuzz workflow widens the
+#: corpus via ``REPRO_FUZZ_SEEDS=500``.
+SEEDS = list(range(int(os.environ.get("REPRO_FUZZ_SEEDS", "50"))))
 
 
 def far_run(module) -> int:
