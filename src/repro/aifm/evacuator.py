@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
-from repro.errors import RuntimeConfigError
+from repro.errors import FarMemoryUnavailableError, RuntimeConfigError
 from repro.net.backends import RemoteBackend
 from repro.sim.metrics import Metrics
 
@@ -41,13 +41,24 @@ class Evacuator:
     def process(
         self, evicted: Iterable[Tuple[int, bool]], metrics: Metrics
     ) -> float:
-        """Account evictions; returns application-visible cycles."""
+        """Account evictions; returns application-visible cycles.
+
+        When the remote tier is unavailable the evacuator never raises:
+        a dirty writeback that cannot go out is *deferred* (counted in
+        ``metrics.deferred_writebacks``) — evacuator threads run behind
+        the application and will retry the page on their next sweep, so
+        unavailability here must not fail an unrelated access.
+        """
         cycles = 0.0
         for _obj_id, dirty in evicted:
             metrics.evictions += 1
             if not dirty:
                 continue
-            cost = self.backend.evict(self.object_size, depth=self.writeback_depth)
+            try:
+                cost = self.backend.evict(self.object_size, depth=self.writeback_depth)
+            except FarMemoryUnavailableError:
+                metrics.deferred_writebacks += 1
+                continue
             metrics.bytes_evacuated += self.object_size
             cycles += cost * self.sync_fraction
         metrics.cycles += cycles

@@ -17,7 +17,7 @@ The pool owns:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.aifm.objectmeta import (
     encode_local,
     encode_remote,
 )
-from repro.errors import PointerError, RuntimeConfigError
+from repro.errors import FarMemoryUnavailableError, PointerError, RuntimeConfigError
 from repro.machine.costs import CostTable, DEFAULT_COSTS
 from repro.net.backends import RemoteBackend, make_tcp_backend
 from repro.sim.metrics import Metrics
@@ -87,8 +87,17 @@ class ObjectPool:
         self.config = config
         self.backend = backend if backend is not None else make_tcp_backend()
         self.metrics = metrics if metrics is not None else Metrics()
+        # A resilient backend flows its retry/drop counters into the
+        # pool's metrics (unless the caller already wired its own).
+        if self.backend.metrics is None:
+            self.backend.metrics = self.metrics
         #: Trace sink (disabled by default: one attribute check per event site).
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Degraded-mode hook: when the remote tier is unavailable
+        #: (:class:`FarMemoryUnavailableError` out of the backend), a
+        #: non-None handler is called as ``handler(obj_id) -> stall
+        #: cycles`` and the access proceeds locally instead of raising.
+        self.degraded_handler: Optional[Callable[[int], float]] = None
         self.object_size = config.object_size
         self.object_shift = log2_exact(config.object_size)
         self.residency = ResidencySet(
@@ -161,15 +170,34 @@ class ObjectPool:
         outcome = self.residency.access(obj_id, write=write)
         cycles = 0.0
         if not outcome.hit:
-            fetch_cycles = self.backend.fetch(self.object_size, depth=depth)
-            cycles += fetch_cycles
-            self.metrics.remote_fetches += 1
-            self.metrics.bytes_fetched += self.object_size
-            tracer = self.tracer
-            if tracer.enabled:
-                tracer.fetch(
-                    self.object_size, fetch_cycles, self.metrics.cycles, obj_id=obj_id
-                )
+            try:
+                fetch_cycles = self.backend.fetch(self.object_size, depth=depth)
+            except FarMemoryUnavailableError:
+                handler = self.degraded_handler
+                if handler is None:
+                    # Unwind the residency insert so pool state matches
+                    # reality (nothing was fetched) before surfacing.
+                    for victim, _dirty in outcome.evicted:
+                        self._set_remote(victim)
+                    self.residency.discard(obj_id)
+                    raise
+                # Degraded mode: serve the access from the local tier
+                # (stale/zero-fill semantics are the handler's business);
+                # charge its stall, count it, move no bytes.
+                cycles += handler(obj_id)
+                self.metrics.degraded_accesses += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.degrade("object", self.metrics.cycles, obj=obj_id)
+            else:
+                cycles += fetch_cycles
+                self.metrics.remote_fetches += 1
+                self.metrics.bytes_fetched += self.object_size
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.fetch(
+                        self.object_size, fetch_cycles, self.metrics.cycles, obj_id=obj_id
+                    )
         for victim, _dirty in outcome.evicted:
             self._set_remote(victim)
         cycles += self.evacuator.process(outcome.evicted, self.metrics)

@@ -51,6 +51,23 @@ class AIFMRuntime:
     def set_tracer(self, tracer) -> None:
         """Attach a tracer (the pool is this runtime's only event source)."""
         self.pool.tracer = tracer
+        self.pool.backend.tracer = tracer
+
+    def enable_degraded_mode(
+        self,
+        stall_cycles: float = 0.0,
+        hook=None,
+    ) -> None:
+        """Serve derefs locally when far memory is unavailable.
+
+        Same semantics as
+        :meth:`repro.trackfm.runtime.TrackFMRuntime.enable_degraded_mode`
+        — both runtimes share the pool-level hook.
+        """
+        if hook is not None:
+            self.pool.degraded_handler = hook
+        else:
+            self.pool.degraded_handler = lambda _obj_id: stall_cycles
 
     @property
     def tracer(self):

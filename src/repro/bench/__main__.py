@@ -95,6 +95,15 @@ def main(argv=None) -> int:
     parser.add_argument("experiments", nargs="*", help="experiment names (fig07, table1, ...)")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help=(
+            "run the experiments on a fault-injected fabric, e.g. "
+            "'seed=1,drop=0.01,jitter=400' (see docs/resilience.md); "
+            "not available for the regress baseline gate, which must "
+            "stay fault-free"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -113,10 +122,18 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    from contextlib import nullcontext
+
+    plan_ctx = nullcontext()
+    if args.faults is not None:
+        from repro.net.faults import installed_fault_plan, parse_fault_spec
+
+        plan_ctx = installed_fault_plan(parse_fault_spec(args.faults))
     try:
-        for name in names:
-            print(EXPERIMENTS[name]().to_text())
-            print()
+        with plan_ctx:
+            for name in names:
+                print(EXPERIMENTS[name]().to_text())
+                print()
     except BrokenPipeError:  # e.g. piped into head
         sys.stderr.close()
     return 0

@@ -56,6 +56,31 @@ class RemoteBackendError(ReproError):
     """The simulated remote node / network backend failed a request."""
 
 
+class TransientNetworkError(RemoteBackendError):
+    """One network message was lost (drop, remote pause window).
+
+    Raised by a fault-injected :class:`~repro.net.link.NetworkLink` for a
+    single message; a :class:`~repro.net.faults.RetryPolicy` on the
+    backend absorbs it.  ``kind`` says why ("drop" or "pause") and
+    ``message_index`` pins the position in the deterministic schedule.
+    """
+
+    def __init__(self, msg: str, kind: str = "drop", message_index: int = -1):
+        super().__init__(msg)
+        self.kind = kind
+        self.message_index = message_index
+
+
+class FarMemoryUnavailableError(RemoteBackendError):
+    """The remote tier is unreachable after retries / the breaker opened.
+
+    This is the error applications see: transient faults are retried
+    away below it, so reaching here means the far-memory node is down
+    for real.  Runtimes with a degraded-mode hook swallow it and serve
+    locally; otherwise it surfaces through the guard to the program.
+    """
+
+
 class PointerError(ReproError):
     """Invalid TrackFM pointer arithmetic or decoding."""
 

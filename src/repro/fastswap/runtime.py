@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import PointerError, RuntimeConfigError
+from repro.errors import FarMemoryUnavailableError, PointerError, RuntimeConfigError
 from repro.machine.costs import AccessKind, CostTable, DEFAULT_COSTS
 from repro.net.backends import RemoteBackend, make_rdma_backend
 from repro.sim.metrics import Metrics
@@ -64,13 +64,31 @@ class FastswapRuntime:
         self.config = config
         self.backend = backend if backend is not None else make_rdma_backend()
         self.metrics = Metrics()
+        if self.backend.metrics is None:
+            self.backend.metrics = self.metrics
         #: Trace sink (disabled by default: one attribute check per event site).
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Degraded-mode hook, same contract as the object pool's:
+        #: ``handler(page) -> stall cycles`` serves a major fault locally
+        #: when the remote tier is unavailable.
+        self.degraded_handler = None
         self.page_shift = log2_exact(config.page_size)
         # Linux reclaim approximates LRU with active/inactive lists;
         # CLOCK-style second chance is the closest simple model.
         self.residency = ResidencySet(config.local_capacity_pages, use_clock=True)
         self._brk = 0
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to this runtime and its backend."""
+        self.tracer = tracer
+        self.backend.tracer = tracer
+
+    def enable_degraded_mode(self, stall_cycles: float = 0.0, hook=None) -> None:
+        """Serve major faults locally when far memory is unavailable."""
+        if hook is not None:
+            self.degraded_handler = hook
+        else:
+            self.degraded_handler = lambda _page: stall_cycles
 
     @property
     def page_size(self) -> int:
@@ -116,19 +134,40 @@ class FastswapRuntime:
         outcome = self.residency.access(page, write=kind is AccessKind.WRITE)
         if outcome.hit:
             return 0.0
+        backend = self.backend
         fault_cycles = self.config.costs.fastswap_fault(kind, remote=True)
+        degraded = False
+        # The fault cost above is *calibrated* end to end, so the swap-in
+        # itself never goes through backend.fetch (it would double-charge
+        # the link).  With faults installed, admit() rolls the schedule
+        # for this one message and adds only the retry/spike penalty.
+        if backend.link.faults is not None or backend.resilient:
+            try:
+                fault_cycles += backend.admit(self.page_size)
+            except FarMemoryUnavailableError:
+                handler = self.degraded_handler
+                if handler is None:
+                    self.residency.discard(page)
+                    raise
+                degraded = True
+                fault_cycles = handler(page)
+                self.metrics.degraded_accesses += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.degrade("page", self.metrics.cycles, page=page)
         cycles = fault_cycles
-        self.metrics.major_faults += 1
-        self.metrics.remote_fetches += 1
-        self.metrics.bytes_fetched += self.page_size
-        self.backend.link.stats.messages += 1
-        self.backend.link.stats.bytes_fetched += self.page_size
-        tracer = self.tracer
-        if tracer.enabled:
-            tracer.fetch(
-                self.page_size, fault_cycles, self.metrics.cycles,
-                obj_id=page, name="major_fault",
-            )
+        if not degraded:
+            self.metrics.major_faults += 1
+            self.metrics.remote_fetches += 1
+            self.metrics.bytes_fetched += self.page_size
+            self.backend.link.stats.messages += 1
+            self.backend.link.stats.bytes_fetched += self.page_size
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.fetch(
+                    self.page_size, fault_cycles, self.metrics.cycles,
+                    obj_id=page, name="major_fault",
+                )
         for _victim, dirty in outcome.evicted:
             cycles += self.config.reclaim_cycles
             self.metrics.evictions += 1

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.aifm.pool import PoolConfig
-from repro.errors import PointerError, RuntimeConfigError
+from repro.errors import FarMemoryUnavailableError, PointerError, RuntimeConfigError
 from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
 from repro.machine.costs import AccessKind
 from repro.sim.metrics import Metrics
@@ -68,11 +68,17 @@ class HybridRuntime:
         )
         self.page_fraction = page_fraction
         self._handles: Dict[int, HybridHandle] = {}
+        #: Shadow page-tier allocations for object allocations served in
+        #: fallback mode (keyed by the object allocation's address).
+        self._fallback: Dict[int, int] = {}
+        #: Counters owned by the hybrid layer itself (fallback accesses);
+        #: merged into :attr:`metrics` alongside both mechanisms'.
+        self.extra_metrics = Metrics()
 
     def set_tracer(self, tracer) -> None:
         """Attach one tracer to both mechanisms (events share a timeline)."""
         self.trackfm.set_tracer(tracer)
-        self.fastswap.tracer = tracer
+        self.fastswap.set_tracer(tracer)
 
     @property
     def tracer(self):
@@ -105,17 +111,47 @@ class HybridRuntime:
             )
         if handle.placement is Placement.OBJECTS:
             assert is_tfm_pointer(handle.address)
-            return self.trackfm.access(handle.address + offset, kind, size)
+            try:
+                return self.trackfm.access(handle.address + offset, kind, size)
+            except FarMemoryUnavailableError:
+                return self._fallback_access(handle, offset, kind, size)
         return self.fastswap.access(handle.address + offset, kind, size)
+
+    def _fallback_access(
+        self, handle: HybridHandle, offset: int, kind: AccessKind, size: int
+    ) -> float:
+        """Serve an object access via the page tier: the hybrid's whole
+        point is having a second mechanism to fall back on when the
+        object path's remote backend is unavailable.
+
+        The allocation gets a lazily-created shadow in the page heap;
+        subsequent fallback accesses reuse it, so a long outage behaves
+        like the allocation had been placed on pages to begin with.
+        """
+        shadow = self._fallback.get(handle.address)
+        if shadow is None:
+            shadow = self.fastswap.allocate(handle.size)
+            self._fallback[handle.address] = shadow
+        self.extra_metrics.degraded_accesses += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.degrade(
+                "hybrid_fallback",
+                self.trackfm.metrics.cycles,
+                addr=handle.address,
+                offset=offset,
+            )
+        return self.fastswap.access(shadow + offset, kind, size)
 
     # -- metrics ------------------------------------------------------------
 
     @property
     def metrics(self) -> Metrics:
-        """Merged view over both mechanisms."""
+        """Merged view over both mechanisms (plus hybrid-layer counters)."""
         merged = Metrics()
         merged.merge(self.trackfm.metrics)
         merged.merge(self.fastswap.metrics)
+        merged.merge(self.extra_metrics)
         return merged
 
     def split(self) -> Tuple[Metrics, Metrics]:

@@ -9,6 +9,19 @@ we account every byte moved (the I/O-amplification figures).
 """
 
 from repro.net.link import NetworkLink, LinkStats, TransferDirection
+from repro.net.faults import (
+    BreakerState,
+    CircuitBreaker,
+    FaultPlan,
+    FaultSchedule,
+    FaultStats,
+    FaultyLink,
+    RetryPolicy,
+    default_fault_plan,
+    installed_fault_plan,
+    parse_fault_spec,
+    set_default_fault_plan,
+)
 from repro.net.backends import (
     RemoteBackend,
     TcpBackend,
@@ -26,4 +39,15 @@ __all__ = [
     "RdmaBackend",
     "make_tcp_backend",
     "make_rdma_backend",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyLink",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerState",
+    "parse_fault_spec",
+    "default_fault_plan",
+    "set_default_fault_plan",
+    "installed_fault_plan",
 ]

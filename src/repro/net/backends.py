@@ -19,7 +19,10 @@ in the Fastswap runtime itself).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
+from repro.errors import FarMemoryUnavailableError, TransientNetworkError
+from repro.net.faults import CircuitBreaker, RetryPolicy, default_fault_plan
 from repro.net.link import (
     BYTES_PER_CYCLE_25G,
     NetworkLink,
@@ -29,18 +32,123 @@ from repro.net.link import (
 
 @dataclass
 class RemoteBackend:
-    """A far node reachable over a link; counts fetches and evictions."""
+    """A far node reachable over a link; counts fetches and evictions.
+
+    Without a :class:`RetryPolicy` or :class:`CircuitBreaker` the
+    backend is a thin pass-through to the link (two ``is None`` checks
+    on the hot path).  With either installed, ``fetch``/``evict`` absorb
+    :class:`TransientNetworkError` from a fault-injected link: each loss
+    is charged a detection timeout plus backoff, retried up to the
+    policy's limits, and fed to the breaker; exhaustion or an open
+    breaker raises :class:`FarMemoryUnavailableError`.
+    """
 
     link: NetworkLink
     name: str = "remote"
+    retry_policy: Optional[RetryPolicy] = None
+    breaker: Optional[CircuitBreaker] = None
+    #: Optional :class:`repro.sim.metrics.Metrics` that retry/timeout/
+    #: drop counters flow into (wired by the owning pool/runtime).
+    metrics: Optional[object] = None
+    #: Optional tracer for ``fault``/``retry`` events (wired alongside
+    #: the owning runtime's tracer).
+    tracer: Optional[object] = None
+
+    @property
+    def resilient(self) -> bool:
+        return self.retry_policy is not None or self.breaker is not None
 
     def fetch(self, size_bytes: int, depth: int = 1) -> float:
         """Pull ``size_bytes`` from the remote node; returns cycles."""
-        return self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
+        if self.retry_policy is None and self.breaker is None:
+            return self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
+        return self._resilient_cost(
+            lambda: self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
+        )
 
     def evict(self, size_bytes: int, depth: int = 1) -> float:
         """Push ``size_bytes`` back to the remote node; returns cycles."""
-        return self.link.transfer(size_bytes, TransferDirection.EVICT, depth)
+        if self.retry_policy is None and self.breaker is None:
+            return self.link.transfer(size_bytes, TransferDirection.EVICT, depth)
+        return self._resilient_cost(
+            lambda: self.link.transfer(size_bytes, TransferDirection.EVICT, depth)
+        )
+
+    def admit(self, size_bytes: int) -> float:
+        """Resilience penalty for one transfer whose base cost lives elsewhere.
+
+        The Fastswap runtime charges its *calibrated* end-to-end fault
+        cost directly (and bumps link stats by hand), so it must not pay
+        the link's transfer cost a second time.  ``admit`` rolls the
+        fault schedule for one message and returns only the extra cycles
+        faults and retries add on top — zero on a healthy link.
+        """
+        faults = self.link.faults
+        if faults is None:
+            return 0.0
+        if self.retry_policy is None and self.breaker is None:
+            return faults.roll(size_bytes)
+        return self._resilient_cost(lambda: faults.roll(size_bytes))
+
+    # -- retry / breaker core ---------------------------------------------
+
+    def _resilient_cost(self, attempt_fn: Callable[[], float]) -> float:
+        """Run ``attempt_fn`` under the retry policy and breaker.
+
+        Returns the attempt's cost plus all accumulated penalty cycles
+        (timeouts + backoffs).  Raises ``FarMemoryUnavailableError``
+        when the breaker rejects the request or retries are exhausted.
+        """
+        policy = self.retry_policy
+        breaker = self.breaker
+        penalty = 0.0
+        attempt = 0
+        while True:
+            if breaker is not None and not breaker.allow():
+                raise FarMemoryUnavailableError(
+                    f"{self.name}: circuit breaker open "
+                    f"({breaker.consecutive_failures} consecutive failures)"
+                )
+            attempt += 1
+            try:
+                cost = attempt_fn()
+            except TransientNetworkError as err:
+                if breaker is not None:
+                    breaker.record_failure()
+                timeout = policy.timeout_cycles if policy is not None else 0.0
+                penalty += timeout
+                self._count("drops")
+                self._count("timeouts")
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.fault(err.kind, err.message_index, self._now())
+                if policy is None or not policy.should_retry(attempt):
+                    raise FarMemoryUnavailableError(
+                        f"{self.name}: gave up after {attempt} attempt(s) "
+                        f"(last loss: {err})"
+                    ) from err
+                backoff = policy.backoff_cycles(attempt)
+                policy.consume_retry()
+                penalty += backoff
+                self._count("retries")
+                if tracer is not None and tracer.enabled:
+                    tracer.retry(attempt, backoff, self._now())
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return cost + penalty
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            setattr(metrics, counter, getattr(metrics, counter) + n)
+
+    def _now(self) -> float:
+        """Timestamp for fault/retry trace events (simulated cycles)."""
+        metrics = self.metrics
+        if metrics is not None:
+            return float(metrics.cycles)
+        return self.link.stats.busy_cycles
 
     def fetch_cost(self, size_bytes: int, depth: int = 1) -> float:
         """Cost of a fetch without accounting it (planning queries)."""
@@ -81,6 +189,22 @@ RDMA_LATENCY_CYCLES = 28_000.0
 RDMA_PER_MESSAGE_CYCLES = 32_700.0 - RDMA_LATENCY_CYCLES - _PAGE_WIRE
 
 
+def _apply_default_faults(backend: RemoteBackend) -> RemoteBackend:
+    """Arm ``backend`` with the process-default fault plan, if any.
+
+    Each backend gets a *fresh* schedule, policy and breaker (never
+    shared mutable state), so two backends built under the same plan
+    see identical fault sequences — the determinism the chaos suite
+    pins.  The retry policy's jitter seed follows the plan seed.
+    """
+    plan = default_fault_plan()
+    if plan is not None:
+        backend.link.faults = plan.schedule()
+        backend.retry_policy = RetryPolicy(seed=plan.seed)
+        backend.breaker = CircuitBreaker()
+    return backend
+
+
 def make_tcp_backend() -> TcpBackend:
     """A TCP backend calibrated to the paper's TrackFM remote costs."""
     link = NetworkLink(
@@ -88,7 +212,7 @@ def make_tcp_backend() -> TcpBackend:
         bytes_per_cycle=BYTES_PER_CYCLE_25G,
         per_message_cycles=TCP_PER_MESSAGE_CYCLES,
     )
-    return TcpBackend(link, name="tcp")
+    return _apply_default_faults(TcpBackend(link, name="tcp"))
 
 
 def make_rdma_backend() -> RdmaBackend:
@@ -98,4 +222,4 @@ def make_rdma_backend() -> RdmaBackend:
         bytes_per_cycle=BYTES_PER_CYCLE_25G,
         per_message_cycles=RDMA_PER_MESSAGE_CYCLES,
     )
-    return RdmaBackend(link, name="rdma")
+    return _apply_default_faults(RdmaBackend(link, name="rdma"))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import RuntimeConfigError
 
@@ -59,6 +60,10 @@ class NetworkLink:
     bytes_per_cycle: float = BYTES_PER_CYCLE_25G
     per_message_cycles: float = 300.0
     stats: LinkStats = field(default_factory=LinkStats)
+    #: Optional :class:`repro.net.faults.FaultSchedule`.  ``None`` (the
+    #: default) keeps ``transfer`` on the healthy path at the cost of a
+    #: single attribute check — same contract as the tracer hot path.
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.latency_cycles < 0 or self.per_message_cycles < 0:
@@ -78,6 +83,11 @@ class NetworkLink:
         """Per-message cost with ``depth`` overlapping requests."""
         if depth < 1:
             raise RuntimeConfigError("pipeline depth must be >= 1")
+        if depth == 1:
+            # A depth-1 "pipeline" is just a blocking message; the
+            # overlap formula below would double-count the per-message
+            # cost (once inside the round-trip, once as issue overhead).
+            return self.transfer_cycles(size_bytes)
         overlap = (self.latency_cycles + self.per_message_cycles) / depth
         return max(self.wire_cycles(size_bytes), overlap) + self.per_message_cycles / depth
 
@@ -89,14 +99,24 @@ class NetworkLink:
         direction: TransferDirection,
         depth: int = 1,
     ) -> float:
-        """Account one message and return its cycle cost."""
+        """Account one message and return its cycle cost.
+
+        With a fault schedule installed, a lost message raises
+        :class:`~repro.errors.TransientNetworkError` *before* any stats
+        accounting — a dropped message moved no bytes and its cost is
+        charged by the retry policy (timeout + backoff), not the link.
+        """
         if size_bytes < 0:
             raise RuntimeConfigError("cannot transfer a negative size")
+        if depth < 1:
+            raise RuntimeConfigError("pipeline depth must be >= 1")
+        faults = self.faults
+        extra = faults.roll(size_bytes) if faults is not None else 0.0
         cost = (
             self.transfer_cycles(size_bytes)
-            if depth <= 1
+            if depth == 1
             else self.pipelined_cycles(size_bytes, depth)
-        )
+        ) + extra
         self.stats.messages += 1
         if direction is TransferDirection.FETCH:
             self.stats.bytes_fetched += size_bytes

@@ -38,6 +38,17 @@ class Metrics:
     #: Prefetch requests issued and how many were useful.
     prefetches_issued: int = 0
     prefetches_useful: int = 0
+    #: Resilience counters (fault injection, ``repro.net.faults``).
+    #: Messages lost on the wire (drops + pause windows).
+    drops: int = 0
+    #: Loss-detection timeouts charged by the retry policy.
+    timeouts: int = 0
+    #: Retries granted by the retry policy.
+    retries: int = 0
+    #: Accesses served locally because the remote tier was unavailable.
+    degraded_accesses: int = 0
+    #: Dirty writebacks deferred because the remote tier was unavailable.
+    deferred_writebacks: int = 0
 
     def count_guard(self, kind: GuardKind, n: int = 1) -> None:
         self.guards[kind] = self.guards.get(kind, 0) + n
@@ -82,6 +93,11 @@ class Metrics:
         self.evictions += other.evictions
         self.prefetches_issued += other.prefetches_issued
         self.prefetches_useful += other.prefetches_useful
+        self.drops += other.drops
+        self.timeouts += other.timeouts
+        self.retries += other.retries
+        self.degraded_accesses += other.degraded_accesses
+        self.deferred_writebacks += other.deferred_writebacks
 
     def reset(self) -> None:
         self.cycles = 0.0
@@ -95,6 +111,11 @@ class Metrics:
         self.evictions = 0
         self.prefetches_issued = 0
         self.prefetches_useful = 0
+        self.drops = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.degraded_accesses = 0
+        self.deferred_writebacks = 0
 
     def snapshot(self) -> "Metrics":
         """A copy of the current counters."""
@@ -110,6 +131,11 @@ class Metrics:
             evictions=self.evictions,
             prefetches_issued=self.prefetches_issued,
             prefetches_useful=self.prefetches_useful,
+            drops=self.drops,
+            timeouts=self.timeouts,
+            retries=self.retries,
+            degraded_accesses=self.degraded_accesses,
+            deferred_writebacks=self.deferred_writebacks,
         )
         return copy
 
@@ -117,9 +143,11 @@ class Metrics:
         """The canonical JSON-safe form, shared by benchmarks and traces.
 
         Guard counts are keyed by :class:`GuardKind` value strings and
-        sorted, so equal metrics serialize identically.
+        sorted, so equal metrics serialize identically.  Resilience
+        counters are emitted *only when nonzero*: fault-free runs keep
+        the exact serialization older baselines and goldens pinned.
         """
-        return {
+        out: Dict[str, object] = {
             "cycles": self.cycles,
             "accesses": self.accesses,
             "guards": {
@@ -135,6 +163,17 @@ class Metrics:
             "prefetches_issued": self.prefetches_issued,
             "prefetches_useful": self.prefetches_useful,
         }
+        for key in (
+            "drops",
+            "timeouts",
+            "retries",
+            "degraded_accesses",
+            "deferred_writebacks",
+        ):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Metrics":
@@ -150,6 +189,11 @@ class Metrics:
             evictions=int(data.get("evictions", 0)),
             prefetches_issued=int(data.get("prefetches_issued", 0)),
             prefetches_useful=int(data.get("prefetches_useful", 0)),
+            drops=int(data.get("drops", 0)),
+            timeouts=int(data.get("timeouts", 0)),
+            retries=int(data.get("retries", 0)),
+            degraded_accesses=int(data.get("degraded_accesses", 0)),
+            deferred_writebacks=int(data.get("deferred_writebacks", 0)),
         )
         for key, n in dict(data.get("guards", {})).items():
             m.count_guard(GuardKind(key), int(n))

@@ -31,13 +31,16 @@ testing workflow.
 from repro.trace.events import (
     ALL_CATEGORIES,
     CAT_COUNTER,
+    CAT_DEGRADE,
     CAT_EVICT,
+    CAT_FAULT,
     CAT_FETCH,
     CAT_GUARD,
     CAT_META,
     CAT_PASS,
     CAT_PHASE,
     CAT_PREFETCH,
+    CAT_RETRY,
     TRACK_CYCLES,
     TRACK_WALL,
     TraceEvent,
@@ -72,13 +75,16 @@ def __getattr__(name: str):
 __all__ = [
     "ALL_CATEGORIES",
     "CAT_COUNTER",
+    "CAT_DEGRADE",
     "CAT_EVICT",
+    "CAT_FAULT",
     "CAT_FETCH",
     "CAT_GUARD",
     "CAT_META",
     "CAT_PASS",
     "CAT_PHASE",
     "CAT_PREFETCH",
+    "CAT_RETRY",
     "TRACK_CYCLES",
     "TRACK_WALL",
     "TraceEvent",

@@ -49,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload seed (default: 0)",
     )
     parser.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help=(
+            "inject network faults, e.g. "
+            "'seed=3,drop=0.02,spike=0.05:20000,jitter=500,pause=100:140' "
+            "(see docs/resilience.md)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the summary printed to stdout",
     )
@@ -57,7 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    result = run_traced(args.workload, args.runtime, seed=args.seed)
+    fault_plan = None
+    if args.faults is not None:
+        from repro.net.faults import parse_fault_spec
+
+        fault_plan = parse_fault_spec(args.faults)
+    result = run_traced(
+        args.workload, args.runtime, seed=args.seed, fault_plan=fault_plan
+    )
     export_chrome_trace(result.tracer, args.out, metadata=result.metadata())
     jsonl_path = args.jsonl
     if jsonl_path is None:
@@ -68,6 +83,13 @@ def main(argv=None) -> int:
         print(f"{args.workload} under {args.runtime} (seed {args.seed}):")
         print(f"  value   = {result.value}")
         print(f"  cycles  = {result.cycles:.0f}")
+        m = result.metrics
+        if m.drops or m.retries or m.degraded_accesses or m.deferred_writebacks:
+            print(
+                f"  faults  = drops {m.drops}, timeouts {m.timeouts}, "
+                f"retries {m.retries}, degraded {m.degraded_accesses}, "
+                f"deferred writebacks {m.deferred_writebacks}"
+            )
         print(f"  events  = {summary['events']} ({summary['by_category']})")
         for name, stats in summary["histograms"].items():
             print(f"  {name}: {json.dumps(stats)}")

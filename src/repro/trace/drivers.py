@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import TraceError
 from repro.machine.costs import AccessKind
+from repro.net.faults import FaultPlan, default_fault_plan, installed_fault_plan
 from repro.sim.metrics import Metrics
 from repro.trace.tracer import Tracer
 from repro.units import KB, MB
@@ -42,6 +43,12 @@ HEAP = 1 * MB
 #: truncated; any odd multiplier works — determinism is what matters).
 _LCG_MUL = 2654435761
 _LCG_ADD = 40503
+
+#: Stall charged per degraded access when a fault plan is active.  The
+#: drivers enable degraded mode so a harsh ``--faults`` plan (long pause
+#: windows) degrades the run instead of killing it; program values are
+#: computed in host memory either way, so this only affects cost/metrics.
+DEGRADED_STALL_CYCLES = 1_000.0
 
 
 # -- access-pattern generators ---------------------------------------------
@@ -227,6 +234,8 @@ def _run_trackfm(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
         )
     )
     runtime.set_tracer(tracer)
+    if default_fault_plan() is not None:
+        runtime.enable_degraded_mode(stall_cycles=DEGRADED_STALL_CYCLES)
     with tracer.phase(f"workload:{workload}", lambda: runtime.metrics.cycles):
         result = TrackFMProgram(module, runtime, max_steps=5_000_000).run("main")
     return TraceRunResult(
@@ -261,6 +270,8 @@ def _run_aifm(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
         )
     )
     runtime.set_tracer(tracer)
+    if default_fault_plan() is not None:
+        runtime.enable_degraded_mode(stall_cycles=DEGRADED_STALL_CYCLES)
     runtime.allocate(ARRAY_BYTES)
     return _replay(
         "aifm", workload, seed, tracer,
@@ -276,7 +287,9 @@ def _run_fastswap(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
     runtime = FastswapRuntime(
         FastswapConfig(local_memory=PAGE_LOCAL, heap_size=HEAP)
     )
-    runtime.tracer = tracer
+    runtime.set_tracer(tracer)
+    if default_fault_plan() is not None:
+        runtime.enable_degraded_mode(stall_cycles=DEGRADED_STALL_CYCLES)
     runtime.allocate(ARRAY_BYTES)
     return _replay(
         "fastswap", workload, seed, tracer,
@@ -295,6 +308,11 @@ def _run_hybrid(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
         object_size=OBJECT_SIZE,
     )
     runtime.set_tracer(tracer)
+    # Under faults, the hybrid's own fallback (object tier → page tier)
+    # handles object-side outages; the page tier still needs a local
+    # degraded mode so a total outage degrades instead of raising.
+    if default_fault_plan() is not None:
+        runtime.fastswap.enable_degraded_mode(stall_cycles=DEGRADED_STALL_CYCLES)
     # Half the array on guarded objects, half on kernel pages — the
     # §5 split this runtime exists to model.
     half = ARRAY_BYTES // 2
@@ -328,8 +346,16 @@ def run_traced(
     runtime: str,
     seed: int = 0,
     tracer: Optional[Tracer] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> TraceRunResult:
-    """Run ``workload`` under ``runtime`` with tracing on; returns the run."""
+    """Run ``workload`` under ``runtime`` with tracing on; returns the run.
+
+    With ``fault_plan`` set, the plan is installed as the process
+    default for the duration of the run: the runtime's backends come up
+    fault-injected with a retry policy and breaker, and the runtimes run
+    in degraded mode (losses never change program values — only cost
+    and resilience counters).
+    """
     if workload not in _PATTERNS:
         raise TraceError(
             f"unknown workload {workload!r}; have {sorted(_PATTERNS)}"
@@ -340,4 +366,7 @@ def run_traced(
         )
     if tracer is None:
         tracer = Tracer()
+    if fault_plan is not None:
+        with installed_fault_plan(fault_plan):
+            return RUNTIMES[runtime](workload, seed, tracer)
     return RUNTIMES[runtime](workload, seed, tracer)

@@ -19,6 +19,9 @@ category    meaning
 ``fetch``   object/page pulled from the remote node (bytes, latency)
 ``evict``   objects/pages displaced (bytes, dirty writeback or clean)
 ``prefetch`` prefetch issued (bytes, useful vs wasted)
+``fault``   injected network fault observed (drop, pause, spike)
+``retry``   backend retry after a transient fault (attempt, backoff)
+``degrade`` access served in degraded mode (far memory unavailable)
 ``phase``   workload-defined span (``B``/``E`` pairs)
 ``counter`` point-in-time counter sample (Chrome ``C`` events)
 ``meta``    process/track naming metadata
@@ -40,6 +43,9 @@ CAT_GUARD = "guard"
 CAT_FETCH = "fetch"
 CAT_EVICT = "evict"
 CAT_PREFETCH = "prefetch"
+CAT_FAULT = "fault"
+CAT_RETRY = "retry"
+CAT_DEGRADE = "degrade"
 CAT_PHASE = "phase"
 CAT_COUNTER = "counter"
 CAT_META = "meta"
@@ -50,6 +56,9 @@ ALL_CATEGORIES = (
     CAT_FETCH,
     CAT_EVICT,
     CAT_PREFETCH,
+    CAT_FAULT,
+    CAT_RETRY,
+    CAT_DEGRADE,
     CAT_PHASE,
     CAT_COUNTER,
     CAT_META,

@@ -32,12 +32,15 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from repro.machine.costs import AccessKind, GuardKind
 from repro.trace.events import (
     CAT_COUNTER,
+    CAT_DEGRADE,
     CAT_EVICT,
+    CAT_FAULT,
     CAT_FETCH,
     CAT_GUARD,
     CAT_PASS,
     CAT_PHASE,
     CAT_PREFETCH,
+    CAT_RETRY,
     PH_BEGIN,
     PH_COMPLETE,
     PH_COUNTER,
@@ -79,6 +82,15 @@ class NullTracer:
         pass
 
     def prefetch(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def fault(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def retry(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def degrade(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def pass_event(self, *args: Any, **kwargs: Any) -> None:
@@ -197,6 +209,18 @@ class Tracer:
     ) -> None:
         """Prefetch issued: ``useful`` means it brought in non-local data."""
         self.emit(CAT_PREFETCH, name, ts, bytes=nbytes, n=n, useful=bool(useful))
+
+    def fault(self, kind: str, message_index: int, ts: float) -> None:
+        """One injected fault observed on the wire (a lost message)."""
+        self.emit(CAT_FAULT, kind, ts, message_index=message_index)
+
+    def retry(self, attempt: int, backoff: float, ts: float, name: str = "retry") -> None:
+        """Backend granted a retry after failed attempt ``attempt``."""
+        self.emit(CAT_RETRY, name, ts, attempt=attempt, backoff=backoff)
+
+    def degrade(self, name: str, ts: float, **args: Any) -> None:
+        """An access served in degraded mode (remote tier unavailable)."""
+        self.emit(CAT_DEGRADE, name, ts, **args)
 
     def pass_event(
         self,

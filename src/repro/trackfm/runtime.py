@@ -92,6 +92,26 @@ class TrackFMRuntime:
         self.tracer = tracer
         self.pool.tracer = tracer
         self.guards.tracer = tracer
+        self.pool.backend.tracer = tracer
+
+    def enable_degraded_mode(
+        self,
+        stall_cycles: float = 0.0,
+        hook=None,
+    ) -> None:
+        """Serve accesses locally when far memory is unavailable.
+
+        Without this, an open circuit breaker surfaces
+        :class:`~repro.errors.FarMemoryUnavailableError` through the
+        guard to the program.  With it, the guard's slow path falls back
+        to the local tier: each degraded access charges ``stall_cycles``
+        (or whatever ``hook(obj_id)`` returns) and is counted in
+        ``metrics.degraded_accesses``.
+        """
+        if hook is not None:
+            self.pool.degraded_handler = hook
+        else:
+            self.pool.degraded_handler = lambda _obj_id: stall_cycles
 
     @property
     def metrics(self) -> Metrics:

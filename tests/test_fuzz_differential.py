@@ -23,6 +23,7 @@ from repro.aifm.pool import PoolConfig
 from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
 from repro.ir import verify_module
 from repro.machine.cache import AlwaysHitCache
+from repro.net.faults import FaultPlan, RetryPolicy
 from repro.sim.interpreter import Interpreter
 from repro.sim.irrun import TrackFMProgram
 from repro.trackfm.runtime import TrackFMRuntime
@@ -35,13 +36,26 @@ from tests.irgen import generate_module
 #: corpus via ``REPRO_FUZZ_SEEDS=500``.
 SEEDS = list(range(int(os.environ.get("REPRO_FUZZ_SEEDS", "50"))))
 
+#: Opt-in network fault injection for the far-memory side of every
+#: differential run (the nightly fuzz workflow sets e.g.
+#: ``REPRO_FUZZ_FAULT_RATE=0.01``).  The retry policy absorbs losses at
+#: these rates, so program values must *still* match the raw
+#: interpreter — which is exactly what makes it a fuzz oracle for the
+#: resilience layer.
+FAULT_RATE = float(os.environ.get("REPRO_FUZZ_FAULT_RATE", "0"))
 
-def far_run(module) -> int:
+
+def far_run(module, fault_rate: float = FAULT_RATE, fault_seed: int = 0) -> int:
     """Interpret under a runtime too small to hold the working set."""
     runtime = TrackFMRuntime(
         PoolConfig(object_size=256, local_memory=1 * KB, heap_size=1 * MB),
         cache=AlwaysHitCache(),
     )
+    if fault_rate > 0.0:
+        backend = runtime.pool.backend
+        plan = FaultPlan(seed=fault_seed, drop_rate=fault_rate, jitter_cycles=200.0)
+        backend.link.faults = plan.schedule()
+        backend.retry_policy = RetryPolicy(max_attempts=8, seed=fault_seed)
     return TrackFMProgram(module, runtime, max_steps=5_000_000).run("main").value
 
 
@@ -78,3 +92,24 @@ class TestSeededDifferential:
 
         assert print_module(generate_module(7)) == print_module(generate_module(7))
         assert print_module(generate_module(7)) != print_module(generate_module(8))
+
+
+class TestFaultedDifferential:
+    """A small always-on slice of the fault-injected differential.
+
+    The full corpus only runs faulted when ``REPRO_FUZZ_FAULT_RATE`` is
+    set (nightly); these pinned seeds keep the retry path exercised on
+    every PR run regardless.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_low_rate_faults_do_not_change_values(self, seed):
+        raw = generate_module(seed)
+        expected = Interpreter(raw, max_steps=5_000_000).run("main").value
+        module = generate_module(seed)
+        compiled = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        got = far_run(compiled.module, fault_rate=0.02, fault_seed=seed)
+        assert got == expected, (
+            f"seed {seed}: faulted far-memory run returned {got}, raw "
+            f"interpreter returned {expected}"
+        )

@@ -22,6 +22,8 @@ _COUNTER_FIELDS = (
     "accesses", "minor_faults", "major_faults", "remote_fetches",
     "bytes_fetched", "bytes_evacuated", "evictions",
     "prefetches_issued", "prefetches_useful",
+    "drops", "timeouts", "retries", "degraded_accesses",
+    "deferred_writebacks",
 )
 
 metrics_strategy = st.builds(

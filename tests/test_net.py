@@ -57,6 +57,58 @@ class TestLink:
             link.transfer(-1, TransferDirection.FETCH)
 
 
+class TestLinkEdgeCases:
+    """Pins for the ``reset()``/``pipelined_cycles`` corner cases."""
+
+    def _link(self):
+        return NetworkLink(
+            latency_cycles=1000, bytes_per_cycle=1.0, per_message_cycles=100
+        )
+
+    def test_reset_clears_busy_cycles(self):
+        link = self._link()
+        link.transfer(100, TransferDirection.FETCH)
+        assert link.stats.busy_cycles > 0
+        link.stats.reset()
+        assert link.stats.busy_cycles == 0.0
+        assert link.stats.total_bytes == 0
+
+    def test_depth_one_pipeline_is_blocking(self):
+        # depth=1 means no overlap at all: the "pipelined" cost must be
+        # exactly the blocking cost (the old formula double-counted the
+        # per-message overhead: max(wire, lat+pm) + pm).
+        link = self._link()
+        assert link.pipelined_cycles(500, depth=1) == link.transfer_cycles(500)
+
+    def test_transfer_rejects_nonpositive_depth(self):
+        # depth=0 used to silently fall into the blocking branch.
+        link = self._link()
+        for depth in (0, -1, -8):
+            with pytest.raises(RuntimeConfigError):
+                link.transfer(100, TransferDirection.FETCH, depth=depth)
+        assert link.stats.messages == 0  # nothing was accounted
+
+    def test_zero_byte_transfer(self):
+        # A zero-byte message still pays latency + per-message overhead
+        # and counts as one message moving no bytes.
+        link = self._link()
+        cost = link.transfer(0, TransferDirection.FETCH)
+        assert cost == 1000 + 100
+        assert link.stats.messages == 1
+        assert link.stats.bytes_fetched == 0
+
+    def test_zero_byte_pipelined(self):
+        link = self._link()
+        assert link.pipelined_cycles(0, depth=8) == (1000 + 100) / 8 + 100 / 8
+
+    def test_pipelined_monotone_in_depth(self):
+        link = self._link()
+        costs = [link.pipelined_cycles(500, d) for d in (1, 2, 4, 8, 16)]
+        assert costs == sorted(costs, reverse=True)
+        # And never better than the bandwidth bound.
+        assert costs[-1] >= link.wire_cycles(500)
+
+
 class TestBackendsCalibration:
     def test_tcp_4kb_fetch_near_34_5k(self):
         # Table 2: TrackFM remote slow path ~35K incl. ~450-cycle guard.

@@ -1,0 +1,184 @@
+"""Property-based tests for the resilience primitives.
+
+Hypothesis drives :class:`RetryPolicy` (backoff monotone non-decreasing
+and capped, jitter inside its band, retry budget never exceeded,
+seed-determinism) and the :class:`CircuitBreaker` state machine
+(closed → open → half-open transitions; an open breaker never serves).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.faults import BreakerState, CircuitBreaker, RetryPolicy
+
+policy_strategy = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=16),
+    timeout_cycles=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    base_backoff_cycles=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    backoff_multiplier=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    max_backoff_cycles=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    jitter_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+
+class TestRetryPolicyProperties:
+    @given(policy_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_base_backoff_monotone_and_capped(self, policy):
+        series = [policy.base_backoff(a) for a in range(1, 20)]
+        assert series == sorted(series)
+        assert all(b <= policy.max_backoff_cycles for b in series)
+        assert all(b >= 0.0 for b in series)
+
+    @given(policy_strategy, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_stays_in_band(self, policy, attempt):
+        base = policy.base_backoff(attempt)
+        jittered = policy.backoff_cycles(attempt)
+        assert base <= jittered <= base * (1.0 + policy.jitter_fraction)
+
+    @given(policy_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_never_retries_past_max_attempts(self, policy):
+        assert not policy.should_retry(policy.max_attempts)
+        assert not policy.should_retry(policy.max_attempts + 5)
+
+    @given(
+        policy_strategy,
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_budget_never_exceeded(self, policy, budget, demands):
+        policy.retry_budget = budget
+        granted = 0
+        for _ in range(demands):
+            # Model a fresh request whose first attempt failed.
+            if policy.should_retry(1) and policy.max_attempts > 1:
+                policy.consume_retry()
+                granted += 1
+        assert policy.retries_used <= budget
+        assert granted == policy.retries_used
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_seeded_jitter_is_deterministic(self, seed, attempts):
+        def sequence():
+            p = RetryPolicy(max_attempts=16, jitter_fraction=0.3, seed=seed)
+            out = []
+            for a in range(1, attempts + 1):
+                out.append(p.backoff_cycles(a))
+                p.consume_retry()
+            return out
+
+        assert sequence() == sequence()
+
+
+class _Op(enum.Enum):
+    ALLOW = "allow"
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+ops_strategy = st.lists(st.sampled_from(list(_Op)), min_size=0, max_size=200)
+
+
+class TestCircuitBreakerProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_threshold_failures_trip_the_breaker(self, threshold, cooldown):
+        b = CircuitBreaker(failure_threshold=threshold, cooldown_rejections=cooldown)
+        for _ in range(threshold - 1):
+            b.record_failure()
+            assert b.state is BreakerState.CLOSED
+        b.record_failure()
+        assert b.state is BreakerState.OPEN
+        assert b.trips == 1
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_open_rejects_until_cooldown_then_probes(self, threshold, cooldown):
+        b = CircuitBreaker(failure_threshold=threshold, cooldown_rejections=cooldown)
+        for _ in range(threshold):
+            b.record_failure()
+        # The first cooldown-1 requests bounce; the next is the probe.
+        for _ in range(cooldown - 1):
+            assert not b.allow()
+            assert b.state is BreakerState.OPEN
+        assert b.allow()
+        assert b.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_outcomes(self):
+        def tripped():
+            b = CircuitBreaker(failure_threshold=1, cooldown_rejections=1)
+            b.record_failure()
+            assert b.allow()  # straight to the probe (cooldown=1)
+            assert b.state is BreakerState.HALF_OPEN
+            return b
+
+        good = tripped()
+        good.record_success()
+        assert good.state is BreakerState.CLOSED
+
+        bad = tripped()
+        bad.record_failure()
+        assert bad.state is BreakerState.OPEN
+        assert bad.trips == 2
+
+    @given(
+        ops_strategy,
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_serves_while_open(self, ops, threshold, cooldown):
+        """Model check over arbitrary op interleavings."""
+        b = CircuitBreaker(failure_threshold=threshold, cooldown_rejections=cooldown)
+        for op in ops:
+            if op is _Op.ALLOW:
+                served = b.allow()
+                # An open breaker never serves: if the request went
+                # through, the breaker is closed or probing.
+                assert served == (b.state is not BreakerState.OPEN)
+            elif op is _Op.SUCCESS:
+                b.record_success()
+                assert b.state is BreakerState.CLOSED
+                assert b.consecutive_failures == 0
+            else:
+                b.record_failure()
+            # Global invariants.
+            assert b.state in BreakerState
+            if b.state is BreakerState.CLOSED:
+                assert b.consecutive_failures < b.failure_threshold or b.trips == 0
+            assert b.rejections_while_open <= b.cooldown_rejections
+
+    @given(ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_trips_counts_open_transitions(self, ops):
+        b = CircuitBreaker(failure_threshold=2, cooldown_rejections=2)
+        opens = 0
+        for op in ops:
+            before = b.state
+            if op is _Op.ALLOW:
+                b.allow()
+            elif op is _Op.SUCCESS:
+                b.record_success()
+            else:
+                b.record_failure()
+            if before is not BreakerState.OPEN and b.state is BreakerState.OPEN:
+                opens += 1
+        assert b.trips == opens
