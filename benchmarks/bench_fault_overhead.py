@@ -108,3 +108,37 @@ def test_armed_schedule_actually_rolls():
         link.transfer(256, TransferDirection.FETCH)
     assert link.faults.stats.messages == 100
     assert link.faults.stats.extra_cycles > 0.0
+
+
+def test_default_configuration_has_no_integrity_machinery():
+    """Checksums disabled = nothing integrity-shaped exists or costs.
+
+    The integrity layer's hot-path contract matches the fault layer's:
+    with no checker attached, ``fetch`` pays one ``is None`` check, an
+    ``obj_id`` argument is inert, and costs are bit-identical to the
+    pre-feature arithmetic — so checked-in regress baselines need no
+    update when integrity ships disabled.
+    """
+    backend = make_tcp_backend()
+    assert backend.integrity is None
+    plain_cost = backend.fetch(4096)
+    assert backend.integrity is None  # a fetch attaches nothing
+    # Naming an object on an integrity-free backend changes no cost.
+    assert backend.fetch(4096, obj_id=7) == plain_cost
+    assert backend.verify_payload(7, 4096) == 0.0
+
+
+def test_clean_metrics_emit_no_integrity_counters():
+    """Sparse-counter half: disabled integrity leaves no metric deltas."""
+    from repro.sim.metrics import Metrics
+    from repro.trace.drivers import run_traced
+
+    integrity_keys = {
+        "corruptions_detected", "corruptions_repaired",
+        "quarantined_objects", "journal_replays",
+    }
+    assert not integrity_keys & set(Metrics().as_dict())
+    # A whole clean run emits none of them either — the exact dict the
+    # golden traces and regress baselines snapshot.
+    result = run_traced("stream", "aifm", seed=0)
+    assert not integrity_keys & set(result.metrics.as_dict())

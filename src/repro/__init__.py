@@ -47,6 +47,15 @@ from repro.aifm import AIFMRuntime, PoolConfig, RemoteArray, RemoteHashMap
 from repro.trackfm import TrackFMRuntime, GuardStrategy, MultiPoolRuntime
 from repro.fastswap import FastswapConfig, FastswapRuntime
 from repro.hybrid import HybridRuntime, Placement
+from repro.integrity import (
+    ChecksumCodec,
+    EvacuationJournal,
+    IntegrityChecker,
+    IntegrityConfig,
+    RecoveryManager,
+    RecoveryReport,
+    parse_integrity_spec,
+)
 from repro.sim import LocalRuntime, Metrics
 from repro.sim.irrun import TrackFMProgram
 from repro.analysis import DataflowAnalysis, profile_module
@@ -86,6 +95,13 @@ __all__ = [
     "FastswapRuntime",
     "HybridRuntime",
     "Placement",
+    "ChecksumCodec",
+    "EvacuationJournal",
+    "IntegrityChecker",
+    "IntegrityConfig",
+    "RecoveryManager",
+    "RecoveryReport",
+    "parse_integrity_spec",
     "LocalRuntime",
     "Metrics",
     "TrackFMProgram",

@@ -8,12 +8,24 @@ pins); the evacuator's job is the *cost accounting*: dirty objects must
 cross the wire, clean ones are dropped for free, and because writeback
 happens on evacuator threads with deep pipelining, only a fraction of
 its cost lands on the application's critical path.
+
+With an integrity checker attached to the backend, every dirty
+writeback follows the write-ahead journal protocol (INTENT + PAYLOAD
+before the wire write, COMMIT after; ABORT on deferral) so a crashed
+sweep can be replayed or rolled back by
+:class:`repro.integrity.RecoveryManager`.
+
+Writebacks that fail because the remote tier is unavailable are
+*deferred*: the object ids are remembered and
+:meth:`Evacuator.drain_deferred` re-drives them once the tier heals
+(the pool invokes it automatically after the next successful fetch,
+i.e. the moment the circuit breaker closes again).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import FarMemoryUnavailableError, RuntimeConfigError
 from repro.net.backends import RemoteBackend
@@ -31,12 +43,44 @@ class Evacuator:
     #: Fraction of writeback cycles charged to the application; the rest
     #: overlaps with useful work on other cores.
     sync_fraction: float = 0.25
+    #: Dirty objects whose writeback was deferred (remote tier down),
+    #: in deferral order; re-driven by :meth:`drain_deferred`.
+    _deferred: List[int] = field(default_factory=list, init=False, repr=False)
+    #: Lifetime count of deferred writebacks successfully re-driven.
+    drained_total: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.sync_fraction <= 1.0:
             raise RuntimeConfigError("sync_fraction must be in [0, 1]")
         if self.writeback_depth < 1:
             raise RuntimeConfigError("writeback_depth must be >= 1")
+
+    @property
+    def has_deferred(self) -> bool:
+        return bool(self._deferred)
+
+    @property
+    def deferred_objects(self) -> Tuple[int, ...]:
+        return tuple(self._deferred)
+
+    def _writeback(self, obj_id: int, metrics: Metrics) -> Optional[float]:
+        """One dirty writeback; app-visible cycles, or None if deferred."""
+        integrity = self.backend.integrity
+        if integrity is not None:
+            integrity.begin_writeback(obj_id)
+        try:
+            cost = self.backend.evict(self.object_size, depth=self.writeback_depth)
+        except FarMemoryUnavailableError:
+            metrics.deferred_writebacks += 1
+            if obj_id not in self._deferred:
+                self._deferred.append(obj_id)
+            if integrity is not None:
+                integrity.abort_writeback(obj_id)
+            return None
+        if integrity is not None:
+            integrity.finish_writeback(obj_id)
+        metrics.bytes_evacuated += self.object_size
+        return cost * self.sync_fraction
 
     def process(
         self, evicted: Iterable[Tuple[int, bool]], metrics: Metrics
@@ -45,21 +89,47 @@ class Evacuator:
 
         When the remote tier is unavailable the evacuator never raises:
         a dirty writeback that cannot go out is *deferred* (counted in
-        ``metrics.deferred_writebacks``) — evacuator threads run behind
-        the application and will retry the page on their next sweep, so
+        ``metrics.deferred_writebacks`` and remembered for
+        :meth:`drain_deferred`) — evacuator threads run behind the
+        application and will retry the page on their next sweep, so
         unavailability here must not fail an unrelated access.
         """
         cycles = 0.0
-        for _obj_id, dirty in evicted:
+        for obj_id, dirty in evicted:
             metrics.evictions += 1
             if not dirty:
                 continue
-            try:
-                cost = self.backend.evict(self.object_size, depth=self.writeback_depth)
-            except FarMemoryUnavailableError:
-                metrics.deferred_writebacks += 1
-                continue
-            metrics.bytes_evacuated += self.object_size
-            cycles += cost * self.sync_fraction
+            cost = self._writeback(obj_id, metrics)
+            if cost is not None:
+                cycles += cost
+        metrics.cycles += cycles
+        return cycles
+
+    def drain_deferred(self, metrics: Metrics) -> float:
+        """Re-drive deferred writebacks; returns application-visible cycles.
+
+        Sweeps in deferral order and stops at the first writeback that
+        still cannot go out (that one and the rest stay deferred, and
+        the failed attempt is counted in ``deferred_writebacks`` again).
+        Cycle accounting matches :meth:`process`: each re-driven
+        writeback charges ``evict_cost * sync_fraction``, added to
+        ``metrics.cycles`` and returned.
+        """
+        if not self._deferred:
+            return 0.0
+        pending = self._deferred
+        self._deferred = []
+        cycles = 0.0
+        for position, obj_id in enumerate(pending):
+            cost = self._writeback(obj_id, metrics)
+            if cost is None:
+                # Still down: _writeback re-deferred obj_id; keep the
+                # rest queued (in order, without duplicates) and stop.
+                for later in pending[position + 1 :]:
+                    if later not in self._deferred:
+                        self._deferred.append(later)
+                break
+            cycles += cost
+            self.drained_total += 1
         metrics.cycles += cycles
         return cycles

@@ -20,6 +20,7 @@ must not touch the object.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import PointerError
 
@@ -91,9 +92,18 @@ def encode_remote(obj_id: int, obj_size: int, ds_id: int = 0, shared: bool = Fal
 
 @dataclass
 class ObjectMeta:
-    """Decoded view of one metadata word."""
+    """Decoded view of one metadata word.
+
+    ``check`` is the object's expected integrity tag (the checksum its
+    remote copy must verify against), carried alongside the word when
+    the owning pool has an integrity checker attached; None otherwise.
+    It rides next to the word rather than inside it — the Fig. 3 bit
+    layout has no spare field, so the simulated "page table" keeps the
+    tag in a sidecar exactly like the fastswap runtime does.
+    """
 
     word: int
+    check: Optional[int] = None
 
     # -- state queries ----------------------------------------------------
 
@@ -156,19 +166,19 @@ class ObjectMeta:
         if self.is_remote:
             raise PointerError("cannot dirty a remote object")
         word = self.word | DIRTY_BIT if dirty else self.word & ~DIRTY_BIT
-        return ObjectMeta(word)
+        return ObjectMeta(word, self.check)
 
     def with_hot(self, hot: bool = True) -> "ObjectMeta":
         if self.is_remote:
             raise PointerError("cannot mark a remote object hot")
         word = self.word | HOT_BIT if hot else self.word & ~HOT_BIT
-        return ObjectMeta(word)
+        return ObjectMeta(word, self.check)
 
     def with_evacuating(self, evac: bool = True) -> "ObjectMeta":
         if self.is_remote:
             raise PointerError("cannot set evacuating on a remote object")
         word = self.word | EVACUATING_BIT if evac else self.word & ~EVACUATING_BIT
-        return ObjectMeta(word)
+        return ObjectMeta(word, self.check)
 
     def __repr__(self) -> str:
         if self.is_remote:

@@ -28,7 +28,12 @@ from repro.aifm.objectmeta import (
     encode_local,
     encode_remote,
 )
-from repro.errors import FarMemoryUnavailableError, PointerError, RuntimeConfigError
+from repro.errors import (
+    DataIntegrityError,
+    FarMemoryUnavailableError,
+    PointerError,
+    RuntimeConfigError,
+)
 from repro.machine.costs import CostTable, DEFAULT_COSTS
 from repro.net.backends import RemoteBackend, make_tcp_backend
 from repro.sim.metrics import Metrics
@@ -91,6 +96,9 @@ class ObjectPool:
         # pool's metrics (unless the caller already wired its own).
         if self.backend.metrics is None:
             self.backend.metrics = self.metrics
+        integrity = self.backend.integrity
+        if integrity is not None and integrity.metrics is None:
+            integrity.metrics = self.metrics
         #: Trace sink (disabled by default: one attribute check per event site).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Degraded-mode hook: when the remote tier is unavailable
@@ -119,12 +127,21 @@ class ObjectPool:
 
     # -- metadata ---------------------------------------------------------
 
+    @property
+    def integrity(self):
+        """The backend's integrity checker (None when verification is off)."""
+        return self.backend.integrity
+
     def meta_word(self, obj_id: int) -> int:
         self._check_id(obj_id)
         return int(self._meta[obj_id])
 
     def meta(self, obj_id: int) -> ObjectMeta:
-        return ObjectMeta(self.meta_word(obj_id))
+        word = self.meta_word(obj_id)
+        integrity = self.backend.integrity
+        if integrity is not None:
+            return ObjectMeta(word, check=integrity.expected_check(obj_id))
+        return ObjectMeta(word)
 
     def is_safe(self, obj_id: int) -> bool:
         """The fast-path test on the metadata word (Fig. 4b line 6)."""
@@ -170,8 +187,23 @@ class ObjectPool:
         outcome = self.residency.access(obj_id, write=write)
         cycles = 0.0
         if not outcome.hit:
+            backend = self.backend
             try:
-                fetch_cycles = self.backend.fetch(self.object_size, depth=depth)
+                if backend.integrity is None:
+                    fetch_cycles = backend.fetch(self.object_size, depth=depth)
+                else:
+                    fetch_cycles = backend.fetch(
+                        self.object_size, depth=depth, obj_id=obj_id
+                    )
+            except DataIntegrityError:
+                # Quarantined: nothing trustworthy was fetched.  Unwind
+                # the residency insert and surface — integrity failures
+                # are correctness errors, never served degraded here
+                # (the hybrid runtime's page tier is the degrade rung).
+                for victim, _dirty in outcome.evicted:
+                    self._set_remote(victim)
+                self.residency.discard(obj_id)
+                raise
             except FarMemoryUnavailableError:
                 handler = self.degraded_handler
                 if handler is None:
@@ -198,6 +230,10 @@ class ObjectPool:
                     tracer.fetch(
                         self.object_size, fetch_cycles, self.metrics.cycles, obj_id=obj_id
                     )
+                # The remote tier just answered (any open breaker has
+                # closed): re-drive writebacks deferred while it was down.
+                if self.evacuator.has_deferred:
+                    cycles += self.evacuator.drain_deferred(self.metrics)
         for victim, _dirty in outcome.evicted:
             self._set_remote(victim)
         cycles += self.evacuator.process(outcome.evicted, self.metrics)
@@ -230,11 +266,19 @@ class ObjectPool:
             if tracer.enabled:
                 tracer.prefetch(self.object_size, self.metrics.cycles, useful=False)
             return 0.0
+        verify_cycles = 0.0
+        if self.backend.integrity is not None:
+            # Verify before touching residency so a quarantine raise
+            # leaves the pool exactly as it was (nothing was admitted).
+            verify_cycles = self.backend.verify_payload(
+                obj_id, self.object_size, depth if depth is not None else 8
+            )
         evicted = self.residency.insert(obj_id)
         if depth is None:
             cost = self.backend.link.wire_cycles(self.object_size)
         else:
             cost = self.backend.link.pipelined_cycles(self.object_size, depth)
+        cost += verify_cycles
         self.backend.link.stats.messages += 1
         self.backend.link.stats.bytes_fetched += self.object_size
         self.metrics.bytes_fetched += self.object_size
@@ -278,6 +322,40 @@ class ObjectPool:
         self._check_id(obj_id)
         self.residency.discard(obj_id)
         self._set_remote(obj_id)
+
+    # -- crash recovery (repro.integrity.RecoveryManager hooks) ---------------
+
+    def reinstate_dirty(self, obj_id: int) -> float:
+        """Undo a rolled-back writeback: make ``obj_id`` resident + dirty.
+
+        Used by recovery for intent-only journal records — the
+        writeback never became durable, so the object's only good copy
+        is the local one and it must be dirty again.  Idempotent:
+        reinstating a resident object just re-marks it dirty.  Returns
+        application-visible cycles spent displacing victims, if any.
+        """
+        self._check_id(obj_id)
+        outcome = self.residency.access(obj_id, write=True)
+        for victim, _dirty in outcome.evicted:
+            self._set_remote(victim)
+        cycles = self.evacuator.process(outcome.evicted, self.metrics)
+        self._set_local(obj_id, dirty=True)
+        return cycles
+
+    def reconcile_residency(self) -> None:
+        """Rebuild every metadata word from the residency set.
+
+        A crash can leave words and residency disagreeing (the access
+        that crashed had already displaced victims).  Residency is the
+        ground truth; rebuilding the words in place also rebuilds the
+        TrackFM object state table, which aliases this array.
+        """
+        size_field = min(self.object_size, (1 << 16) - 1)
+        base = np.uint64(encode_remote(0, size_field))
+        # In place: the TrackFM state table aliases this buffer.
+        self._meta[:] = np.arange(self.config.num_objects, dtype=np.uint64) | base
+        for obj_id in self.residency.resident_ids():
+            self._set_local(obj_id, dirty=self.residency.is_dirty(obj_id))
 
     # -- pinning (DerefScope plumbing) ----------------------------------------
 

@@ -17,6 +17,13 @@ from repro.aifm.pool import ObjectPool, PoolConfig
 from repro.aifm.prefetcher import StridePrefetcher
 from repro.aifm.scope import DerefScope
 from repro.errors import PointerError
+from repro.integrity import (
+    IntegrityChecker,
+    IntegrityConfig,
+    RecoveryManager,
+    RecoveryReport,
+    attach_integrity,
+)
 from repro.machine.costs import AccessKind
 from repro.net.backends import RemoteBackend
 from repro.sim.metrics import Metrics
@@ -51,7 +58,26 @@ class AIFMRuntime:
     def set_tracer(self, tracer) -> None:
         """Attach a tracer (the pool is this runtime's only event source)."""
         self.pool.tracer = tracer
-        self.pool.backend.tracer = tracer
+        self.pool.backend.set_tracer(tracer)
+
+    def enable_integrity(
+        self, config: Optional[IntegrityConfig] = None
+    ) -> IntegrityChecker:
+        """Checksum-verify every remote fetch (detect → repair → quarantine).
+
+        Attaches an :class:`~repro.integrity.IntegrityChecker` to the
+        pool's backend and wires it into this runtime's metrics and
+        tracer; dirty writebacks start following the write-ahead
+        evacuation journal.  Returns the checker.
+        """
+        checker = attach_integrity(self.pool.backend, config)
+        checker.metrics = self.pool.metrics
+        checker.tracer = self.pool.tracer
+        return checker
+
+    def recover(self) -> RecoveryReport:
+        """Replay/roll back the evacuation journal and rebuild residency."""
+        return RecoveryManager.for_pool(self.pool).recover()
 
     def enable_degraded_mode(
         self,
@@ -160,6 +186,12 @@ class AIFMRuntime:
         if misses:
             wire = self.pool.backend.link.wire_cycles(self.object_size)
             cycles += misses * wire
+            integrity = self.pool.backend.integrity
+            if integrity is not None:
+                # Closed-form scans verify each fetched object's
+                # checksum (no corruption rolls: the closed form models
+                # the healthy-payload cost envelope).
+                cycles += misses * integrity.config.verify_cycles
             self.metrics.remote_fetches += misses
             self.metrics.bytes_fetched += misses * self.object_size
             self.pool.backend.link.stats.bytes_fetched += misses * self.object_size

@@ -104,6 +104,15 @@ def main(argv=None) -> int:
             "stay fault-free"
         ),
     )
+    parser.add_argument(
+        "--integrity", type=str, default=None, metavar="SPEC",
+        help=(
+            "checksum-verify fetched payloads while the experiments "
+            "run: 'on' or 'seed=1,refetch=2,verify=25' (see "
+            "docs/resilience.md); not honored by the regress gate, "
+            "whose baselines are recorded verification-free"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -122,15 +131,23 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    from contextlib import nullcontext
+    from contextlib import ExitStack
 
-    plan_ctx = nullcontext()
-    if args.faults is not None:
-        from repro.net.faults import installed_fault_plan, parse_fault_spec
-
-        plan_ctx = installed_fault_plan(parse_fault_spec(args.faults))
     try:
-        with plan_ctx:
+        with ExitStack() as stack:
+            if args.faults is not None:
+                from repro.net.faults import installed_fault_plan, parse_fault_spec
+
+                stack.enter_context(installed_fault_plan(parse_fault_spec(args.faults)))
+            if args.integrity is not None:
+                from repro.integrity import (
+                    installed_integrity_config,
+                    parse_integrity_spec,
+                )
+
+                stack.enter_context(
+                    installed_integrity_config(parse_integrity_spec(args.integrity))
+                )
             for name in names:
                 print(EXPERIMENTS[name]().to_text())
                 print()

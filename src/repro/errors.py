@@ -81,6 +81,37 @@ class FarMemoryUnavailableError(RemoteBackendError):
     """
 
 
+class DataIntegrityError(RemoteBackendError):
+    """An object's payload failed checksum verification beyond repair.
+
+    Raised by the :class:`~repro.integrity.IntegrityChecker` after the
+    bounded re-fetch/re-write repair budget is exhausted (or no durable
+    journal copy exists to re-drive a damaged writeback from).  The
+    object is *quarantined* first, so a corrupted run raises instead of
+    ever returning silently wrong data.  ``obj_id`` names the granule
+    and ``kind`` the corruption that stuck ("bitflip", "torn_write",
+    "lost_writeback", "stale_read", or "quarantined" on later touches).
+    """
+
+    def __init__(self, msg: str, obj_id: int = -1, kind: str = "corrupt"):
+        super().__init__(msg)
+        self.obj_id = obj_id
+        self.kind = kind
+
+
+class SimulatedCrashError(ReproError):
+    """A deterministic crash point fired (evacuator / far-node crash).
+
+    Injected by :class:`~repro.integrity.CrashPlan` at an exact
+    evacuation-journal record count; the chaos harness catches it, runs
+    :class:`~repro.integrity.RecoveryManager`, and resumes.
+    """
+
+
+class JournalError(ReproError):
+    """The evacuation journal was used inconsistently."""
+
+
 class PointerError(ReproError):
     """Invalid TrackFM pointer arithmetic or decoding."""
 

@@ -3,9 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.errors import FarMemoryUnavailableError, PointerError, RuntimeConfigError
+from repro.errors import (
+    DataIntegrityError,
+    FarMemoryUnavailableError,
+    PointerError,
+    RuntimeConfigError,
+)
+from repro.integrity import (
+    IntegrityChecker,
+    IntegrityConfig,
+    RecoveryManager,
+    RecoveryReport,
+    attach_integrity,
+)
 from repro.machine.costs import AccessKind, CostTable, DEFAULT_COSTS
 from repro.net.backends import RemoteBackend, make_rdma_backend
 from repro.sim.metrics import Metrics
@@ -66,6 +78,9 @@ class FastswapRuntime:
         self.metrics = Metrics()
         if self.backend.metrics is None:
             self.backend.metrics = self.metrics
+        integrity = self.backend.integrity
+        if integrity is not None and integrity.metrics is None:
+            integrity.metrics = self.metrics
         #: Trace sink (disabled by default: one attribute check per event site).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Degraded-mode hook, same contract as the object pool's:
@@ -81,7 +96,82 @@ class FastswapRuntime:
     def set_tracer(self, tracer) -> None:
         """Attach a tracer to this runtime and its backend."""
         self.tracer = tracer
-        self.backend.tracer = tracer
+        self.backend.set_tracer(tracer)
+
+    @property
+    def integrity(self) -> Optional[IntegrityChecker]:
+        """The backend's integrity checker (None when verification is off)."""
+        return self.backend.integrity
+
+    def enable_integrity(
+        self, config: Optional[IntegrityConfig] = None
+    ) -> IntegrityChecker:
+        """Checksum-verify every swapped-in page (detect → repair → quarantine).
+
+        The per-page checksum tag lives in a simulated page-table
+        sidecar (see :meth:`page_table_entry`); dirty-page writebacks
+        start following the write-ahead journal.  Returns the checker.
+        """
+        checker = attach_integrity(self.backend, config)
+        checker.metrics = self.metrics
+        checker.tracer = self.tracer
+        return checker
+
+    def recover(self) -> RecoveryReport:
+        """Replay/roll back the journal after an injected crash.
+
+        Intent-only (torn) page writebacks are rolled back by
+        reinstating the page resident + dirty; durable uncommitted ones
+        are re-driven over the wire and committed.
+        """
+        checker = self.backend.integrity
+        if checker is None:
+            raise RuntimeConfigError(
+                "runtime has no integrity checker; call enable_integrity() first"
+            )
+        manager = RecoveryManager(
+            checker,
+            self.backend,
+            self.page_size,
+            writeback_depth=1,  # kernel writeback: one page per wire op
+            reinstate=self._reinstate_page,
+            reconcile=None,  # residency is the page table; nothing aliases it
+        )
+        return manager.recover()
+
+    def _reinstate_page(self, page: int) -> float:
+        """Undo a rolled-back writeback: page resident + dirty again.
+
+        Mirrors the object pool's recovery hook: cycles (reclaim +
+        victim writeback) are self-accounted into ``metrics.cycles``.
+        """
+        outcome = self.residency.access(page, write=True)
+        cycles = 0.0
+        for _victim, dirty in outcome.evicted:
+            cycles += self.config.reclaim_cycles
+            self.metrics.evictions += 1
+            if dirty:
+                wb = self.backend.link.wire_cycles(self.page_size)
+                cycles += wb * self.config.writeback_sync_fraction
+                self.metrics.bytes_evacuated += self.page_size
+                self.backend.link.stats.bytes_evicted += self.page_size
+        self.metrics.cycles += cycles
+        return cycles
+
+    def page_table_entry(self, page: int) -> Tuple[bool, bool, Optional[int]]:
+        """Simulated PTE view: ``(resident, dirty, checksum tag)``.
+
+        The tag is the sidecar checksum the page's remote copy must
+        verify against (None with integrity off) — the page-granular
+        analogue of :class:`~repro.aifm.objectmeta.ObjectMeta.check`.
+        """
+        if page < 0 or page >= self.config.num_pages:
+            raise PointerError(f"page {page} out of range [0, {self.config.num_pages})")
+        resident = page in self.residency
+        dirty = self.residency.is_dirty(page) if resident else False
+        integrity = self.backend.integrity
+        check = integrity.expected_check(page) if integrity is not None else None
+        return resident, dirty, check
 
     def enable_degraded_mode(self, stall_cycles: float = 0.0, hook=None) -> None:
         """Serve major faults locally when far memory is unavailable."""
@@ -168,14 +258,26 @@ class FastswapRuntime:
                     self.page_size, fault_cycles, self.metrics.cycles,
                     obj_id=page, name="major_fault",
                 )
-        for _victim, dirty in outcome.evicted:
+            if backend.integrity is not None:
+                try:
+                    cycles += backend.verify_payload(page, self.page_size)
+                except DataIntegrityError:
+                    # Quarantined: the swapped-in page is untrustworthy.
+                    self.residency.discard(page)
+                    raise
+        integrity = backend.integrity
+        for victim, dirty in outcome.evicted:
             cycles += self.config.reclaim_cycles
             self.metrics.evictions += 1
             if dirty:
+                if integrity is not None:
+                    integrity.begin_writeback(victim)
                 wb = self.backend.link.wire_cycles(self.page_size)
                 cycles += wb * self.config.writeback_sync_fraction
                 self.metrics.bytes_evacuated += self.page_size
                 self.backend.link.stats.bytes_evicted += self.page_size
+                if integrity is not None:
+                    integrity.finish_writeback(victim)
             if tracer.enabled:
                 tracer.evict(
                     self.page_size, self.metrics.cycles,
@@ -212,6 +314,11 @@ class FastswapRuntime:
 
         cycles = n_elems * body
         cycles += misses * costs.fastswap_fault(kind, remote=True)
+        if misses and self.backend.integrity is not None:
+            # Closed-form scans verify each swapped-in page's checksum
+            # (no corruption rolls: the closed form models the
+            # healthy-payload cost envelope).
+            cycles += misses * self.backend.integrity.config.verify_cycles
         if under_pressure:
             cycles += misses * self.config.reclaim_cycles
             self.metrics.evictions += misses

@@ -4,11 +4,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.aifm.pool import PoolConfig
-from repro.errors import FarMemoryUnavailableError, PointerError, RuntimeConfigError
+from repro.errors import (
+    DataIntegrityError,
+    FarMemoryUnavailableError,
+    PointerError,
+    RuntimeConfigError,
+)
 from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
+from repro.integrity import IntegrityConfig, RecoveryReport
 from repro.machine.costs import AccessKind
 from repro.sim.metrics import Metrics
 from repro.trackfm.pointer import is_tfm_pointer
@@ -80,6 +86,29 @@ class HybridRuntime:
         self.trackfm.set_tracer(tracer)
         self.fastswap.set_tracer(tracer)
 
+    def enable_integrity(self, config: Optional[IntegrityConfig] = None) -> None:
+        """Arm checksum verification on both tiers.
+
+        Each tier gets its own checker (its own journal and damage map —
+        the tiers have independent remote copies), built from the same
+        config so both replay the same corruption schedule parameters.
+        """
+        self.trackfm.enable_integrity(config)
+        self.fastswap.enable_integrity(config)
+
+    def recover(self) -> RecoveryReport:
+        """Run crash recovery on every tier with a checker attached.
+
+        Returns the merged :class:`~repro.integrity.RecoveryReport`;
+        tiers without integrity enabled are skipped.
+        """
+        report = RecoveryReport()
+        if self.trackfm.pool.integrity is not None:
+            report.merge(self.trackfm.recover())
+        if self.fastswap.integrity is not None:
+            report.merge(self.fastswap.recover())
+        return report
+
     @property
     def tracer(self):
         return self.trackfm.tracer
@@ -113,7 +142,11 @@ class HybridRuntime:
             assert is_tfm_pointer(handle.address)
             try:
                 return self.trackfm.access(handle.address + offset, kind, size)
-            except FarMemoryUnavailableError:
+            except (FarMemoryUnavailableError, DataIntegrityError):
+                # The degrade rung of the integrity escalation ladder:
+                # a quarantined object is served via the page tier
+                # (whose copy is independently verified) instead of
+                # surfacing the error to the program.
                 return self._fallback_access(handle, offset, kind, size)
         return self.fastswap.access(handle.address + offset, kind, size)
 

@@ -1,0 +1,60 @@
+"""repro.integrity — end-to-end data integrity for the far-memory tier.
+
+The correctness half of the resilience story (``repro.net.faults`` is
+the availability half).  Three pieces:
+
+* a seeded :class:`ChecksumCodec` plus fetch-time verification with
+  bounded repair and quarantine (:class:`IntegrityChecker`), driven by
+  the deterministic data faults a
+  :class:`~repro.net.faults.FaultPlan` can now inject (``bitflip``,
+  ``torn_write``, ``lost_writeback``, ``stale_read``);
+* a write-ahead :class:`EvacuationJournal` (INTENT / PAYLOAD / COMMIT /
+  ABORT records) that every dirty writeback follows once integrity is
+  enabled;
+* deterministic crash injection (:class:`CrashPlan`) and a
+  :class:`RecoveryManager` that replays committed writebacks, rolls
+  back torn ones, and rebuilds pool ↔ residency coherence, so a
+  recovered run computes values identical to a crash-free run.
+
+Enable per runtime with ``runtime.enable_integrity()``, process-wide
+with :func:`installed_integrity_config` (the ``--integrity`` CLI knob).
+The escalation ladder is **verify → repair → quarantine → degrade**;
+see ``docs/resilience.md``.
+"""
+
+from repro.integrity.checksum import ChecksumCodec, flip_bit
+from repro.integrity.config import (
+    CrashPlan,
+    IntegrityConfig,
+    default_integrity_config,
+    installed_integrity_config,
+    parse_integrity_spec,
+    set_default_integrity_config,
+)
+from repro.integrity.checker import IntegrityChecker, attach_integrity
+from repro.integrity.journal import (
+    EvacuationJournal,
+    JournalRecord,
+    RecordKind,
+    replay_state,
+)
+from repro.integrity.recovery import RecoveryManager, RecoveryReport
+
+__all__ = [
+    "ChecksumCodec",
+    "CrashPlan",
+    "EvacuationJournal",
+    "IntegrityChecker",
+    "IntegrityConfig",
+    "JournalRecord",
+    "RecordKind",
+    "RecoveryManager",
+    "RecoveryReport",
+    "attach_integrity",
+    "default_integrity_config",
+    "flip_bit",
+    "installed_integrity_config",
+    "parse_integrity_spec",
+    "replay_state",
+    "set_default_integrity_config",
+]

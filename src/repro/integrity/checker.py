@@ -1,0 +1,241 @@
+"""Fetch-time checksum verification with repair and quarantine.
+
+The checker sits on a :class:`~repro.net.backends.RemoteBackend` and
+models the remote copy of every object as ``(obj_id, version)`` plus a
+damage map (which writebacks were torn / lost on the far node).  On
+every verified fetch it walks the escalation ladder:
+
+1. **verify** — charge ``verify_cycles`` and consult the deterministic
+   data-fault schedule (``FaultSchedule.roll_fetch_payload``) plus the
+   damage map;
+2. **repair** — transmission faults (bitflip / stale_read) are repaired
+   by re-fetching; remote-copy damage (torn_write / lost_writeback) is
+   repaired by re-driving the writeback from the journal's durable
+   ``PAYLOAD`` record, then re-fetching.  At most
+   ``config.max_refetches`` attempts;
+3. **quarantine** — exhausted budget (or no durable journal copy)
+   quarantines the object and raises
+   :class:`~repro.errors.DataIntegrityError`; every later touch raises
+   immediately.  A corrupted run never returns silently wrong data;
+4. **degrade** — the hybrid runtime catches the raise and falls back to
+   its page tier (see ``repro.hybrid.runtime``).
+
+Writebacks are journaled write-ahead (INTENT, PAYLOAD, wire write,
+COMMIT); a :class:`~repro.integrity.CrashPlan` can kill the evacuator or
+far node at an exact journal record count, which is what the recovery
+chaos suite replays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.errors import DataIntegrityError, JournalError, SimulatedCrashError
+from repro.integrity.checksum import ChecksumCodec
+from repro.integrity.config import CrashPlan, IntegrityConfig
+from repro.integrity.journal import EvacuationJournal, RecordKind
+from repro.trace.tracer import NULL_TRACER
+
+__all__ = ["IntegrityChecker", "attach_integrity"]
+
+#: Corruption kinds that damage the remote copy itself (repair needs a
+#: journal re-drive, not just a re-fetch).
+REMOTE_DAMAGE_KINDS = frozenset({"torn_write", "lost_writeback"})
+
+
+class IntegrityChecker:
+    """Per-backend verify → repair → quarantine state machine."""
+
+    def __init__(
+        self,
+        config: Optional[IntegrityConfig] = None,
+        link: Optional[object] = None,
+        journal: Optional[EvacuationJournal] = None,
+        metrics: Optional[object] = None,
+        tracer: object = NULL_TRACER,
+    ) -> None:
+        self.config = config or IntegrityConfig()
+        self.codec = ChecksumCodec(self.config.seed)
+        #: The link whose fault schedule decides payload corruption;
+        #: read dynamically so arming faults later still takes effect.
+        self.link = link
+        self.journal = journal if journal is not None else EvacuationJournal()
+        #: Duck-typed Metrics (same convention as RemoteBackend.metrics).
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Version we expect the remote copy of each object to hold.
+        self.versions: Dict[int, int] = {}
+        #: Remote copies known damaged (kind per object).
+        self.remote_damage: Dict[int, str] = {}
+        #: Objects whose repair budget was exhausted.
+        self.quarantined: Set[int] = set()
+        self.crash_plan: Optional[CrashPlan] = self.config.crash_plan()
+        #: Writebacks begun but not yet committed/aborted.
+        self._pending: Dict[int, int] = {}
+        #: Monotone per-object attempt counter (journal versions).
+        self._version_counter: Dict[int, int] = {}
+
+    # -- small helpers --------------------------------------------------------
+
+    def _schedule(self) -> Optional[object]:
+        link = self.link
+        return None if link is None else getattr(link, "faults", None)
+
+    def _roll_fetch(self) -> Optional[str]:
+        schedule = self._schedule()
+        return None if schedule is None else schedule.roll_fetch_payload()
+
+    def _roll_evict(self) -> Optional[str]:
+        schedule = self._schedule()
+        return None if schedule is None else schedule.roll_evict_payload()
+
+    def _now(self) -> float:
+        metrics = self.metrics
+        return metrics.cycles if metrics is not None else 0.0
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            setattr(metrics, counter, getattr(metrics, counter) + n)
+
+    def expected_check(self, obj_id: int) -> int:
+        """The checksum tag carried in metadata for ``obj_id``."""
+        return self.codec.object_checksum(obj_id, self.versions.get(obj_id, 0))
+
+    # -- fetch-time verification ----------------------------------------------
+
+    def verify_fetch(
+        self,
+        obj_id: int,
+        size_bytes: int,
+        refetch: Callable[[], float],
+        rewrite: Callable[[], float],
+    ) -> float:
+        """Verify one fetched payload; returns cycles charged.
+
+        ``refetch`` / ``rewrite`` re-drive one payload over the wire
+        (fetch / writeback direction) and return its cost; the backend
+        supplies closures that go through its own retry machinery.
+        Raises :class:`DataIntegrityError` on quarantine.
+        """
+        if obj_id in self.quarantined:
+            raise DataIntegrityError(
+                f"object {obj_id} is quarantined", obj_id=obj_id, kind="quarantined"
+            )
+        config = self.config
+        cost = config.verify_cycles
+        kind = self.remote_damage.get(obj_id)
+        if kind is None:
+            kind = self._roll_fetch()
+        if kind is None:
+            return cost
+        # Detected: one count per corrupted fetch, however many repair
+        # attempts follow (so detected == repaired + quarantined).
+        self._count("corruptions_detected")
+        self.tracer.corrupt(kind, obj_id, self._now())
+        attempts = 0
+        metrics = self.metrics
+        while attempts < config.max_refetches:
+            attempts += 1
+            damage = self.remote_damage.get(obj_id)
+            if damage is not None:
+                payload_version = self.journal.latest_payload_version(obj_id)
+                if payload_version is None:
+                    # No durable copy to re-drive the writeback from.
+                    break
+                cost += rewrite()
+                if metrics is not None:
+                    metrics.bytes_evacuated += size_bytes
+                self._count("journal_replays")
+                self.tracer.journal("replay", obj_id, self._now())
+                redamage = self._roll_evict()
+                if redamage is not None:
+                    # The re-driven writeback was itself corrupted.
+                    self.remote_damage[obj_id] = redamage
+                    continue
+                del self.remote_damage[obj_id]
+                self.versions[obj_id] = payload_version
+            cost += refetch()
+            if metrics is not None:
+                metrics.remote_fetches += 1
+                metrics.bytes_fetched += size_bytes
+            cost += config.verify_cycles
+            kind = self._roll_fetch()
+            if kind is None:
+                self._count("corruptions_repaired")
+                self.tracer.repair(obj_id, attempts, self._now())
+                return cost
+            self.tracer.corrupt(kind, obj_id, self._now())
+        self.quarantined.add(obj_id)
+        self._count("quarantined_objects")
+        self.tracer.corrupt("quarantine", obj_id, self._now())
+        raise DataIntegrityError(
+            f"object {obj_id} failed verification ({kind}) "
+            f"after {attempts} repair attempts",
+            obj_id=obj_id,
+            kind=kind,
+        )
+
+    # -- write-ahead writeback protocol ---------------------------------------
+
+    def _journal(self, kind: RecordKind, obj_id: int, version: int, check: int) -> None:
+        self.journal.append(kind, obj_id, version, check)
+        plan = self.crash_plan
+        if plan is not None and not plan.fired and len(self.journal) >= plan.at_record:
+            plan.fired = True
+            if plan.kind == "farnode":
+                # The far node died while applying this object's write.
+                self.remote_damage[obj_id] = "torn_write"
+            self.tracer.journal("crash", obj_id, self._now())
+            raise SimulatedCrashError(
+                f"injected {plan.kind} crash at journal record {len(self.journal)}"
+            )
+
+    def begin_writeback(self, obj_id: int) -> None:
+        """Journal INTENT + PAYLOAD ahead of the wire write."""
+        version = self._version_counter.get(obj_id, self.versions.get(obj_id, 0)) + 1
+        self._version_counter[obj_id] = version
+        check = self.codec.object_checksum(obj_id, version)
+        self._pending[obj_id] = version
+        self._journal(RecordKind.INTENT, obj_id, version, check)
+        self._journal(RecordKind.PAYLOAD, obj_id, version, check)
+
+    def finish_writeback(self, obj_id: int) -> None:
+        """The wire write landed: roll its payload fate, journal COMMIT."""
+        version = self._pending.pop(obj_id, None)
+        if version is None:
+            raise JournalError(f"finish_writeback({obj_id}) without begin_writeback")
+        self.versions[obj_id] = version
+        damage = self._roll_evict()
+        if damage is not None:
+            self.remote_damage[obj_id] = damage
+        self._journal(
+            RecordKind.COMMIT, obj_id, version, self.codec.object_checksum(obj_id, version)
+        )
+
+    def abort_writeback(self, obj_id: int) -> None:
+        """The wire write never happened (deferral): journal ABORT."""
+        version = self._pending.pop(obj_id, None)
+        if version is None:
+            return
+        self._journal(RecordKind.ABORT, obj_id, version, 0)
+
+
+def attach_integrity(
+    backend: object, config: Optional[IntegrityConfig] = None
+) -> IntegrityChecker:
+    """Build a checker for ``backend`` and install it as ``backend.integrity``.
+
+    Wires the backend's link (for the data-fault schedule), metrics and
+    tracer into the checker; safe to call on a backend whose metrics
+    are attached later (the pool re-wires them, same as
+    ``backend.metrics``).
+    """
+    checker = IntegrityChecker(
+        config=config,
+        link=getattr(backend, "link", None),
+        metrics=getattr(backend, "metrics", None),
+        tracer=getattr(backend, "tracer", NULL_TRACER),
+    )
+    backend.integrity = checker
+    return checker

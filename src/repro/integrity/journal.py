@@ -1,0 +1,127 @@
+"""The write-ahead evacuation journal.
+
+Every dirty writeback is journaled write-ahead: an ``INTENT`` record
+(the evacuator is about to move ``(obj, version)``), a ``PAYLOAD``
+record (the bytes are durably staged — after this point the writeback
+can always be re-driven), then — after the wire write — a ``COMMIT``.
+A writeback abandoned before the wire write (deferral, rollback during
+recovery) is closed with an ``ABORT``.
+
+Replay is a pure fold: :func:`replay_state` reduces any record sequence
+to the furthest stage reached per ``(obj, version)`` attempt.  The fold
+is idempotent under re-application and monotone in prefix length —
+the two properties the hypothesis suite pins, and what makes
+:class:`~repro.integrity.RecoveryManager.recover` safe to run twice.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import JournalError
+
+__all__ = ["RecordKind", "JournalRecord", "EvacuationJournal", "replay_state"]
+
+
+class RecordKind(enum.Enum):
+    INTENT = "intent"
+    PAYLOAD = "payload"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+#: Stage progression per writeback attempt; higher rank wins the fold.
+_RANK = {
+    RecordKind.INTENT: 0,
+    RecordKind.PAYLOAD: 1,
+    RecordKind.COMMIT: 2,
+    RecordKind.ABORT: 3,
+}
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One append-only journal entry."""
+
+    seq: int
+    kind: RecordKind
+    obj_id: int
+    version: int
+    check: int = 0
+
+
+def replay_state(
+    records: Iterable[JournalRecord],
+) -> Dict[Tuple[int, int], RecordKind]:
+    """Furthest stage per ``(obj_id, version)`` writeback attempt.
+
+    Pure and order-insensitive within an attempt (stages only advance),
+    so replaying a prefix twice — or appending a duplicate of any
+    record — yields exactly the same state.
+    """
+    state: Dict[Tuple[int, int], RecordKind] = {}
+    for record in records:
+        key = (record.obj_id, record.version)
+        current = state.get(key)
+        if current is None or _RANK[record.kind] > _RANK[current]:
+            state[key] = record.kind
+    return state
+
+
+class EvacuationJournal:
+    """Append-only record log for one backend's writebacks."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: List[JournalRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Tuple[JournalRecord, ...]:
+        return tuple(self._records)
+
+    def append(
+        self, kind: RecordKind, obj_id: int, version: int, check: int = 0
+    ) -> JournalRecord:
+        if obj_id < 0:
+            raise JournalError(f"journal obj_id must be >= 0, got {obj_id}")
+        if version < 1:
+            raise JournalError(f"journal version must be >= 1, got {version}")
+        record = JournalRecord(
+            seq=len(self._records), kind=kind, obj_id=obj_id, version=version, check=check
+        )
+        self._records.append(record)
+        return record
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def state(self) -> Dict[Tuple[int, int], RecordKind]:
+        """:func:`replay_state` over the whole log."""
+        return replay_state(self._records)
+
+    def latest_payload_version(self, obj_id: int) -> Optional[int]:
+        """Newest version of ``obj_id`` with a durable ``PAYLOAD`` record.
+
+        This is what a damaged remote copy can be re-driven to — the
+        journal's staged bytes are the authoritative copy once a
+        ``PAYLOAD`` record exists.
+        """
+        best: Optional[int] = None
+        for record in self._records:
+            if record.obj_id == obj_id and record.kind is RecordKind.PAYLOAD:
+                if best is None or record.version > best:
+                    best = record.version
+        return best
+
+    def objects(self) -> Tuple[int, ...]:
+        """Distinct object ids in the log, in first-appearance order."""
+        seen: Dict[int, None] = {}
+        for record in self._records:
+            seen.setdefault(record.obj_id, None)
+        return tuple(seen)

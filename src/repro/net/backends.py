@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import FarMemoryUnavailableError, TransientNetworkError
+from repro.integrity.checker import attach_integrity
+from repro.integrity.config import default_integrity_config
 from repro.net.faults import CircuitBreaker, RetryPolicy, default_fault_plan
 from repro.net.link import (
     BYTES_PER_CYCLE_25G,
@@ -53,18 +55,34 @@ class RemoteBackend:
     #: Optional tracer for ``fault``/``retry`` events (wired alongside
     #: the owning runtime's tracer).
     tracer: Optional[object] = None
+    #: Optional :class:`repro.integrity.IntegrityChecker` — when set,
+    #: fetches that name an ``obj_id`` are checksum-verified (and
+    #: repaired / quarantined) before the data is trusted.
+    integrity: Optional[object] = None
 
     @property
     def resilient(self) -> bool:
         return self.retry_policy is not None or self.breaker is not None
 
-    def fetch(self, size_bytes: int, depth: int = 1) -> float:
-        """Pull ``size_bytes`` from the remote node; returns cycles."""
+    def fetch(
+        self, size_bytes: int, depth: int = 1, obj_id: Optional[int] = None
+    ) -> float:
+        """Pull ``size_bytes`` from the remote node; returns cycles.
+
+        With an integrity checker attached and an ``obj_id`` named, the
+        payload is verified after the transfer (detect → bounded repair
+        → quarantine); without either, the extra cost is one ``is
+        None`` check.
+        """
         if self.retry_policy is None and self.breaker is None:
-            return self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
-        return self._resilient_cost(
-            lambda: self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
-        )
+            cost = self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
+        else:
+            cost = self._resilient_cost(
+                lambda: self.link.transfer(size_bytes, TransferDirection.FETCH, depth)
+            )
+        if self.integrity is not None and obj_id is not None:
+            cost += self.verify_payload(obj_id, size_bytes, depth)
+        return cost
 
     def evict(self, size_bytes: int, depth: int = 1) -> float:
         """Push ``size_bytes`` back to the remote node; returns cycles."""
@@ -89,6 +107,48 @@ class RemoteBackend:
         if self.retry_policy is None and self.breaker is None:
             return faults.roll(size_bytes)
         return self._resilient_cost(lambda: faults.roll(size_bytes))
+
+    # -- integrity ---------------------------------------------------------
+
+    def _payload_transfer(self, size_bytes: int, direction, depth: int) -> float:
+        """One repair transfer, under the retry machinery when armed."""
+        if self.retry_policy is None and self.breaker is None:
+            return self.link.transfer(size_bytes, direction, depth)
+        return self._resilient_cost(
+            lambda: self.link.transfer(size_bytes, direction, depth)
+        )
+
+    def verify_payload(self, obj_id: int, size_bytes: int, depth: int = 1) -> float:
+        """Checksum-verify one already-fetched payload; returns cycles.
+
+        The explicit entry point for paths that account their transfer
+        cost elsewhere (Fastswap's calibrated fault path, pool
+        prefetch).  Raises :class:`~repro.errors.DataIntegrityError`
+        when the object ends up quarantined.
+        """
+        integrity = self.integrity
+        if integrity is None:
+            return 0.0
+        return integrity.verify_fetch(
+            obj_id,
+            size_bytes,
+            refetch=lambda: self._payload_transfer(
+                size_bytes, TransferDirection.FETCH, depth
+            ),
+            rewrite=lambda: self._payload_transfer(
+                size_bytes, TransferDirection.EVICT, depth
+            ),
+        )
+
+    def payload_rewrite(self, size_bytes: int, depth: int = 1) -> float:
+        """Re-drive one writeback payload (journal replay); returns cycles."""
+        return self._payload_transfer(size_bytes, TransferDirection.EVICT, depth)
+
+    def set_tracer(self, tracer) -> None:
+        """Point the backend (and its integrity checker) at ``tracer``."""
+        self.tracer = tracer
+        if self.integrity is not None:
+            self.integrity.tracer = tracer
 
     # -- retry / breaker core ---------------------------------------------
 
@@ -202,6 +262,9 @@ def _apply_default_faults(backend: RemoteBackend) -> RemoteBackend:
         backend.link.faults = plan.schedule()
         backend.retry_policy = RetryPolicy(seed=plan.seed)
         backend.breaker = CircuitBreaker()
+    config = default_integrity_config()
+    if config is not None and config.enabled:
+        attach_integrity(backend, config)
     return backend
 
 

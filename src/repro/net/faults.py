@@ -42,6 +42,8 @@ from repro.errors import RuntimeConfigError, TransientNetworkError
 from repro.net.link import NetworkLink
 
 __all__ = [
+    "CORRUPTION_KINDS",
+    "FAULT_SPEC_KEYS",
     "FaultPlan",
     "FaultSchedule",
     "FaultStats",
@@ -78,6 +80,17 @@ _SALT_SPIKE = 0x2E
 _SALT_JITTER = 0x3F
 #: Salt space for retry-backoff jitter (RetryPolicy).
 _SALT_BACKOFF = 0x4A
+#: Data-fault salts: payload corruption rolls run on their own counters.
+_SALT_BITFLIP = 0x5B
+_SALT_STALE = 0x6C
+_SALT_TORN = 0x7D
+_SALT_LOSTWB = 0x8E
+
+#: The payload-corruption kinds a plan can inject (``repro.integrity``
+#: classifies them: bitflip/stale_read are transmission faults repaired
+#: by a re-fetch; torn_write/lost_writeback damage the remote copy and
+#: need a journal re-drive).
+CORRUPTION_KINDS = ("bitflip", "torn_write", "lost_writeback", "stale_read")
 
 
 @dataclass(frozen=True)
@@ -99,9 +112,25 @@ class FaultPlan:
     #: Uniform per-message jitter in ``[0, jitter_cycles)``.
     jitter_cycles: float = 0.0
     pause_windows: Tuple[Tuple[int, int], ...] = ()
+    #: Data faults — per-*payload* corruption probabilities, rolled on
+    #: separate counters from the message fates above so arming them
+    #: never perturbs an existing loss/latency schedule.
+    #: Fetch payloads: a flipped bit in flight / a stale version served.
+    bitflip_rate: float = 0.0
+    stale_read_rate: float = 0.0
+    #: Writeback payloads: partially applied / acked but never applied.
+    torn_write_rate: float = 0.0
+    lost_writeback_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "spike_rate"):
+        for name in (
+            "drop_rate",
+            "spike_rate",
+            "bitflip_rate",
+            "stale_read_rate",
+            "torn_write_rate",
+            "lost_writeback_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise RuntimeConfigError(f"{name} must be in [0, 1], got {rate}")
@@ -121,6 +150,17 @@ class FaultPlan:
             and (self.spike_rate == 0.0 or self.spike_cycles == 0.0)
             and self.jitter_cycles == 0.0
             and not self.pause_windows
+            and not self.has_data_faults
+        )
+
+    @property
+    def has_data_faults(self) -> bool:
+        """True when the plan can corrupt a payload (vs just delay/lose it)."""
+        return (
+            self.bitflip_rate > 0.0
+            or self.stale_read_rate > 0.0
+            or self.torn_write_rate > 0.0
+            or self.lost_writeback_rate > 0.0
         )
 
     def paused_at(self, index: int) -> bool:
@@ -143,6 +183,31 @@ class FaultPlan:
             extra += _unit(self.seed, index, _SALT_JITTER) * self.jitter_cycles
         return None, extra
 
+    def fetch_payload_fault(self, index: int) -> Optional[str]:
+        """The fate of fetch payload ``index``: a corruption kind or None.
+
+        Pure, like :meth:`decide` — data faults replay bit-for-bit.
+        """
+        if self.bitflip_rate > 0.0 and _unit(self.seed, index, _SALT_BITFLIP) < self.bitflip_rate:
+            return "bitflip"
+        if (
+            self.stale_read_rate > 0.0
+            and _unit(self.seed, index, _SALT_STALE) < self.stale_read_rate
+        ):
+            return "stale_read"
+        return None
+
+    def evict_payload_fault(self, index: int) -> Optional[str]:
+        """The fate of writeback payload ``index``: a corruption kind or None."""
+        if self.torn_write_rate > 0.0 and _unit(self.seed, index, _SALT_TORN) < self.torn_write_rate:
+            return "torn_write"
+        if (
+            self.lost_writeback_rate > 0.0
+            and _unit(self.seed, index, _SALT_LOSTWB) < self.lost_writeback_rate
+        ):
+            return "lost_writeback"
+        return None
+
     def schedule(self) -> "FaultSchedule":
         """A fresh per-link schedule starting at message index 0."""
         return FaultSchedule(self)
@@ -161,10 +226,19 @@ class FaultStats:
     pauses: int = 0
     spikes: int = 0
     extra_cycles: float = 0.0
+    #: Data faults injected (payload rolls, not message fates).
+    bitflips: int = 0
+    stale_reads: int = 0
+    torn_writes: int = 0
+    lost_writebacks: int = 0
 
     @property
     def losses(self) -> int:
         return self.drops + self.pauses
+
+    @property
+    def corruptions(self) -> int:
+        return self.bitflips + self.stale_reads + self.torn_writes + self.lost_writebacks
 
     def reset(self) -> None:
         self.messages = 0
@@ -172,16 +246,22 @@ class FaultStats:
         self.pauses = 0
         self.spikes = 0
         self.extra_cycles = 0.0
+        self.bitflips = 0
+        self.stale_reads = 0
+        self.torn_writes = 0
+        self.lost_writebacks = 0
 
 
 class FaultSchedule:
     """A plan bound to one link: consumes message indices in order."""
 
-    __slots__ = ("plan", "index", "stats")
+    __slots__ = ("plan", "index", "fetch_payload_index", "evict_payload_index", "stats")
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self.index = 0
+        self.fetch_payload_index = 0
+        self.evict_payload_index = 0
         self.stats = FaultStats()
 
     def roll(self, size_bytes: int) -> float:
@@ -210,6 +290,32 @@ class FaultSchedule:
                 stats.spikes += 1
             stats.extra_cycles += extra
         return extra
+
+    def roll_fetch_payload(self) -> Optional[str]:
+        """Corruption fate of the next *fetch* payload (None = intact).
+
+        Runs on its own counter: re-fetches during repair consume new
+        indices, so a repaired payload gets a fresh, independent roll.
+        """
+        index = self.fetch_payload_index
+        self.fetch_payload_index = index + 1
+        kind = self.plan.fetch_payload_fault(index)
+        if kind == "bitflip":
+            self.stats.bitflips += 1
+        elif kind == "stale_read":
+            self.stats.stale_reads += 1
+        return kind
+
+    def roll_evict_payload(self) -> Optional[str]:
+        """Corruption fate of the next *writeback* payload (None = intact)."""
+        index = self.evict_payload_index
+        self.evict_payload_index = index + 1
+        kind = self.plan.evict_payload_fault(index)
+        if kind == "torn_write":
+            self.stats.torn_writes += 1
+        elif kind == "lost_writeback":
+            self.stats.lost_writebacks += 1
+        return kind
 
 
 @dataclass
@@ -381,15 +487,32 @@ class CircuitBreaker:
 # -- fault-spec parsing (the --faults CLI knob) -------------------------------
 
 
+#: Every key ``parse_fault_spec`` accepts, in grammar order — kept as
+#: data so the unknown-key error can enumerate them (and so tests pin
+#: that the enumeration stays complete as kinds are added).
+FAULT_SPEC_KEYS = (
+    "seed",
+    "drop",
+    "spike",
+    "jitter",
+    "pause",
+    "bitflip",
+    "stale",
+    "torn",
+    "lostwb",
+)
+
+
 def parse_fault_spec(spec: str) -> FaultPlan:
     """Parse a compact ``key=value`` fault spec into a :class:`FaultPlan`.
 
     Grammar (comma-separated, all parts optional)::
 
         seed=<int>,drop=<rate>,spike=<rate>:<cycles>,jitter=<cycles>,
-        pause=<start>:<end>[;<start>:<end>...]
+        pause=<start>:<end>[;<start>:<end>...],
+        bitflip=<rate>,stale=<rate>,torn=<rate>,lostwb=<rate>
 
-    Example: ``"seed=3,drop=0.02,spike=0.05:20000,jitter=500,pause=100:110"``.
+    Example: ``"seed=3,drop=0.02,spike=0.05:20000,jitter=500,bitflip=0.01"``.
     """
     kwargs: dict = {}
     spec = spec.strip()
@@ -421,8 +544,19 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                     start, _, end = win.partition(":")
                     windows.append((int(start), int(end)))
                 kwargs["pause_windows"] = tuple(windows)
+            elif key == "bitflip":
+                kwargs["bitflip_rate"] = float(value)
+            elif key == "stale":
+                kwargs["stale_read_rate"] = float(value)
+            elif key == "torn":
+                kwargs["torn_write_rate"] = float(value)
+            elif key == "lostwb":
+                kwargs["lost_writeback_rate"] = float(value)
             else:
-                raise RuntimeConfigError(f"unknown fault spec key {key!r}")
+                raise RuntimeConfigError(
+                    f"unknown fault spec key {key!r}; "
+                    f"valid keys: {', '.join(FAULT_SPEC_KEYS)}"
+                )
         except ValueError as err:
             raise RuntimeConfigError(f"bad fault spec value {part!r}: {err}") from err
     return FaultPlan(**kwargs)

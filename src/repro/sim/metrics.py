@@ -49,6 +49,15 @@ class Metrics:
     degraded_accesses: int = 0
     #: Dirty writebacks deferred because the remote tier was unavailable.
     deferred_writebacks: int = 0
+    #: Integrity counters (checksum verification, ``repro.integrity``).
+    #: Payloads that failed checksum verification on fetch.
+    corruptions_detected: int = 0
+    #: Corruptions repaired by bounded re-fetch / journal re-drive.
+    corruptions_repaired: int = 0
+    #: Objects quarantined after the repair budget was exhausted.
+    quarantined_objects: int = 0
+    #: Writebacks re-driven from the evacuation journal (repair + recovery).
+    journal_replays: int = 0
 
     def count_guard(self, kind: GuardKind, n: int = 1) -> None:
         self.guards[kind] = self.guards.get(kind, 0) + n
@@ -98,6 +107,10 @@ class Metrics:
         self.retries += other.retries
         self.degraded_accesses += other.degraded_accesses
         self.deferred_writebacks += other.deferred_writebacks
+        self.corruptions_detected += other.corruptions_detected
+        self.corruptions_repaired += other.corruptions_repaired
+        self.quarantined_objects += other.quarantined_objects
+        self.journal_replays += other.journal_replays
 
     def reset(self) -> None:
         self.cycles = 0.0
@@ -116,6 +129,10 @@ class Metrics:
         self.retries = 0
         self.degraded_accesses = 0
         self.deferred_writebacks = 0
+        self.corruptions_detected = 0
+        self.corruptions_repaired = 0
+        self.quarantined_objects = 0
+        self.journal_replays = 0
 
     def snapshot(self) -> "Metrics":
         """A copy of the current counters."""
@@ -136,6 +153,10 @@ class Metrics:
             retries=self.retries,
             degraded_accesses=self.degraded_accesses,
             deferred_writebacks=self.deferred_writebacks,
+            corruptions_detected=self.corruptions_detected,
+            corruptions_repaired=self.corruptions_repaired,
+            quarantined_objects=self.quarantined_objects,
+            journal_replays=self.journal_replays,
         )
         return copy
 
@@ -169,6 +190,10 @@ class Metrics:
             "retries",
             "degraded_accesses",
             "deferred_writebacks",
+            "corruptions_detected",
+            "corruptions_repaired",
+            "quarantined_objects",
+            "journal_replays",
         ):
             value = getattr(self, key)
             if value:
@@ -194,6 +219,10 @@ class Metrics:
             retries=int(data.get("retries", 0)),
             degraded_accesses=int(data.get("degraded_accesses", 0)),
             deferred_writebacks=int(data.get("deferred_writebacks", 0)),
+            corruptions_detected=int(data.get("corruptions_detected", 0)),
+            corruptions_repaired=int(data.get("corruptions_repaired", 0)),
+            quarantined_objects=int(data.get("quarantined_objects", 0)),
+            journal_replays=int(data.get("journal_replays", 0)),
         )
         for key, n in dict(data.get("guards", {})).items():
             m.count_guard(GuardKind(key), int(n))

@@ -30,16 +30,19 @@ testing workflow.
 
 from repro.trace.events import (
     ALL_CATEGORIES,
+    CAT_CORRUPT,
     CAT_COUNTER,
     CAT_DEGRADE,
     CAT_EVICT,
     CAT_FAULT,
     CAT_FETCH,
     CAT_GUARD,
+    CAT_JOURNAL,
     CAT_META,
     CAT_PASS,
     CAT_PHASE,
     CAT_PREFETCH,
+    CAT_REPAIR,
     CAT_RETRY,
     TRACK_CYCLES,
     TRACK_WALL,
@@ -74,16 +77,19 @@ def __getattr__(name: str):
 
 __all__ = [
     "ALL_CATEGORIES",
+    "CAT_CORRUPT",
     "CAT_COUNTER",
     "CAT_DEGRADE",
     "CAT_EVICT",
     "CAT_FAULT",
     "CAT_FETCH",
     "CAT_GUARD",
+    "CAT_JOURNAL",
     "CAT_META",
     "CAT_PASS",
     "CAT_PHASE",
     "CAT_PREFETCH",
+    "CAT_REPAIR",
     "CAT_RETRY",
     "TRACK_CYCLES",
     "TRACK_WALL",

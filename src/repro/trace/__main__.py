@@ -57,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--integrity", type=str, default=None, metavar="SPEC",
+        help=(
+            "checksum-verify fetched payloads: 'on', 'off', or "
+            "'seed=1,refetch=2,verify=25,crash=40:farnode' "
+            "(see docs/resilience.md); corruption rates come from "
+            "--faults keys bitflip/stale/torn/lostwb"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the summary printed to stdout",
     )
@@ -70,8 +79,14 @@ def main(argv=None) -> int:
         from repro.net.faults import parse_fault_spec
 
         fault_plan = parse_fault_spec(args.faults)
+    integrity = None
+    if args.integrity is not None:
+        from repro.integrity import parse_integrity_spec
+
+        integrity = parse_integrity_spec(args.integrity)
     result = run_traced(
-        args.workload, args.runtime, seed=args.seed, fault_plan=fault_plan
+        args.workload, args.runtime, seed=args.seed, fault_plan=fault_plan,
+        integrity=integrity,
     )
     export_chrome_trace(result.tracer, args.out, metadata=result.metadata())
     jsonl_path = args.jsonl
@@ -89,6 +104,13 @@ def main(argv=None) -> int:
                 f"  faults  = drops {m.drops}, timeouts {m.timeouts}, "
                 f"retries {m.retries}, degraded {m.degraded_accesses}, "
                 f"deferred writebacks {m.deferred_writebacks}"
+            )
+        if m.corruptions_detected or m.quarantined_objects or m.journal_replays:
+            print(
+                f"  integrity = detected {m.corruptions_detected}, "
+                f"repaired {m.corruptions_repaired}, "
+                f"quarantined {m.quarantined_objects}, "
+                f"journal replays {m.journal_replays}"
             )
         print(f"  events  = {summary['events']} ({summary['by_category']})")
         for name, stats in summary["histograms"].items():

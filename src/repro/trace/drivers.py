@@ -16,10 +16,12 @@ event stream, which is what makes golden-trace snapshots possible.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import TraceError
+from repro.integrity import IntegrityConfig, installed_integrity_config
 from repro.machine.costs import AccessKind
 from repro.net.faults import FaultPlan, default_fault_plan, installed_fault_plan
 from repro.sim.metrics import Metrics
@@ -347,6 +349,7 @@ def run_traced(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     fault_plan: Optional[FaultPlan] = None,
+    integrity: Optional[IntegrityConfig] = None,
 ) -> TraceRunResult:
     """Run ``workload`` under ``runtime`` with tracing on; returns the run.
 
@@ -355,6 +358,12 @@ def run_traced(
     fault-injected with a retry policy and breaker, and the runtimes run
     in degraded mode (losses never change program values — only cost
     and resilience counters).
+
+    With ``integrity`` set, it is installed the same way: every backend
+    the run builds comes up with an attached
+    :class:`~repro.integrity.IntegrityChecker`, so fetched payloads are
+    checksum-verified (and, with data-fault rates in the plan,
+    corrupted / repaired / quarantined deterministically).
     """
     if workload not in _PATTERNS:
         raise TraceError(
@@ -366,7 +375,9 @@ def run_traced(
         )
     if tracer is None:
         tracer = Tracer()
-    if fault_plan is not None:
-        with installed_fault_plan(fault_plan):
-            return RUNTIMES[runtime](workload, seed, tracer)
-    return RUNTIMES[runtime](workload, seed, tracer)
+    with ExitStack() as stack:
+        if fault_plan is not None:
+            stack.enter_context(installed_fault_plan(fault_plan))
+        if integrity is not None:
+            stack.enter_context(installed_integrity_config(integrity))
+        return RUNTIMES[runtime](workload, seed, tracer)

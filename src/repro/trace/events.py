@@ -22,6 +22,9 @@ category    meaning
 ``fault``   injected network fault observed (drop, pause, spike)
 ``retry``   backend retry after a transient fault (attempt, backoff)
 ``degrade`` access served in degraded mode (far memory unavailable)
+``corrupt`` payload failed checksum verification (kind, object)
+``repair``  corrupted payload repaired by re-fetch / journal re-drive
+``journal`` evacuation-journal event (replay, rollback, crash)
 ``phase``   workload-defined span (``B``/``E`` pairs)
 ``counter`` point-in-time counter sample (Chrome ``C`` events)
 ``meta``    process/track naming metadata
@@ -46,6 +49,9 @@ CAT_PREFETCH = "prefetch"
 CAT_FAULT = "fault"
 CAT_RETRY = "retry"
 CAT_DEGRADE = "degrade"
+CAT_CORRUPT = "corrupt"
+CAT_REPAIR = "repair"
+CAT_JOURNAL = "journal"
 CAT_PHASE = "phase"
 CAT_COUNTER = "counter"
 CAT_META = "meta"
@@ -59,6 +65,9 @@ ALL_CATEGORIES = (
     CAT_FAULT,
     CAT_RETRY,
     CAT_DEGRADE,
+    CAT_CORRUPT,
+    CAT_REPAIR,
+    CAT_JOURNAL,
     CAT_PHASE,
     CAT_COUNTER,
     CAT_META,

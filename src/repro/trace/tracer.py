@@ -31,15 +31,18 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.machine.costs import AccessKind, GuardKind
 from repro.trace.events import (
+    CAT_CORRUPT,
     CAT_COUNTER,
     CAT_DEGRADE,
     CAT_EVICT,
     CAT_FAULT,
     CAT_FETCH,
     CAT_GUARD,
+    CAT_JOURNAL,
     CAT_PASS,
     CAT_PHASE,
     CAT_PREFETCH,
+    CAT_REPAIR,
     CAT_RETRY,
     PH_BEGIN,
     PH_COMPLETE,
@@ -91,6 +94,15 @@ class NullTracer:
         pass
 
     def degrade(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def corrupt(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def repair(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def journal(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def pass_event(self, *args: Any, **kwargs: Any) -> None:
@@ -221,6 +233,18 @@ class Tracer:
     def degrade(self, name: str, ts: float, **args: Any) -> None:
         """An access served in degraded mode (remote tier unavailable)."""
         self.emit(CAT_DEGRADE, name, ts, **args)
+
+    def corrupt(self, kind: str, obj_id: int, ts: float) -> None:
+        """A payload failed checksum verification (or was quarantined)."""
+        self.emit(CAT_CORRUPT, kind, ts, obj=obj_id)
+
+    def repair(self, obj_id: int, attempts: int, ts: float, name: str = "refetch") -> None:
+        """A corrupted payload was repaired after ``attempts`` attempts."""
+        self.emit(CAT_REPAIR, name, ts, obj=obj_id, attempts=attempts)
+
+    def journal(self, action: str, obj_id: int, ts: float) -> None:
+        """An evacuation-journal event (``replay``/``rollback``/``crash``)."""
+        self.emit(CAT_JOURNAL, action, ts, obj=obj_id)
 
     def pass_event(
         self,

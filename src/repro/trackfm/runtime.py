@@ -25,6 +25,13 @@ from repro.aifm.allocator import Allocation, RegionAllocator
 from repro.aifm.pool import ObjectPool, PoolConfig
 from repro.aifm.prefetcher import StridePrefetcher
 from repro.errors import PointerError, RuntimeConfigError
+from repro.integrity import (
+    IntegrityChecker,
+    IntegrityConfig,
+    RecoveryManager,
+    RecoveryReport,
+    attach_integrity,
+)
 from repro.machine.cache import CacheModel
 from repro.machine.costs import AccessKind, GuardKind
 from repro.net.backends import RemoteBackend
@@ -92,7 +99,30 @@ class TrackFMRuntime:
         self.tracer = tracer
         self.pool.tracer = tracer
         self.guards.tracer = tracer
-        self.pool.backend.tracer = tracer
+        self.pool.backend.set_tracer(tracer)
+
+    def enable_integrity(
+        self, config: Optional[IntegrityConfig] = None
+    ) -> IntegrityChecker:
+        """Checksum-verify every remote fetch (detect → repair → quarantine).
+
+        Attaches an :class:`~repro.integrity.IntegrityChecker` to the
+        pool's backend, wired into this runtime's metrics and tracer;
+        dirty writebacks start following the write-ahead evacuation
+        journal.  Returns the checker.
+        """
+        checker = attach_integrity(self.pool.backend, config)
+        checker.metrics = self.pool.metrics
+        checker.tracer = self.tracer
+        return checker
+
+    def recover(self) -> RecoveryReport:
+        """Replay/roll back the evacuation journal and rebuild residency.
+
+        The pool's metadata array is rebuilt *in place*, so the state
+        table (which aliases it) observes the recovered words directly.
+        """
+        return RecoveryManager.for_pool(self.pool).recover()
 
     def enable_degraded_mode(
         self,
@@ -335,6 +365,12 @@ class TrackFMRuntime:
                 )
 
         if misses:
+            integrity = self.pool.backend.integrity
+            if integrity is not None:
+                # Closed-form scans verify each fetched object's checksum
+                # (no corruption rolls: the closed form models the
+                # healthy-payload cost envelope).
+                cycles += misses * integrity.config.verify_cycles
             self.metrics.remote_fetches += misses
             self.metrics.bytes_fetched += misses * self.object_size
             link.stats.messages += misses

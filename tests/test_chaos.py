@@ -413,6 +413,97 @@ class TestEvacuatorDeferral:
         assert m.bytes_evacuated == 0
 
 
+class TestDeferredDrain:
+    """``Evacuator.drain_deferred``: deferred writebacks are re-driven."""
+
+    def _deferred_evacuator(self, n_dirty: int):
+        backend = _fail_fast(make_tcp_backend())
+        evac = Evacuator(backend=backend, object_size=256)
+        metrics = Metrics()
+        evac.process([(obj, True) for obj in range(1, n_dirty + 1)], metrics)
+        assert evac.deferred_objects == tuple(range(1, n_dirty + 1))
+        return evac, backend, metrics
+
+    def _heal(self, backend):
+        backend.link.faults = None
+        backend.breaker = CircuitBreaker(failure_threshold=3, cooldown_rejections=4)
+
+    def test_drain_charges_exact_writeback_cycles(self):
+        evac, backend, metrics = self._deferred_evacuator(2)
+        self._heal(backend)
+        cycles_before = metrics.cycles
+        drained = evac.drain_deferred(metrics)
+        # Accounting matches process(): each re-driven writeback costs
+        # one depth-pipelined evict, sync_fraction of it app-visible.
+        per_writeback = (
+            backend.link.pipelined_cycles(256, evac.writeback_depth)
+            * evac.sync_fraction
+        )
+        assert drained == pytest.approx(2 * per_writeback)
+        assert metrics.cycles - cycles_before == pytest.approx(drained)
+        assert metrics.bytes_evacuated == 2 * 256
+        assert evac.drained_total == 2
+        assert not evac.has_deferred
+        assert metrics.deferred_writebacks == 2  # unchanged by the drain
+
+    def test_drain_stops_at_first_failure_preserving_order(self):
+        evac, backend, metrics = self._deferred_evacuator(3)
+        # Heal just long enough for one message: index 0 succeeds, every
+        # later message lands in the pause window.
+        backend.link.faults = FaultPlan(
+            seed=0, pause_windows=((1, 1_000_000),)
+        ).schedule()
+        backend.breaker = CircuitBreaker(failure_threshold=3, cooldown_rejections=4)
+        deferred_before = metrics.deferred_writebacks
+        evac.drain_deferred(metrics)
+        # Object 1 went out; object 2 failed and was re-deferred; object
+        # 3 was never attempted and keeps its place in line.
+        assert evac.drained_total == 1
+        assert evac.deferred_objects == (2, 3)
+        assert metrics.deferred_writebacks == deferred_before + 1
+        assert metrics.bytes_evacuated == 256
+
+    def test_drain_on_empty_queue_is_free(self):
+        backend = make_tcp_backend()
+        evac = Evacuator(backend=backend, object_size=256)
+        metrics = Metrics()
+        assert evac.drain_deferred(metrics) == 0.0
+        assert metrics.cycles == 0.0
+
+    def test_deferral_is_deduplicated(self):
+        evac, backend, metrics = self._deferred_evacuator(1)
+        evac.process([(1, True)], metrics)
+        # Two failed attempts are both counted, but the queue holds the
+        # object once — draining must not write it back twice.
+        assert metrics.deferred_writebacks == 2
+        assert evac.deferred_objects == (1,)
+        self._heal(backend)
+        evac.drain_deferred(metrics)
+        assert evac.drained_total == 1
+        assert metrics.bytes_evacuated == 256
+
+    def test_pool_auto_drains_after_next_successful_fetch(self):
+        rt = AIFMRuntime(
+            PoolConfig(object_size=256, local_memory=1 * KB, heap_size=64 * KB)
+        )
+        _fail_fast(rt.pool.backend)
+        rt.enable_degraded_mode()
+        rt.allocate(16 * KB)
+        for i in range(64):
+            rt.access(i * 256, AccessKind.WRITE)
+        assert rt.pool.evacuator.has_deferred
+        # The tier heals: the next miss's successful fetch re-drives the
+        # backlog — the moment the breaker would close again.
+        rt.pool.backend.link.faults = None
+        rt.pool.backend.breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_rejections=4
+        )
+        rt.access(0)
+        assert not rt.pool.evacuator.has_deferred
+        assert rt.metrics.bytes_evacuated > 0
+        assert rt.pool.evacuator.drained_total > 0
+
+
 class TestCLISmoke:
     def test_trace_cli_with_faults(self, tmp_path, capsys):
         from repro.trace.__main__ import main

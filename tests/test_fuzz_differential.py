@@ -21,6 +21,7 @@ import pytest
 
 from repro.aifm.pool import PoolConfig
 from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+from repro.integrity import IntegrityConfig
 from repro.ir import verify_module
 from repro.machine.cache import AlwaysHitCache
 from repro.net.faults import FaultPlan, RetryPolicy
@@ -44,18 +45,44 @@ SEEDS = list(range(int(os.environ.get("REPRO_FUZZ_SEEDS", "50"))))
 #: resilience layer.
 FAULT_RATE = float(os.environ.get("REPRO_FUZZ_FAULT_RATE", "0"))
 
+#: Opt-in payload corruption for the same runs (nightly sets e.g.
+#: ``REPRO_FUZZ_CORRUPT_RATE=0.01``).  Corrupted fetches are detected
+#: and repaired by the integrity checker — values must still match the
+#: raw interpreter, making this the fuzz oracle for the integrity layer.
+CORRUPT_RATE = float(os.environ.get("REPRO_FUZZ_CORRUPT_RATE", "0"))
 
-def far_run(module, fault_rate: float = FAULT_RATE, fault_seed: int = 0) -> int:
+
+def far_run(
+    module,
+    fault_rate: float = FAULT_RATE,
+    fault_seed: int = 0,
+    corrupt_rate: float = CORRUPT_RATE,
+) -> int:
     """Interpret under a runtime too small to hold the working set."""
     runtime = TrackFMRuntime(
         PoolConfig(object_size=256, local_memory=1 * KB, heap_size=1 * MB),
         cache=AlwaysHitCache(),
     )
-    if fault_rate > 0.0:
+    if fault_rate > 0.0 or corrupt_rate > 0.0:
         backend = runtime.pool.backend
-        plan = FaultPlan(seed=fault_seed, drop_rate=fault_rate, jitter_cycles=200.0)
+        plan = FaultPlan(
+            seed=fault_seed,
+            drop_rate=fault_rate,
+            jitter_cycles=200.0 if fault_rate > 0.0 else 0.0,
+            bitflip_rate=corrupt_rate,
+            stale_read_rate=corrupt_rate,
+            torn_write_rate=corrupt_rate,
+            lost_writeback_rate=corrupt_rate,
+        )
         backend.link.faults = plan.schedule()
-        backend.retry_policy = RetryPolicy(max_attempts=8, seed=fault_seed)
+        if fault_rate > 0.0:
+            backend.retry_policy = RetryPolicy(max_attempts=8, seed=fault_seed)
+    if corrupt_rate > 0.0:
+        # A deep repair budget: at these rates quarantine would need
+        # many consecutive corrupt re-fetches of one object.
+        runtime.enable_integrity(
+            IntegrityConfig(seed=fault_seed, max_refetches=4)
+        )
     return TrackFMProgram(module, runtime, max_steps=5_000_000).run("main").value
 
 
@@ -112,4 +139,25 @@ class TestFaultedDifferential:
         assert got == expected, (
             f"seed {seed}: faulted far-memory run returned {got}, raw "
             f"interpreter returned {expected}"
+        )
+
+
+class TestCorruptedDifferential:
+    """A small always-on slice of the corruption-injected differential.
+
+    The full corpus only runs corrupted when ``REPRO_FUZZ_CORRUPT_RATE``
+    is set (nightly); these pinned seeds keep the detect → repair path
+    exercised on every PR run regardless.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_low_rate_corruption_does_not_change_values(self, seed):
+        raw = generate_module(seed)
+        expected = Interpreter(raw, max_steps=5_000_000).run("main").value
+        module = generate_module(seed)
+        compiled = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        got = far_run(compiled.module, fault_rate=0.0, fault_seed=seed, corrupt_rate=0.02)
+        assert got == expected, (
+            f"seed {seed}: corruption-injected far-memory run returned "
+            f"{got}, raw interpreter returned {expected}"
         )

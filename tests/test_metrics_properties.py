@@ -24,6 +24,8 @@ _COUNTER_FIELDS = (
     "prefetches_issued", "prefetches_useful",
     "drops", "timeouts", "retries", "degraded_accesses",
     "deferred_writebacks",
+    "corruptions_detected", "corruptions_repaired",
+    "quarantined_objects", "journal_replays",
 )
 
 metrics_strategy = st.builds(

@@ -1,9 +1,10 @@
-"""Network link model and the calibrated backends."""
+"""Network link model, the calibrated backends, and fault-spec parsing."""
 
 import pytest
 
 from repro.errors import RuntimeConfigError
 from repro.net.backends import make_rdma_backend, make_tcp_backend
+from repro.net.faults import FAULT_SPEC_KEYS, FaultPlan, parse_fault_spec
 from repro.net.link import (
     BYTES_PER_CYCLE_25G,
     NetworkLink,
@@ -139,3 +140,33 @@ class TestBackendsCalibration:
         tcp = make_tcp_backend()
         tcp.fetch_cost(4096)
         assert tcp.bytes_fetched == 0
+
+
+class TestFaultSpecParsing:
+    def test_corruption_keys_parse_into_rates(self):
+        plan = parse_fault_spec("seed=2,bitflip=0.1,stale=0.2,torn=0.3,lostwb=0.4")
+        assert plan == FaultPlan(
+            seed=2,
+            bitflip_rate=0.1,
+            stale_read_rate=0.2,
+            torn_write_rate=0.3,
+            lost_writeback_rate=0.4,
+        )
+        assert plan.has_data_faults
+
+    def test_unknown_key_error_enumerates_valid_keys(self):
+        # The error message is the discovery surface for the spec
+        # grammar: every key — including the corruption kinds — must be
+        # listed, so a typo tells the operator what exists.
+        with pytest.raises(RuntimeConfigError) as err:
+            parse_fault_spec("bitflips=0.1")
+        message = str(err.value)
+        assert "valid keys" in message
+        for key in FAULT_SPEC_KEYS:
+            assert key in message
+        for corruption_key in ("bitflip", "stale", "torn", "lostwb"):
+            assert corruption_key in message
+
+    def test_out_of_range_corruption_rate_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            parse_fault_spec("bitflip=1.5")
