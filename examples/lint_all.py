@@ -1,40 +1,65 @@
-"""Lint every example-built IR module for guard safety.
+"""Lint every example-built IR module: guard safety + access audit.
 
-Builds each IR-producing example module, pushes it through the default
-TrackFM pipeline, prints it to ``.ir`` text, and runs the sanitizer CLI
-over the result — the same path a user takes when saving pipeline
-output to disk.  Exits non-zero if any module fails, which makes this
-the CI gate for "the shipped examples stay guard-safe".
+Two gates in one script, both exercised over the same module set (the
+shipped examples, the NAS suite, and the shared IR test programs from
+``tests/irprograms.py``):
+
+1. **Guard safety** — build each module, push it through the default
+   TrackFM pipeline, print it to ``.ir`` text, and run the sanitizer
+   CLI over the result — the same path a user takes when saving
+   pipeline output to disk.
+2. **Access audit** — run the far-memory access auditor and the
+   TFM-P3xx perf sanitizer over each *untransformed* module and compare
+   loop classifications and diagnostic codes against the checked-in
+   baseline ``examples/lint_baseline.json``.  Any drift — a loop that
+   stops classifying oblivious, a new perf diagnostic, one that
+   silently disappears — fails the gate.
+
+Exits non-zero if any module fails either gate.  After an intentional
+analysis change, refresh the baseline with ``--record-baseline``.
 
 Run from the repository root (after ``pip install -e .``)::
 
     python examples/lint_all.py
+    python examples/lint_all.py --record-baseline   # refresh baseline
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import tempfile
 from pathlib import Path
 
 # Sibling example modules are imported by file location, so the script
 # works under a plain ``pip install -e .`` with no PYTHONPATH set.
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+sys.path.insert(1, str(HERE.parent / "tests"))
 
 from linked_list import build_list_program
 from object_size_autotune import build_probe
 from quickstart import build_unmodified_program
 
+from irprograms import build_sum_loop, build_write_then_sum
 from repro import CompilerConfig, TrackFMCompiler
+from repro.analysis.oblivious import audit_module
 from repro.ir import print_module
+from repro.sanitizer import Sanitizer
 from repro.sanitizer.__main__ import main as sanitizer_main
 from repro.workloads.nas import NAS_SUITE, build_nas_ir
+
+BASELINE = HERE / "lint_baseline.json"
+#: Object size the audit assumes; matches the trace/bench drivers.
+AUDIT_OBJECT_SIZE = 256
 
 BUILDERS = {
     "quickstart": build_unmodified_program,
     "linked_list": build_list_program,
     "probe_sequential": lambda: build_probe(sequential=True),
     "probe_random": lambda: build_probe(sequential=False),
+    "sum_loop": lambda: build_sum_loop(n=512),
+    "write_then_sum": lambda: build_write_then_sum(n=512),
 }
 BUILDERS.update(
     {f"nas_{b.name.lower()}": (lambda name=b.name: build_nas_ir(name, n=32))
@@ -42,7 +67,59 @@ BUILDERS.update(
 )
 
 
-def main() -> int:
+def audit_summary(module) -> dict:
+    """Stable, diffable facts the baseline freezes for one module."""
+    audit = audit_module(module, object_size=AUDIT_OBJECT_SIZE)
+    classes = {}
+    for la in audit.loops:
+        key = f"{la.function}:{la.loop.header.name}"
+        classes[key] = la.classification.value
+    report = Sanitizer(strict=False, perf=True, object_size=AUDIT_OBJECT_SIZE).run(
+        module
+    )
+    codes = sorted(d.code for d in report.diagnostics)
+    return {"loops": classes, "diagnostics": codes}
+
+
+def run_audit_gate(record: bool) -> int:
+    summaries = {name: audit_summary(builder()) for name, builder in
+                 sorted(BUILDERS.items())}
+    if record:
+        BASELINE.write_text(json.dumps(summaries, indent=2, sort_keys=True) + "\n")
+        print(f"[audit] recorded baseline for {len(summaries)} modules -> {BASELINE}")
+        return 0
+    if not BASELINE.exists():
+        print(f"[audit] missing baseline {BASELINE}; "
+              "run: python examples/lint_all.py --record-baseline")
+        return 1
+    baseline = json.loads(BASELINE.read_text())
+    failures = 0
+    for name, summary in summaries.items():
+        expected = baseline.get(name)
+        if summary == expected:
+            print(f"[audit] {name}: ok")
+            continue
+        failures += 1
+        if expected is None:
+            print(f"[audit] {name}: FAILED (not in baseline)")
+            continue
+        print(f"[audit] {name}: FAILED (audit drift)")
+        for key in sorted(set(summary["loops"]) | set(expected["loops"])):
+            got = summary["loops"].get(key, "<gone>")
+            want = expected["loops"].get(key, "<new>")
+            if got != want:
+                print(f"[audit]   loop {key}: {want} -> {got}")
+        if summary["diagnostics"] != expected["diagnostics"]:
+            print(f"[audit]   diagnostics: expected {expected['diagnostics']}, "
+                  f"got {summary['diagnostics']}")
+    stale = sorted(set(baseline) - set(summaries))
+    if stale:
+        failures += 1
+        print(f"[audit] baseline has modules that no longer build: {stale}")
+    return 1 if failures else 0
+
+
+def run_guard_gate() -> int:
     failures = 0
     with tempfile.TemporaryDirectory(prefix="tfm-lint-") as tmp:
         for name, builder in sorted(BUILDERS.items()):
@@ -63,6 +140,16 @@ def main() -> int:
         return 1
     print(f"[lint] all {len(BUILDERS)} modules guard-safe")
     return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    record = "--record-baseline" in argv
+    audit_rc = run_audit_gate(record)
+    if record:
+        return audit_rc
+    guard_rc = run_guard_gate()
+    return max(audit_rc, guard_rc)
 
 
 if __name__ == "__main__":

@@ -77,3 +77,43 @@ class StridePrefetcher:
             self._streams.clear()
         else:
             self._streams.pop(stream, None)
+
+
+@dataclass
+class ProgrammedSchedule:
+    """A compiler-programmed prefetch schedule for one chunk stream.
+
+    Where :class:`StridePrefetcher` must *learn* the stride at run time
+    (burning ~confidence_threshold+1 demand misses before it engages),
+    a programmed schedule knows the exact first-touch object sequence
+    statically: the ``ProgrammedPrefetchPass`` lowered an oblivious
+    loop's affine address stream to it.  ``prime()`` issues the first
+    ``distance`` objects before the loop runs a single iteration;
+    ``observe(obj_id)`` keeps the issue window ``distance`` objects
+    ahead of the consumer.
+    """
+
+    #: Distinct object ids in first-touch order.
+    objects: List[int]
+    #: How many objects ahead of the consumer to stay (cost-model Eq.).
+    distance: int
+    #: Consumer position: index of the next object the loop will enter.
+    _pos: int = field(default=0, repr=False)
+    #: How many schedule entries have been issued already.
+    _issued: int = field(default=0, repr=False)
+
+    def prime(self) -> List[int]:
+        """Targets to issue before the first iteration."""
+        want = min(self.distance, len(self.objects))
+        targets = self.objects[self._issued : want]
+        self._issued = max(self._issued, want)
+        return targets
+
+    def observe(self, obj_id: int) -> List[int]:
+        """Record that the loop entered ``obj_id``; return new targets."""
+        if self._pos < len(self.objects) and self.objects[self._pos] == obj_id:
+            self._pos += 1
+        want = min(len(self.objects), self._pos + self.distance)
+        targets = self.objects[self._issued : want]
+        self._issued = max(self._issued, want)
+        return targets

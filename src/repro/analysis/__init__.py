@@ -23,10 +23,24 @@ from repro.analysis.induction import (
 from repro.analysis.provenance import (
     Provenance,
     ProvenanceAnalysis,
+    return_provenance_summaries,
 )
 from repro.analysis.defuse import DefUse
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.profiler import LoopProfile, ProfileData, profile_module
+from repro.analysis.symbolic import (
+    SymbolicAddressAnalysis,
+    SymbolicStream,
+)
+from repro.analysis.oblivious import (
+    AccessAuditor,
+    LoopAudit,
+    LoopClass,
+    LoopPrediction,
+    ModuleAudit,
+    ProgramPrediction,
+    audit_module,
+)
 
 __all__ = [
     "CFG",
@@ -43,9 +57,19 @@ __all__ = [
     "InductionAnalysis",
     "Provenance",
     "ProvenanceAnalysis",
+    "return_provenance_summaries",
     "DefUse",
     "CallGraph",
     "LoopProfile",
     "ProfileData",
     "profile_module",
+    "SymbolicAddressAnalysis",
+    "SymbolicStream",
+    "AccessAuditor",
+    "LoopAudit",
+    "LoopClass",
+    "LoopPrediction",
+    "ModuleAudit",
+    "ProgramPrediction",
+    "audit_module",
 ]

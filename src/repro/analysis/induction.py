@@ -130,6 +130,10 @@ class InductionAnalysis:
 
     @staticmethod
     def _const_step(update: BinOp, phi: Phi) -> Optional[int]:
+        """Constant stride of ``add``/``sub`` updates, either operand
+        order for ``add`` (``c - phi`` is not an IV, so ``sub`` only
+        matches the phi on the left).  Negative and non-unit constants
+        are strides like any other."""
         a, b = update.lhs, update.rhs
         if a is phi and isinstance(b, Constant):
             return int(b.value)
@@ -158,17 +162,86 @@ class InductionAnalysis:
                 if not uses_iv:
                     continue
                 iv.governs_loop = True
-                bound = rhs if (lhs is iv.phi or lhs is iv.update) else lhs
-                iv.trip_count = self._trip_count(iv, bound)
+                iv_on_left = lhs is iv.phi or lhs is iv.update
+                bound = rhs if iv_on_left else lhs
+                pred = cmp_inst.pred
+                if not iv_on_left:
+                    pred = _SWAPPED_PREDS.get(pred, pred)
+                on_update = (lhs is iv.update) or (rhs is iv.update)
+                iv.trip_count = self._trip_count(iv, bound, pred, on_update)
                 return
 
     @staticmethod
-    def _trip_count(iv: InductionVariable, bound: Value) -> Optional[int]:
+    def _trip_count(
+        iv: InductionVariable,
+        bound: Value,
+        pred: str = "slt",
+        on_update: bool = False,
+    ) -> Optional[int]:
+        """Iterations executed before the exit compare fails.
+
+        Exact for the signed monotone predicates (``slt``/``sle``/
+        ``sgt``/``sge``) and for ``ne`` when the stride divides the
+        distance; ``eq`` and the unsigned predicates stay unknown.
+        ``on_update`` means the compare tests ``phi + step`` (a
+        rotated/do-while loop): the tested sequence starts one step
+        ahead and the body has already run once when it is first tested.
+        """
         if not isinstance(bound, Constant) or not isinstance(iv.start, Constant):
             return None
-        if iv.step == 0:
+        step = iv.step
+        if step == 0:
             return None
-        distance = int(bound.value) - int(iv.start.value)
-        if distance * iv.step <= 0:
-            return 0
-        return max(0, -(-distance // iv.step))
+        start = int(iv.start.value)
+        target = int(bound.value)
+        if on_update:
+            # First tested value is start + step; one trip is already done.
+            base = InductionAnalysis._trip_count_from(
+                start + step, step, target, pred
+            )
+            return None if base is None else base + 1
+        return InductionAnalysis._trip_count_from(start, step, target, pred)
+
+    @staticmethod
+    def _trip_count_from(
+        start: int, step: int, bound: int, pred: str
+    ) -> Optional[int]:
+        """Count of k >= 0 with ``start + k*step <pred> bound``."""
+        if pred == "ne":
+            distance = bound - start
+            if distance == 0:
+                return 0
+            if distance % step != 0 or distance * step < 0:
+                return None  # never hits the bound exactly: no static exit
+            return distance // step
+        # Normalize <=/>= into strict compares against a shifted bound.
+        if pred == "sle":
+            pred, bound = "slt", bound + 1
+        elif pred == "sge":
+            pred, bound = "sgt", bound - 1
+        if pred == "slt":
+            if start >= bound:
+                return 0
+            if step < 0:
+                return None  # counts away from the bound: no static exit
+            return -(-(bound - start) // step)
+        if pred == "sgt":
+            if start <= bound:
+                return 0
+            if step > 0:
+                return None
+            return -(-(start - bound) // -step)
+        return None  # eq / unsigned predicates: not a monotone exit
+
+
+#: Predicate seen by the IV when the compare has it on the right.
+_SWAPPED_PREDS = {
+    "slt": "sgt",
+    "sle": "sge",
+    "sgt": "slt",
+    "sge": "sle",
+    "ult": "ugt",
+    "ule": "uge",
+    "ugt": "ult",
+    "uge": "ule",
+}

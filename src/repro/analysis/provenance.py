@@ -19,7 +19,7 @@ correctness.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
 
 from repro.ir.function import Function
 from repro.ir.instructions import (
@@ -71,10 +71,23 @@ class Provenance(enum.Flag):
 
 
 class ProvenanceAnalysis:
-    """Fixed-point provenance over one function."""
+    """Fixed-point provenance over one function.
 
-    def __init__(self, func: Function) -> None:
+    ``summaries`` optionally maps function names to the provenance of
+    their returned pointers (see :func:`return_provenance_summaries`):
+    with it, a call result is classified by what the callee actually
+    returns instead of falling to UNKNOWN.  The guard pipeline runs
+    without summaries (per-function, maximally conservative); the
+    whole-program auditor passes them in.
+    """
+
+    def __init__(
+        self,
+        func: Function,
+        summaries: Optional[Mapping[str, Provenance]] = None,
+    ) -> None:
         self.function = func
+        self.summaries: Mapping[str, Provenance] = summaries or {}
         self._prov: Dict[Value, Provenance] = {}
         self._compute()
 
@@ -108,7 +121,11 @@ class ProvenanceAnalysis:
                 elif inst.callee.startswith("global_addr."):
                     self._prov[inst] = Provenance.GLOBAL
                 elif inst.type.is_pointer():
-                    self._prov[inst] = Provenance.UNKNOWN
+                    summary = self.summaries.get(inst.callee)
+                    if summary is not None and summary != Provenance.NONE:
+                        self._prov[inst] = summary
+                    else:
+                        self._prov[inst] = Provenance.UNKNOWN
             elif isinstance(inst, Load) and inst.type.is_pointer():
                 # A pointer loaded from memory: unknown origin.
                 self._prov[inst] = Provenance.UNKNOWN
@@ -186,3 +203,39 @@ class ProvenanceAnalysis:
                 if merged != old:
                     self._prov[inst] = merged
                     changed = True
+
+
+def return_provenance_summaries(module) -> Dict[str, Provenance]:
+    """Interprocedural return-value provenance, to a fixed point.
+
+    For every *defined* function returning a pointer, join the
+    provenance of all ``ret`` operands — feeding previous iterations'
+    summaries back in so chains of helpers converge (a wrapper around a
+    wrapper around ``malloc`` is still HEAP).  Declarations (externals)
+    are absent from the result, so callers keep treating them as
+    UNKNOWN.  The join only ever grows, so iteration terminates at the
+    lattice height.
+    """
+    from repro.ir.instructions import Ret
+
+    summaries: Dict[str, Provenance] = {}
+    candidates = [
+        func
+        for func in module.defined_functions()
+        if func.ret_type.is_pointer()
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for func in candidates:
+            analysis = ProvenanceAnalysis(func, summaries=summaries)
+            prov = Provenance.NONE
+            for inst in func.instructions():
+                if isinstance(inst, Ret) and inst.value is not None:
+                    prov |= analysis._value_prov(inst.value)
+            if prov == Provenance.NONE:
+                prov = Provenance.UNKNOWN
+            if summaries.get(func.name) != prov:
+                summaries[func.name] = prov
+                changed = True
+    return summaries

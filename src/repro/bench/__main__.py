@@ -88,6 +88,11 @@ def main(argv=None) -> int:
         from repro.bench.regress import main as regress_main
 
         return regress_main(argv[1:])
+    if argv and argv[0] == "pprefetch":
+        # Programmed-prefetch baseline gate: same dispatch convention.
+        from repro.bench.prefetch_regress import main as pprefetch_main
+
+        return pprefetch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

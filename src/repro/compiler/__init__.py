@@ -51,6 +51,7 @@ from repro.compiler.licm import LICMPass
 from repro.compiler.simplify_cfg import SimplifyCFGPass
 from repro.compiler.heap_pruning import HeapPruningPass
 from repro.compiler.chase_prefetch import ChasePrefetchPass
+from repro.compiler.programmed_prefetch import ProgrammedPrefetchPass
 from repro.compiler.offload import OffloadPass
 from repro.compiler.autotune import (
     AutotuneResult,
@@ -86,6 +87,7 @@ __all__ = [
     "SimplifyCFGPass",
     "HeapPruningPass",
     "ChasePrefetchPass",
+    "ProgrammedPrefetchPass",
     "OffloadPass",
     "AutotuneResult",
     "AutotuneTrial",

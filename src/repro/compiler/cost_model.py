@@ -100,6 +100,34 @@ class ChunkingCostModel:
         )
         return naive * shape.entries, chunked * shape.entries
 
+    def prefetch_issue_distance(
+        self,
+        elem_size: int,
+        accesses_per_iteration: int = 1,
+        fetch_cycles: float = 0.0,
+        max_distance: int = 64,
+    ) -> int:
+        """How many objects ahead a programmed prefetch should run.
+
+        3PO's framing: a prefetch issued D objects early is useful when
+        D x (cycles the loop spends per object) covers the fetch
+        latency.  Per object the chunked loop spends d boundary checks
+        plus d local accesses plus one locality guard (Eq. 2's terms);
+        the fetch latency defaults to the slow-path remote guard cost —
+        the cycles a demand miss would stall for.
+        """
+        if fetch_cycles <= 0:
+            fetch_cycles = self.costs.slow_guard_remote
+        d = self.density(elem_size) * max(1, accesses_per_iteration)
+        per_object = (
+            d * (self.costs.boundary_check + self.costs.local_access)
+            + self.costs.locality_guard
+        )
+        if per_object <= 0:
+            return 1
+        distance = -(-fetch_cycles // per_object)
+        return int(max(1, min(max_distance, distance)))
+
     def should_chunk(self, shape: LoopShape) -> bool:
         """True when the chunked transform is predicted cheaper."""
         naive, chunked = self.loop_costs(shape)

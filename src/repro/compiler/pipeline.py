@@ -55,6 +55,10 @@ class CompilerConfig:
     enable_prefetch: bool = True
     #: Greedy prefetching for pointer-chase loops (§5 extension).
     enable_chase_prefetch: bool = True
+    #: Lower exact affine streams of oblivious chunked loops to
+    #: ``tfm_prefetch_sched`` schedules (the static auditor's 3PO-style
+    #: extension).  Opt-in: off by default so baselines are bit-stable.
+    enable_programmed_prefetch: bool = False
     #: Computation offload for big remote reductions (§5 extension).
     #: Opt-in: it changes where computation runs.
     enable_offload: bool = False
@@ -200,6 +204,10 @@ class TrackFMCompiler:
             passes.append(OffloadPass())
         passes.append(ChunkAnalysisPass())
         passes.append(ChunkTransformPass())
+        if self.config.enable_programmed_prefetch:
+            from repro.compiler.programmed_prefetch import ProgrammedPrefetchPass
+
+            passes.append(ProgrammedPrefetchPass())
         if self.config.enable_chase_prefetch:
             from repro.compiler.chase_prefetch import ChasePrefetchPass
 

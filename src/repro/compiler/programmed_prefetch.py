@@ -1,0 +1,142 @@
+"""Programmed prefetch schedules for oblivious chunked loops.
+
+The stride prefetcher (§4.3) must *learn* a loop's stride at run time:
+with a confidence threshold of 2 it burns ~3 demand misses per loop
+entry before any prefetch issues, and it can never run further ahead
+than its fixed depth.  But the access auditor
+(:mod:`repro.analysis.oblivious`) proves many chunked loops *oblivious*:
+their address streams are closed-form affine functions known at compile
+time.  3PO's insight (PAPERS.md, arxiv 2207.07688) is that such streams
+need no learning at all — the compiler can program the exact schedule.
+
+This pass runs right after the chunk transformation.  For every chunked
+access whose symbolic stream is exact (base, offset, stride and trip
+count all statically known) it plants
+
+    tfm_prefetch_sched(base, offset, stride, trips, distance, stream)
+
+in the loop preheader, after the ``tfm_chunk_begin`` calls.  The
+runtime lowers the affine form to the distinct first-touch object ids,
+primes the first ``distance`` of them before the loop's first
+iteration, and keeps the issue window ``distance`` objects ahead —
+``distance`` coming from the cost model's fetch-latency/consume-rate
+ratio (:meth:`ChunkingCostModel.prefetch_issue_distance`).
+
+Streams that are opaque or partial are left to the stride prefetcher;
+emitting a schedule for them would fetch garbage (diagnostic TFM-P304).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import find_loops
+from repro.analysis.symbolic import SymbolicAddressAnalysis, SymbolicStream
+from repro.compiler.chunk_transform import CHUNK_DEREF, CHUNK_DEREF_WRITE
+from repro.compiler.cost_model import ChunkingCostModel
+from repro.compiler.pass_manager import Pass, PassContext
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction, Load, Store
+from repro.ir.module import Module
+from repro.ir.types import I64, VOID
+from repro.ir.values import Argument, Constant, Value
+
+PREFETCH_SCHED = "tfm_prefetch_sched"
+
+#: Don't emit schedules for trivially short streams: the priming call
+#: costs more than the one or two learning misses it would save.
+MIN_SCHEDULED_TRIPS = 4
+
+
+class ProgrammedPrefetchPass(Pass):
+    """Lower exact affine streams to ``tfm_prefetch_sched`` intrinsics."""
+
+    name = "programmed-prefetch"
+
+    def run(self, module: Module, ctx: PassContext) -> None:
+        config = ctx.config
+        cost_model = ChunkingCostModel(config.object_size, config.costs)
+        for func in module.defined_functions():
+            self._run_function(func, cost_model, ctx)
+
+    def _run_function(
+        self, func: Function, cost_model: ChunkingCostModel, ctx: PassContext
+    ) -> None:
+        loop_info = find_loops(func)
+        if not list(loop_info):
+            return
+        analysis = SymbolicAddressAnalysis(func, loop_info)
+        cfg = CFG(func)
+        dom = DominatorTree(cfg)
+        for loop in loop_info:
+            preheader = loop.preheader(cfg)
+            if preheader is None:
+                continue
+            emitted = False
+            for access in analysis.loop_accesses(loop):
+                deref = self._chunk_deref_of(access)
+                if deref is None:
+                    continue
+                stream_id = deref.args[1]
+                if not isinstance(stream_id, Constant):
+                    continue
+                sym = analysis.stream_of(access)
+                if not self._schedulable(sym):
+                    ctx.bump(f"{self.name}.streams_unschedulable")
+                    continue
+                if not self._available_in(sym.base, preheader, dom):
+                    ctx.bump(f"{self.name}.skipped_base_unavailable")
+                    continue
+                distance = cost_model.prefetch_issue_distance(sym.elem_size)
+                sched = Call(
+                    VOID,
+                    PREFETCH_SCHED,
+                    [
+                        sym.base,
+                        Constant(I64, sym.offset),
+                        Constant(I64, sym.stride),
+                        Constant(I64, sym.trips),
+                        Constant(I64, distance),
+                        Constant(I64, int(stream_id.value)),
+                    ],
+                )
+                term = preheader.terminator
+                assert term is not None
+                preheader.insert_before(term, sched)
+                emitted = True
+                ctx.bump(f"{self.name}.schedules_emitted")
+            if emitted:
+                ctx.bump(f"{self.name}.loops_programmed")
+
+    @staticmethod
+    def _chunk_deref_of(access: Instruction) -> Optional[Call]:
+        """The ``tfm_chunk_deref`` call feeding a chunked access."""
+        if not isinstance(access, (Load, Store)):
+            return None
+        ptr = access.pointer
+        if isinstance(ptr, Call) and ptr.callee in (CHUNK_DEREF, CHUNK_DEREF_WRITE):
+            return ptr
+        return None
+
+    @staticmethod
+    def _schedulable(sym: Optional[SymbolicStream]) -> bool:
+        return (
+            sym is not None
+            and sym.exact
+            and sym.base is not None
+            and sym.stride != 0
+            and sym.trips is not None
+            and sym.trips >= MIN_SCHEDULED_TRIPS
+        )
+
+    @staticmethod
+    def _available_in(base: Value, preheader, dom: DominatorTree) -> bool:
+        """Can ``base`` be referenced from the preheader?"""
+        if isinstance(base, Argument):
+            return True
+        if isinstance(base, Instruction):
+            block = base.parent
+            return block is not None and dom.dominates(block, preheader)
+        return False

@@ -66,6 +66,8 @@ INTRINSIC_ARITIES = {
     "tfm_chase_deref": 4,
     "tfm_chase_deref_write": 4,
     "tfm_offload_reduce": 5,
+    # base, offset, stride, count, distance, stream
+    "tfm_prefetch_sched": 6,
 }
 
 

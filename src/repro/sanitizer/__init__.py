@@ -23,14 +23,19 @@ from repro.sanitizer.diagnostics import (
     CHUNK_INVARIANT,
     CODE_SUMMARIES,
     GUARD_ON_LOCAL,
+    HIGH_FETCH_AMPLIFICATION,
+    INVARIANT_GUARD_IN_LOOP,
     LOCALIZED_ESCAPE,
+    OBLIVIOUS_NOT_PREFETCHED,
     REDUNDANT_GUARD,
+    SCHEDULE_FOR_OPAQUE_STREAM,
     STALE_LOCALIZED,
     UNGUARDED_DEREF,
     Diagnostic,
     SanitizerReport,
     Severity,
 )
+from repro.sanitizer.perf import check_module_perf
 from repro.sanitizer.guards import (
     LOCALIZER_CALLS,
     ReachingGuards,
@@ -53,6 +58,11 @@ __all__ = [
     "CHUNK_INVARIANT",
     "REDUNDANT_GUARD",
     "GUARD_ON_LOCAL",
+    "OBLIVIOUS_NOT_PREFETCHED",
+    "HIGH_FETCH_AMPLIFICATION",
+    "INVARIANT_GUARD_IN_LOOP",
+    "SCHEDULE_FOR_OPAQUE_STREAM",
+    "check_module_perf",
     "CODE_SUMMARIES",
     "ReachingGuards",
     "LOCALIZER_CALLS",

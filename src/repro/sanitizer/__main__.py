@@ -3,7 +3,13 @@
 Usage::
 
     python -m repro.sanitizer [--no-strict] [--max-diagnostics N] \\
-        [--explain] file.ir [more.ir ...]
+        [--perf] [--object-size N] [--select CODES] [--ignore CODES] \\
+        [--format {text,json}] [--explain] file.ir [more.ir ...]
+
+``--select``/``--ignore`` take comma-separated code prefixes
+(ruff-style): ``--select TFM-P`` keeps only perf diagnostics,
+``--ignore TFM-S201,TFM-S202`` silences the guard lints.  The exit
+status is computed from the *filtered* report.
 
 Exit status: 0 when no file has errors, 1 when any does, 2 when a file
 cannot be read, parsed, or structurally verified.
@@ -12,6 +18,7 @@ cannot be read, parsed, or structurally verified.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -20,6 +27,16 @@ from repro.ir.parser import parse_module
 from repro.ir.verifier import verify_module
 from repro.sanitizer.core import Sanitizer
 from repro.sanitizer.diagnostics import CODE_SUMMARIES
+
+
+def _codes(raw: Optional[List[str]]) -> Optional[List[str]]:
+    """Flatten repeatable comma-separated code lists."""
+    if not raw:
+        return None
+    out = []
+    for chunk in raw:
+        out.extend(c.strip() for c in chunk.split(",") if c.strip())
+    return out or None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,6 +58,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print at most N diagnostics per file (default 50)",
     )
     parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="also run the TFM-P3xx perf audit (whole-program analysis)",
+    )
+    parser.add_argument(
+        "--object-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="object size the perf audit assumes (default 4096)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only report codes matching these comma-separated prefixes",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="drop codes matching these comma-separated prefixes",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="print the diagnostic code table and exit",
@@ -57,8 +104,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.files:
         print("error: no input files (try --explain)", file=sys.stderr)
         return 2
-    sanitizer = Sanitizer(strict=not args.no_strict)
+    select = _codes(args.select)
+    ignore = _codes(args.ignore)
+    sanitizer = Sanitizer(
+        strict=not args.no_strict,
+        perf=args.perf,
+        object_size=args.object_size,
+    )
     worst = 0
+    json_out = []
     for path in args.files:
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -74,10 +128,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{path}: invalid IR: {exc}", file=sys.stderr)
             worst = max(worst, 2)
             continue
-        report = sanitizer.run(module)
-        print(report.render(max_lines=args.max_diagnostics))
+        report = sanitizer.run(module).filtered(select=select, ignore=ignore)
+        if args.format == "json":
+            entry = report.as_dict()
+            entry["file"] = path
+            json_out.append(entry)
+        else:
+            print(report.render(max_lines=args.max_diagnostics))
         if not report.ok:
             worst = max(worst, 1)
+    if args.format == "json":
+        print(json.dumps(json_out, indent=2))
     return worst
 
 

@@ -21,9 +21,19 @@ class Sanitizer:
     pass that broke it.
     """
 
-    def __init__(self, strict: bool = True, max_diagnostics: int = 1000) -> None:
+    def __init__(
+        self,
+        strict: bool = True,
+        max_diagnostics: int = 1000,
+        perf: bool = False,
+        object_size: int = 4096,
+    ) -> None:
         self.strict = strict
         self.max_diagnostics = max_diagnostics
+        #: Opt-in TFM-P3xx perf diagnostics (the whole-program auditor).
+        self.perf = perf
+        #: Object size assumed by the perf audit's traffic predictions.
+        self.object_size = object_size
 
     def run(self, module: Module) -> SanitizerReport:
         """Check every defined function; findings sorted errors-first."""
@@ -32,6 +42,12 @@ class Sanitizer:
             report.diagnostics.extend(self.run_function(func))
             if len(report.diagnostics) >= self.max_diagnostics:
                 break
+        if self.perf:
+            from repro.sanitizer.perf import check_module_perf
+
+            report.diagnostics.extend(
+                check_module_perf(module, object_size=self.object_size)
+            )
         report.diagnostics.sort(key=lambda d: (d.severity.value, d.code))
         del report.diagnostics[self.max_diagnostics:]
         return report

@@ -8,6 +8,8 @@ Code space::
 
     TFM-S1xx   errors — the compiled module is unsafe under far memory
     TFM-S2xx   lints  — safe but wasteful; fodder for optimizations
+    TFM-P3xx   perf   — static access-auditor findings (opt-in --perf):
+               far-memory traffic the compiler could have avoided
 """
 
 from __future__ import annotations
@@ -46,6 +48,19 @@ REDUNDANT_GUARD = "TFM-S201"
 #: TrackFM pointer (stack/global only) — a wasted custody check.
 GUARD_ON_LOCAL = "TFM-S202"
 
+#: An oblivious loop (exact affine streams, known trip count) runs with
+#: no programmed prefetch schedule: every first touch demand-misses.
+OBLIVIOUS_NOT_PREFETCHED = "TFM-P301"
+#: A loop fetches far more bytes than it uses (sparse stride over
+#: dense objects): the object size or layout fights the access pattern.
+HIGH_FETCH_AMPLIFICATION = "TFM-P302"
+#: A guarded access whose address is loop-invariant (stride 0): the
+#: guard re-runs every iteration but could be hoisted to the preheader.
+INVARIANT_GUARD_IN_LOOP = "TFM-P303"
+#: A ``tfm_prefetch_sched`` call with no matching exact stream: the
+#: schedule would fetch objects the loop never touches.
+SCHEDULE_FOR_OPAQUE_STREAM = "TFM-P304"
+
 #: Human one-liners keyed by code, for ``--explain`` style output.
 CODE_SUMMARIES = {
     UNGUARDED_DEREF: "heap-may dereference not covered by a guard",
@@ -54,6 +69,10 @@ CODE_SUMMARIES = {
     CHUNK_INVARIANT: "chunked access breaks the chunk protocol",
     REDUNDANT_GUARD: "guard dominated by an equivalent earlier guard",
     GUARD_ON_LOCAL: "guard on a provably stack/global-only pointer",
+    OBLIVIOUS_NOT_PREFETCHED: "oblivious loop not prefetched",
+    HIGH_FETCH_AMPLIFICATION: "loop fetches far more bytes than it uses",
+    INVARIANT_GUARD_IN_LOOP: "loop-invariant guard not hoisted",
+    SCHEDULE_FOR_OPAQUE_STREAM: "prefetch schedule emitted for opaque stream",
 }
 
 
@@ -92,6 +111,25 @@ class Diagnostic:
     def is_error(self) -> bool:
         return self.severity is Severity.ERROR
 
+    def matches(self, codes) -> bool:
+        """True when the code matches any entry (exact or prefix).
+
+        ``TFM-P`` matches every perf diagnostic, ``TFM-S1`` every
+        safety error, ``TFM-S101`` exactly one code — ruff-style.
+        """
+        return any(self.code.startswith(c) for c in codes)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (``--format json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+        }
+
     def render(self) -> str:
         """``error[TFM-S101] @main %body: 'load i64, %p': message``."""
         loc = f"@{self.function}"
@@ -127,6 +165,35 @@ class SanitizerReport:
 
     def by_code(self, code: str) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.code == code]
+
+    def filtered(self, select=None, ignore=None) -> "SanitizerReport":
+        """A new report keeping only selected, non-ignored diagnostics.
+
+        ``select``/``ignore`` are iterables of code prefixes (see
+        :meth:`Diagnostic.matches`).  ``select=None`` keeps everything;
+        ``ignore`` is subtracted afterwards.  Exit-code policy is then
+        computed from the *filtered* report, so ``--ignore TFM-S101``
+        really does silence that failure class.
+        """
+        kept = self.diagnostics
+        if select is not None:
+            kept = [d for d in kept if d.matches(select)]
+        if ignore:
+            kept = [d for d in kept if not d.matches(ignore)]
+        return SanitizerReport(
+            module_name=self.module_name, strict=self.strict, diagnostics=kept
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (``--format json``)."""
+        return {
+            "module": self.module_name,
+            "strict": self.strict,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
 
     def render(self, max_lines: Optional[int] = None) -> str:
         lines = [d.render() for d in self.diagnostics]

@@ -1,0 +1,205 @@
+"""Perf diagnostics (TFM-P3xx): the access auditor as a linter.
+
+Where the S-codes prove *safety*, the P-codes surface *waste*: far-
+memory traffic the static auditor (:mod:`repro.analysis.oblivious`)
+proves avoidable.  They are opt-in (``Sanitizer(perf=True)`` or
+``--perf`` on the CLI) because they need the whole-program audit —
+interprocedural provenance, loop classification, traffic predictions —
+which is overkill for the between-passes safety checks.
+
+* **TFM-P301** — an oblivious loop (exact streams, known trips) has no
+  ``tfm_prefetch_sched`` in its preheader: its first touches demand-miss
+  even though the compiler could have programmed the exact schedule.
+* **TFM-P302** — a loop's predicted fetch amplification exceeds the
+  threshold: the object size fights the access pattern (sparse stride
+  over dense objects), so most fetched bytes are never read.
+* **TFM-P303** — a guarded access with a loop-invariant address
+  (stride 0) sits inside the loop: the guard re-runs every iteration
+  but one hoisted guard (plus a pin) would do.
+* **TFM-P304** — a ``tfm_prefetch_sched`` exists whose stream is not
+  exact (opaque/partial, or no matching chunked access): the schedule
+  fetches objects the loop may never touch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import find_loops
+from repro.analysis.oblivious import LoopClass, audit_module
+from repro.analysis.symbolic import SymbolicAddressAnalysis
+from repro.ir.instructions import Call, Load, Store
+from repro.ir.module import Module
+from repro.machine.costs import CostTable, DEFAULT_COSTS
+from repro.sanitizer.diagnostics import (
+    Diagnostic,
+    HIGH_FETCH_AMPLIFICATION,
+    INVARIANT_GUARD_IN_LOOP,
+    OBLIVIOUS_NOT_PREFETCHED,
+    SCHEDULE_FOR_OPAQUE_STREAM,
+    Severity,
+)
+from repro.units import BASE_PAGE
+
+PREFETCH_SCHED = "tfm_prefetch_sched"
+CHUNK_DEREFS = ("tfm_chunk_deref", "tfm_chunk_deref_write")
+
+#: Loops shorter than this aren't worth a schedule; don't nag (matches
+#: the pass's MIN_SCHEDULED_TRIPS).
+MIN_PREFETCH_TRIPS = 4
+#: Fetch-amplification ratio above which TFM-P302 fires.
+AMPLIFICATION_THRESHOLD = 2.0
+
+
+def check_module_perf(
+    module: Module,
+    object_size: int = BASE_PAGE,
+    costs: CostTable = DEFAULT_COSTS,
+    entry: str = "main",
+) -> List[Diagnostic]:
+    """Run the whole-program audit and render findings as diagnostics."""
+    diags: List[Diagnostic] = []
+    audit = audit_module(
+        module,
+        object_size=object_size,
+        costs=costs,
+        entry=entry,
+        reachable_only=False,  # lint everything in the file
+    )
+    scheduled = _scheduled_preheaders(module)
+
+    for la in audit.loops:
+        anchor = la.loop.header.instructions[0]
+        if (
+            la.classification is LoopClass.OBLIVIOUS
+            and la.has_heap_streams
+            and la.trips is not None
+            and la.trips >= MIN_PREFETCH_TRIPS
+            and (la.prediction is None or la.prediction.objects >= 2)
+            and id(la.loop.header) not in scheduled.get(la.function, set())
+        ):
+            diags.append(
+                Diagnostic.at(
+                    OBLIVIOUS_NOT_PREFETCHED,
+                    Severity.WARNING,
+                    f"loop is oblivious ({len(la.streams)} exact stream(s), "
+                    f"{la.trips} trips) but has no programmed prefetch "
+                    "schedule; its first touches will demand-miss",
+                    anchor,
+                )
+            )
+        if (
+            la.prediction is not None
+            and la.prediction.bytes_used > 0
+            and la.prediction.fetch_amplification >= AMPLIFICATION_THRESHOLD
+        ):
+            amp = la.prediction.fetch_amplification
+            diags.append(
+                Diagnostic.at(
+                    HIGH_FETCH_AMPLIFICATION,
+                    Severity.WARNING,
+                    f"loop fetches {la.prediction.bytes_fetched} B to use "
+                    f"{la.prediction.bytes_used} B ({amp:.1f}x amplification); "
+                    f"a smaller object size or denser layout would help",
+                    anchor,
+                )
+            )
+        for stream in la.streams:
+            if stream.stride == 0 and stream.base is not None:
+                diags.append(
+                    Diagnostic.at(
+                        INVARIANT_GUARD_IN_LOOP,
+                        Severity.WARNING,
+                        "address is loop-invariant (stride 0): the guard "
+                        "re-runs every iteration but could be hoisted to "
+                        "the preheader",
+                        stream.access,
+                    )
+                )
+
+    diags.extend(_check_schedules(module))
+    return diags
+
+
+def _scheduled_preheaders(module: Module) -> dict:
+    """function name -> set of header-block ids with a sched'd preheader."""
+    out: dict = {}
+    for func in module.defined_functions():
+        sched_blocks = {
+            id(inst.parent)
+            for inst in func.instructions()
+            if isinstance(inst, Call) and inst.callee == PREFETCH_SCHED
+        }
+        if not sched_blocks:
+            continue
+        cfg = CFG(func)
+        headers = set()
+        for loop in find_loops(func):
+            pre = loop.preheader(cfg)
+            if pre is not None and id(pre) in sched_blocks:
+                headers.add(id(loop.header))
+        out[func.name] = headers
+    return out
+
+
+def _check_schedules(module: Module) -> List[Diagnostic]:
+    """TFM-P304: every emitted schedule must match an exact stream."""
+    diags: List[Diagnostic] = []
+    for func in module.defined_functions():
+        sched_calls = [
+            inst
+            for inst in func.instructions()
+            if isinstance(inst, Call) and inst.callee == PREFETCH_SCHED
+        ]
+        if not sched_calls:
+            continue
+        loop_info = find_loops(func)
+        cfg = CFG(func)
+        analysis = SymbolicAddressAnalysis(func, loop_info)
+        preheaders = {}
+        for loop in loop_info:
+            pre = loop.preheader(cfg)
+            if pre is not None:
+                preheaders.setdefault(id(pre), []).append(loop)
+        for call in sched_calls:
+            verdict = _schedule_verdict(call, preheaders, analysis)
+            if verdict is not None:
+                diags.append(
+                    Diagnostic.at(
+                        SCHEDULE_FOR_OPAQUE_STREAM, Severity.WARNING, verdict, call
+                    )
+                )
+    return diags
+
+
+def _schedule_verdict(call, preheaders, analysis) -> Optional[str]:
+    """None when the schedule is backed by an exact stream; else why not."""
+    from repro.ir.values import Constant
+
+    stream_arg = call.args[5] if len(call.args) == 6 else None
+    if not isinstance(stream_arg, Constant):
+        return "schedule's stream id is not a compile-time constant"
+    stream_id = int(stream_arg.value)
+    loops = preheaders.get(id(call.parent), [])
+    if not loops:
+        return "schedule is not in any loop preheader"
+    for loop in loops:
+        for access in analysis.loop_accesses(loop):
+            if not isinstance(access, (Load, Store)):
+                continue
+            ptr = access.pointer
+            if not (isinstance(ptr, Call) and ptr.callee in CHUNK_DEREFS):
+                continue
+            sid = ptr.args[1]
+            if not isinstance(sid, Constant) or int(sid.value) != stream_id:
+                continue
+            sym = analysis.stream_of(access)
+            if sym is not None and sym.exact and sym.trips is not None:
+                return None
+            return (
+                f"stream {stream_id}'s access is not an exact affine "
+                "stream; the schedule would fetch objects the loop may "
+                "never touch"
+            )
+    return f"no chunked access consumes stream {stream_id} in this loop"

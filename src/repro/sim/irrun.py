@@ -90,6 +90,7 @@ class TrackFMProgram:
         reg("tfm_chunk_deref", self._chunk_deref_read)
         reg("tfm_chunk_deref_write", self._chunk_deref_write)
         reg("tfm_chunk_end", self._chunk_end)
+        reg("tfm_prefetch_sched", self._prefetch_sched)
         reg("tfm_chase_deref", self._chase_deref_read)
         reg("tfm_chase_deref_write", self._chase_deref_write)
         reg("tfm_offload_reduce", self._offload_reduce)
@@ -194,6 +195,13 @@ class TrackFMProgram:
 
     def _chunk_end(self, interp: Interpreter, args: List[object]) -> None:
         self.runtime.chunk_end(int(args[0]))
+        return None
+
+    def _prefetch_sched(self, interp: Interpreter, args: List[object]) -> None:
+        base, offset, stride, count, distance, stream = (int(a) for a in args)
+        self.runtime.install_prefetch_schedule(
+            stream, base, offset, stride, count, distance
+        )
         return None
 
     # -- pointer-chase prefetching (recursive data structures) ------------

@@ -23,7 +23,7 @@ from typing import Dict, Optional
 
 from repro.aifm.allocator import Allocation, RegionAllocator
 from repro.aifm.pool import ObjectPool, PoolConfig
-from repro.aifm.prefetcher import StridePrefetcher
+from repro.aifm.prefetcher import ProgrammedSchedule, StridePrefetcher
 from repro.errors import PointerError, RuntimeConfigError
 from repro.integrity import (
     IntegrityChecker,
@@ -89,6 +89,8 @@ class TrackFMRuntime:
         self.prefetch_depth = prefetch_depth
         self.object_size = config.object_size
         self._chunks: Dict[int, _ChunkState] = {}
+        #: Compiler-programmed prefetch schedules, keyed by chunk stream.
+        self._psched: Dict[int, ProgrammedSchedule] = {}
         self.initialized = False
         self.tracer = NULL_TRACER
         if tracer is not None:
@@ -234,6 +236,47 @@ class TrackFMRuntime:
         self.metrics.cycles += cycles
         return cycles
 
+    def install_prefetch_schedule(
+        self,
+        stream: int,
+        ptr: int,
+        offset: int,
+        stride: int,
+        count: int,
+        distance: int,
+    ) -> float:
+        """``tfm_prefetch_sched``: arm a stream with an exact schedule.
+
+        The compiler statically derived the loop's affine address stream
+        ``addr(k) = ptr + offset + k*stride`` (k < count); this lowers
+        it to the distinct first-touch object ids, clipped to the
+        pointer's allocation, and primes the first ``distance`` of them
+        so the loop's very first touches are already in flight —
+        skipping the stride prefetcher's learning misses entirely.
+        Returns the cycles charged for the priming fetches.
+        """
+        if not is_tfm_pointer(ptr) or count <= 0:
+            return 0.0
+        base = decode_tfm_pointer(ptr)
+        lo, hi = 0, self.pool.config.num_objects
+        alloc = self.allocator.allocation_at(base)
+        if alloc is not None:
+            lo, hi = alloc.object_range(self.object_size)
+        objects: list = []
+        last = None
+        for k in range(count):
+            obj_id = (base + offset + k * stride) // self.object_size
+            if obj_id != last and lo <= obj_id < hi:
+                objects.append(obj_id)
+            last = obj_id
+        sched = ProgrammedSchedule(objects=objects, distance=max(1, distance))
+        self._psched[stream] = sched
+        cycles = 0.0
+        for target in sched.prime():
+            cycles += self.pool.prefetch(target)
+        self.metrics.cycles += cycles
+        return cycles
+
     def chunk_access(
         self,
         ptr: int,
@@ -259,7 +302,12 @@ class TrackFMRuntime:
                 self.pool.pin(obj_id)
                 state.current_obj = obj_id
                 state.pinned = True
-                if prefetch:
+                sched = self._psched.get(stream)
+                if sched is not None:
+                    # Programmed schedule: exact targets, no learning.
+                    for target in sched.observe(obj_id):
+                        cycles += self.pool.prefetch(target)
+                elif prefetch:
                     # Clip prefetch targets to the allocation the pointer
                     # belongs to; fetching past it would be pure waste.
                     lo, hi = 0, self.pool.config.num_objects
@@ -282,6 +330,7 @@ class TrackFMRuntime:
         if state is not None and state.pinned and state.current_obj is not None:
             self.pool.unpin(state.current_obj)
         self.prefetcher.reset(stream)
+        self._psched.pop(stream, None)
 
     # -- closed-form scans ----------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""Static-vs-dynamic cross-check: auditor predictions vs traced counters.
+
+The auditor's whole point is that on *oblivious* workloads its static
+predictions are the dynamic truth.  These tests compile each workload
+at the same object size the runtime uses, replay it cold under a
+tracer, and assert the traced remote-fetch and byte counters match the
+static program prediction within 5% (they are exact in practice; the
+tolerance absorbs boundary effects on other configurations).
+"""
+
+from repro.aifm.pool import PoolConfig
+from repro.analysis.oblivious import audit_module
+from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+from repro.sim.irrun import TrackFMProgram
+from repro.trace.drivers import _build_stream_module
+from repro.trace.tracer import CAT_FETCH, Tracer
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.workloads.nas import build_nas_ir
+
+from irprograms import build_sum_loop, build_write_then_sum
+
+OBJ = 256
+
+
+def within(actual, predicted, tol=0.05):
+    assert predicted > 0, "cross-check needs a nonzero prediction"
+    assert abs(actual - predicted) <= tol * predicted, (
+        f"dynamic {actual} vs static {predicted} off by more than {tol:.0%}"
+    )
+
+
+def crosscheck(build, programmed=False, local_objects=64):
+    """Audit one copy, run another; return (prediction, metrics, tracer)."""
+    audit = audit_module(build(), object_size=OBJ)
+    pred = audit.program_prediction()
+    assert pred.complete, "cross-check workloads must be fully oblivious"
+
+    module = build()
+    cfg = CompilerConfig(
+        object_size=OBJ,
+        chunking=ChunkingPolicy.ALL,
+        enable_prefetch=False,
+        enable_chase_prefetch=False,
+        enable_programmed_prefetch=programmed,
+    )
+    TrackFMCompiler(cfg).compile(module)
+    tracer = Tracer()
+    pool = PoolConfig(
+        object_size=OBJ, local_memory=local_objects * OBJ, heap_size=1 << 20
+    )
+    runtime = TrackFMRuntime(pool, tracer=tracer)
+    TrackFMProgram(module, runtime).run()
+    return pred, runtime.metrics, tracer
+
+
+class TestStreamWorkloads:
+    def test_sum_loop_misses_match(self):
+        pred, metrics, _ = crosscheck(lambda: build_sum_loop(n=512))
+        within(metrics.remote_fetches, pred.objects)
+        within(metrics.bytes_fetched, pred.bytes_fetched)
+
+    def test_write_then_sum_union_matches(self):
+        # Two sweeps over one allocation: the program prediction unions
+        # the object sets, and the warm second sweep fetches nothing.
+        pred, metrics, _ = crosscheck(lambda: build_write_then_sum(n=512))
+        within(metrics.remote_fetches, pred.objects)
+        within(metrics.bytes_fetched, pred.bytes_fetched)
+
+    def test_trace_stream_driver_matches(self):
+        pred, metrics, tracer = crosscheck(_build_stream_module)
+        within(metrics.remote_fetches, pred.objects)
+        within(metrics.bytes_fetched, pred.bytes_fetched)
+        # The tracer saw the same traffic the prediction promised.
+        fetch_bytes = sum(
+            e.args.get("bytes", 0) for e in tracer.events if e.cat == CAT_FETCH
+        )
+        within(fetch_bytes, pred.bytes_fetched)
+
+    def test_nas_kernel_matches(self):
+        pred, metrics, _ = crosscheck(lambda: build_nas_ir("CG", n=256))
+        within(metrics.remote_fetches, pred.objects)
+        within(metrics.bytes_fetched, pred.bytes_fetched)
+
+
+class TestWithProgrammedPrefetch:
+    def test_total_fetches_unchanged_by_scheduling(self):
+        # Programmed prefetch moves fetches earlier, it must not add any:
+        # demand misses + useful prefetches == predicted cold objects.
+        pred, metrics, _ = crosscheck(
+            lambda: build_sum_loop(n=512), programmed=True
+        )
+        total = metrics.remote_fetches + metrics.prefetches_useful
+        within(total, pred.objects)
+        within(metrics.bytes_fetched, pred.bytes_fetched)
+
+    def test_demand_misses_eliminated(self):
+        _, metrics, _ = crosscheck(lambda: build_sum_loop(n=512), programmed=True)
+        assert metrics.remote_fetches == 0
+
+
+class TestPredictionFailureModes:
+    def test_opaque_workload_is_flagged_incomplete(self):
+        from repro.trace.drivers import _build_hashmap_module
+
+        audit = audit_module(_build_hashmap_module(7), object_size=OBJ)
+        assert not audit.program_prediction().complete

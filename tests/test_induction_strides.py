@@ -1,0 +1,225 @@
+"""Negative-stride / non-unit-step IVs and predicate-aware trip counts."""
+
+import pytest
+
+from repro.analysis.induction import InductionAnalysis
+from repro.analysis.loops import find_loops
+from repro.ir import IRBuilder, Module
+from repro.ir.types import I64, PTR
+from repro.ir.values import Constant
+
+
+def build_counting_loop(start, step, bound, pred, use_sub=False, cmp_update=False):
+    """for (i = start; i <pred> bound; i += step) — or i -= step with sub."""
+    m = Module("count")
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(I64, name="i")
+    if not cmp_update:
+        b.condbr(b.icmp(pred, i, bound), body, exit_)
+        b.set_block(body)
+        if use_sub:
+            i2 = b.sub(i, -step, name="i2")
+        else:
+            i2 = b.add(i, step, name="i2")
+        b.br(header)
+    else:
+        # Rotated shape: the exit test reads the *updated* value.
+        b.br(body)
+        b.set_block(body)
+        i2 = b.add(i, step, name="i2")
+        b.condbr(b.icmp(pred, i2, bound), header, exit_)
+    i.add_incoming(Constant(I64, start), entry)
+    i.add_incoming(i2, body)
+    b.set_block(exit_)
+    b.ret(0)
+    return m
+
+
+def governing_iv(m):
+    f = m.get_function("main")
+    info = find_loops(f)
+    analysis = InductionAnalysis(f, info)
+    loops = list(info)
+    assert len(loops) == 1
+    return analysis.governing_iv(loops[0])
+
+
+def python_trips(start, step, bound, pred):
+    """Ground truth by direct simulation."""
+    ops = {
+        "slt": lambda a, b: a < b,
+        "sle": lambda a, b: a <= b,
+        "sgt": lambda a, b: a > b,
+        "sge": lambda a, b: a >= b,
+        "ne": lambda a, b: a != b,
+    }
+    i, trips = start, 0
+    while ops[pred](i, bound) and trips < 10_000:
+        trips += 1
+        i += step
+    return trips
+
+
+CASES = [
+    (0, 1, 100, "slt"),
+    (0, 1, 100, "sle"),
+    (0, 3, 100, "slt"),
+    (0, 3, 100, "sle"),
+    (5, 7, 100, "slt"),
+    (100, -1, 0, "sgt"),
+    (100, -1, 0, "sge"),
+    (100, -4, 0, "sgt"),
+    (100, -4, 3, "sge"),
+    (0, 2, 100, "ne"),
+    (50, -5, 0, "ne"),
+]
+
+
+class TestTripCounts:
+    @pytest.mark.parametrize("start,step,bound,pred", CASES)
+    def test_matches_simulation(self, start, step, bound, pred):
+        iv = governing_iv(build_counting_loop(start, step, bound, pred))
+        assert iv is not None and iv.governs_loop
+        assert iv.step == step
+        assert iv.trip_count == python_trips(start, step, bound, pred)
+
+    def test_sub_update_negative_stride(self):
+        iv = governing_iv(
+            build_counting_loop(100, -2, 0, "sgt", use_sub=True)
+        )
+        assert iv is not None and iv.step == -2
+        assert iv.trip_count == python_trips(100, -2, 0, "sgt")
+
+    def test_ne_with_non_dividing_step_unknown(self):
+        # i != 99 stepping by 2 from 0 never hits 99: no static count.
+        iv = governing_iv(build_counting_loop(0, 2, 99, "ne"))
+        assert iv is not None and iv.trip_count is None
+
+    def test_wrong_direction_step_unknown(self):
+        # i < 100 stepping -1 from 0: exits only by wraparound.
+        iv = governing_iv(build_counting_loop(0, -1, 100, "slt"))
+        assert iv is not None and iv.trip_count is None
+
+    def test_already_false_is_zero(self):
+        iv = governing_iv(build_counting_loop(100, 1, 50, "slt"))
+        assert iv is not None and iv.trip_count == 0
+
+    def test_unsigned_predicate_unknown(self):
+        iv = governing_iv(build_counting_loop(0, 1, 100, "ult"))
+        assert iv is not None and iv.trip_count is None
+
+    def test_compare_on_update_counts_the_first_trip(self):
+        # do { i += 1 } while (i < 100) from 0 runs the body 100 times.
+        iv = governing_iv(build_counting_loop(0, 1, 100, "slt", cmp_update=True))
+        assert iv is not None and iv.governs_loop
+        assert iv.trip_count == 100
+
+    def test_compare_on_update_sle(self):
+        # do { i += 3 } while (i <= 30) from 0: i2 = 3,6,...,33 -> 11 trips.
+        iv = governing_iv(build_counting_loop(0, 3, 30, "sle", cmp_update=True))
+        assert iv is not None and iv.trip_count == 11
+
+    def test_swapped_operand_compare(self):
+        """bound <pred> iv instead of iv <pred> bound."""
+        m = Module("swapped")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        # 100 > i  <=>  i < 100
+        b.condbr(b.icmp("sgt", Constant(I64, 100), i), body, exit_)
+        b.set_block(body)
+        i2 = b.add(i, 1, name="i2")
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        iv = governing_iv(m)
+        assert iv is not None and iv.trip_count == 100
+
+
+class TestNegativeStridePointerIV:
+    def test_backward_pointer_walk(self):
+        m = Module("backward")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        base = b.call(PTR, "malloc", [Constant(I64, 512)], name="base")
+        last = b.gep(base, 63, 8, name="last")
+        b.br(header)
+        b.set_block(header)
+        p = b.phi(PTR, name="p")
+        b.condbr(b.icmp("ne", p, base), body, exit_)
+        b.set_block(body)
+        v = b.load(I64, p, name="v")
+        del v
+        p2 = b.gep(p, -1, 8, name="p2")
+        b.br(header)
+        p.add_incoming(last, entry)
+        p.add_incoming(p2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        f2 = m.get_function("main")
+        info = find_loops(f2)
+        analysis = InductionAnalysis(f2, info)
+        iv = analysis.governing_iv(list(info)[0])
+        assert iv is not None and iv.is_pointer
+        assert iv.step == -8
+
+
+class TestDownwardCountingEndToEnd:
+    def test_reverse_sum_runs_and_audits(self):
+        """for (i = n-1; i >= 0; i--) sum += p[i] — interpreted vs audit."""
+        from repro.analysis.oblivious import LoopClass, audit_module
+
+        n = 64
+        m = Module("revsum")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "malloc", [Constant(I64, n * 8)], name="p")
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        s = b.phi(I64, name="s")
+        b.condbr(b.icmp("sge", i, 0), body, exit_)
+        b.set_block(body)
+        b.store(i, b.gep(p, i, 8))
+        v = b.load(I64, b.gep(p, i, 8), name="v")
+        s2 = b.add(s, v)
+        i2 = b.add(i, -1, name="i2")
+        b.br(header)
+        i.add_incoming(Constant(I64, n - 1), entry)
+        i.add_incoming(i2, body)
+        s.add_incoming(Constant(I64, 0), entry)
+        s.add_incoming(s2, body)
+        b.set_block(exit_)
+        b.ret(s)
+
+        audit = audit_module(m, object_size=256)
+        la = audit.loops[0]
+        assert la.classification is LoopClass.OBLIVIOUS
+        assert la.trips == n
+        # Streams walk downward: negative stride, exact interval.
+        strides = sorted(s.stride for s in la.streams)
+        assert strides == [-8, -8]
+        assert la.prediction.objects == n * 8 // 256

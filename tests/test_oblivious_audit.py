@@ -1,0 +1,232 @@
+"""The far-memory access auditor (repro.analysis.oblivious)."""
+
+import pytest
+
+from repro.analysis.oblivious import (
+    LoopClass,
+    MAX_ENUMERATED_TRIPS,
+    audit_module,
+)
+from repro.ir import IRBuilder, Module
+from repro.ir.types import I64, PTR
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop, build_write_then_sum
+from test_symbolic_streams import build_strided_loop
+
+
+class TestClassification:
+    def test_sum_loop_is_oblivious(self):
+        audit = audit_module(build_sum_loop(n=100), object_size=256)
+        assert len(audit.loops) == 1
+        la = audit.loops[0]
+        assert la.classification is LoopClass.OBLIVIOUS
+        assert la.trips == 100
+
+    def test_hashmap_probe_loop_is_opaque(self):
+        from repro.trace.drivers import _build_hashmap_module
+
+        audit = audit_module(_build_hashmap_module(7), object_size=4096)
+        classes = {a.loop.header.name: a.classification for a in audit.loops}
+        assert classes["wh"] is LoopClass.OBLIVIOUS
+        assert classes["rh"] is LoopClass.OPAQUE
+        assert not audit.program_prediction().complete
+
+    def test_pointer_chase_is_opaque(self):
+        m = Module("list")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        head = b.call(PTR, "malloc", [Constant(I64, 16)], name="head")
+        b.br(header)
+        b.set_block(header)
+        node = b.phi(PTR, name="node")
+        b.condbr(b.icmp("ne", node, Constant(PTR, 0)), body, exit_)
+        b.set_block(body)
+        nxt = b.load(PTR, b.gep(node, 1, 8), name="next")
+        b.br(header)
+        node.add_incoming(head, entry)
+        node.add_incoming(nxt, body)
+        b.set_block(exit_)
+        b.ret(0)
+        audit = audit_module(m, object_size=256)
+        assert audit.loops[0].classification is LoopClass.OPAQUE
+
+    def test_unknown_bound_is_strided_partial(self):
+        m = Module("bounded-by-arg")
+        f = m.add_function("main", I64, [I64], ["n"])
+        n = f.args[0]
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "malloc", [Constant(I64, 8192)], name="p")
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        b.condbr(b.icmp("slt", i, n), body, exit_)
+        b.set_block(body)
+        v = b.load(I64, b.gep(p, i, 8), name="v")
+        del v
+        i2 = b.add(i, 1, name="i2")
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        audit = audit_module(m, object_size=256)
+        la = audit.loops[0]
+        assert la.classification is LoopClass.STRIDED_PARTIAL
+        assert la.prediction is None
+
+    def test_stack_only_loop_has_no_streams(self):
+        m = Module("stack-only")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        slot = b.alloca(8, name="slot")
+        b.store(0, slot)
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        b.condbr(b.icmp("slt", i, 10), body, exit_)
+        b.set_block(body)
+        v = b.load(I64, slot, name="v")
+        b.store(b.add(v, 1), slot)
+        i2 = b.add(i, 1, name="i2")
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        audit = audit_module(m, object_size=256)
+        la = audit.loops[0]
+        assert la.classification is LoopClass.OBLIVIOUS
+        assert not la.has_heap_streams
+        assert audit.program_prediction().objects == 0
+
+
+class TestPredictions:
+    def test_object_count_and_bytes(self):
+        # 100 x 8B elements over 256B objects: offsets 0..799 -> 4 objects.
+        audit = audit_module(build_sum_loop(n=100), object_size=256)
+        pred = audit.loops[0].prediction
+        assert pred.objects == 4
+        assert pred.bytes_fetched == 4 * 256
+        assert pred.bytes_used == 800
+        assert pred.fetch_amplification == pytest.approx(1024 / 800)
+
+    def test_sparse_stride_amplification(self):
+        # stride 32B over 256B objects is dense (<= object), span covers
+        # all objects between first and last element.
+        audit = audit_module(build_strided_loop(n=64, scale=4), object_size=256)
+        pred = audit.loops[0].prediction
+        # span = 32*63 + 8 = 2024 bytes -> objects 0..7
+        assert pred.objects == 8
+        assert pred.bytes_used == 64 * 8
+        assert pred.fetch_amplification == pytest.approx((8 * 256) / 512)
+
+    def test_wide_stride_enumerates_objects(self):
+        # stride 512B > object 256B: every other object is skipped.
+        audit = audit_module(build_strided_loop(n=16, scale=64), object_size=256)
+        pred = audit.loops[0].prediction
+        assert pred.objects == 16  # one distinct object per element
+
+    def test_program_prediction_unions_loops(self):
+        # Write loop + read loop over the same allocation: objects
+        # counted once program-wide.
+        audit = audit_module(build_write_then_sum(n=100), object_size=256)
+        assert len(audit.oblivious) == 2
+        per_loop = [a.prediction.objects for a in audit.oblivious]
+        assert per_loop == [4, 4]
+        pp = audit.program_prediction()
+        assert pp.complete
+        assert pp.objects == 4
+        assert pp.bytes_fetched == 4 * 256
+        assert pp.bytes_used == 800
+
+    def test_guard_cost_predictions_present(self):
+        audit = audit_module(build_sum_loop(n=1000), object_size=4096)
+        la = audit.loops[0]
+        assert la.naive_guard_cycles > 0
+        assert la.chunked_guard_cycles > 0
+
+
+class TestInterprocedural:
+    def _helper_module(self, helper_returns="malloc"):
+        m = Module("interproc")
+        helper = m.add_function("make_buf", PTR)
+        hentry = helper.add_block("entry")
+        hb = IRBuilder(hentry)
+        if helper_returns == "malloc":
+            buf = hb.call(PTR, "malloc", [Constant(I64, 800)], name="buf")
+        else:
+            buf = hb.alloca(800, name="buf")
+        hb.ret(buf)
+
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "make_buf", [], name="p")
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        b.condbr(b.icmp("slt", i, 100), body, exit_)
+        b.set_block(body)
+        v = b.load(I64, b.gep(p, i, 8), name="v")
+        del v
+        i2 = b.add(i, 1, name="i2")
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        return m
+
+    def test_heap_through_helper_is_audited(self):
+        audit = audit_module(self._helper_module("malloc"), object_size=256)
+        mains = [a for a in audit.loops if a.function == "main"]
+        assert mains[0].classification is LoopClass.OBLIVIOUS
+        assert mains[0].prediction.objects == 4
+
+    def test_stack_through_helper_is_skipped(self):
+        audit = audit_module(self._helper_module("alloca"), object_size=256)
+        mains = [a for a in audit.loops if a.function == "main"]
+        assert not mains[0].has_heap_streams
+
+    def test_unreachable_functions_excluded(self):
+        m = self._helper_module("malloc")
+        dead = m.add_function("dead_code", I64)
+        dentry = dead.add_block("entry")
+        dh = dead.add_block("h")
+        db = dead.add_block("b")
+        dx = dead.add_block("x")
+        b = IRBuilder(dentry)
+        q = b.call(PTR, "malloc", [Constant(I64, 64)], name="q")
+        b.br(dh)
+        b.set_block(dh)
+        i = b.phi(I64, name="i")
+        b.condbr(b.icmp("slt", i, 8), db, dx)
+        b.set_block(db)
+        v = b.load(I64, b.gep(q, i, 8), name="v")
+        del v
+        i2 = b.add(i, 1)
+        b.br(dh)
+        i.add_incoming(Constant(I64, 0), dentry)
+        i.add_incoming(i2, db)
+        b.set_block(dx)
+        b.ret(0)
+        audit = audit_module(m, object_size=256)
+        assert "dead_code" not in audit.functions
+        everything = audit_module(m, object_size=256, reachable_only=False)
+        assert "dead_code" in everything.functions

@@ -1,0 +1,176 @@
+"""Provenance + call graph interaction: pointers through call boundaries."""
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.provenance import (
+    Provenance,
+    ProvenanceAnalysis,
+    return_provenance_summaries,
+)
+from repro.ir import IRBuilder, Module
+from repro.ir.instructions import Load
+from repro.ir.types import I64, PTR
+from repro.ir.values import Constant
+
+
+def _make_helper(m, name, kind):
+    """A helper returning a pointer of the given provenance kind."""
+    f = m.add_function(name, PTR)
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    if kind == "heap":
+        p = b.call(PTR, "malloc", [Constant(I64, 64)], name="p")
+    elif kind == "stack":
+        p = b.alloca(64, name="p")
+    elif kind == "global":
+        p = b.call(PTR, "global_addr.table", [], name="p")
+    else:
+        raise ValueError(kind)
+    b.ret(p)
+    return f
+
+
+def _main_loading_through(m, helper_name):
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    p = b.call(PTR, helper_name, [], name="p")
+    v = b.load(I64, p, name="v")
+    b.ret(v)
+    return f
+
+
+class TestReturnSummaries:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            ("heap", Provenance.HEAP),
+            ("stack", Provenance.STACK),
+            ("global", Provenance.GLOBAL),
+        ],
+    )
+    def test_direct_helper(self, kind, expected):
+        m = Module("helpers")
+        _make_helper(m, "make", kind)
+        summaries = return_provenance_summaries(m)
+        assert summaries["make"] == expected
+
+    def test_wrapper_chain_converges(self):
+        m = Module("chain")
+        _make_helper(m, "inner", "heap")
+        outer = m.add_function("outer", PTR)
+        entry = outer.add_block("entry")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "inner", [], name="p")
+        b.ret(p)
+        summaries = return_provenance_summaries(m)
+        assert summaries["outer"] == Provenance.HEAP
+
+    def test_mixed_returns_join(self):
+        m = Module("mixed")
+        f = m.add_function("pick", PTR, [I64], ["flag"])
+        entry = f.add_block("entry")
+        heap_bb = f.add_block("heap")
+        stack_bb = f.add_block("stack")
+        b = IRBuilder(entry)
+        b.condbr(b.icmp("ne", f.args[0], Constant(I64, 0)), heap_bb, stack_bb)
+        b.set_block(heap_bb)
+        hp = b.call(PTR, "malloc", [Constant(I64, 32)], name="hp")
+        b.ret(hp)
+        b.set_block(stack_bb)
+        sp = b.alloca(32, name="sp")
+        b.ret(sp)
+        summaries = return_provenance_summaries(m)
+        assert summaries["pick"] == Provenance.HEAP | Provenance.STACK
+        assert summaries["pick"].may_be_heap()
+
+    def test_external_callee_stays_unknown(self):
+        m = Module("external")
+        f = m.add_function("wrap", PTR)
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "mystery_extern", [], name="p")
+        b.ret(p)
+        summaries = return_provenance_summaries(m)
+        assert "mystery_extern" not in summaries
+        assert summaries["wrap"] == Provenance.UNKNOWN
+
+
+class TestMustGuardThroughCalls:
+    def _load_in(self, func):
+        return next(i for i in func.instructions() if isinstance(i, Load))
+
+    def test_regression_stack_helper_was_over_conservative(self):
+        """must_guard on a stack-returning helper's result.
+
+        Without summaries the call result is UNKNOWN and the load is
+        guarded (the historical over-conservative answer); with
+        summaries the analysis proves it stack-only and skips the guard.
+        """
+        m = Module("reg")
+        _make_helper(m, "make_local", "stack")
+        main = _main_loading_through(m, "make_local")
+        load = self._load_in(main)
+
+        conservative = ProvenanceAnalysis(main)
+        assert conservative.must_guard(load), "baseline: unknown => guarded"
+
+        summaries = return_provenance_summaries(m)
+        precise = ProvenanceAnalysis(main, summaries=summaries)
+        assert not precise.must_guard(load)
+        assert precise.of(load.pointer).definitely_local_only()
+
+    def test_heap_helper_still_guarded(self):
+        m = Module("heap-via-call")
+        _make_helper(m, "make_buf", "heap")
+        main = _main_loading_through(m, "make_buf")
+        load = self._load_in(main)
+        summaries = return_provenance_summaries(m)
+        precise = ProvenanceAnalysis(main, summaries=summaries)
+        assert precise.must_guard(load)
+
+    def test_pointer_through_call_argument_stays_unknown(self):
+        """A pointer passed INTO a callee: the callee must still guard.
+
+        Callee argument provenance is not summarized (call sites vary),
+        so the conservative UNKNOWN remains — this is the safe side.
+        """
+        m = Module("arg-pass")
+        callee = m.add_function("reader", I64, [PTR], ["q"])
+        entry = callee.add_block("entry")
+        b = IRBuilder(entry)
+        v = b.load(I64, callee.args[0], name="v")
+        b.ret(v)
+        summaries = return_provenance_summaries(m)
+        analysis = ProvenanceAnalysis(callee, summaries=summaries)
+        load = self._load_in(callee)
+        assert analysis.must_guard(load)
+
+    def test_callgraph_reachability_drives_audit_scope(self):
+        m = Module("scope")
+        _make_helper(m, "make_buf", "heap")
+        _main_loading_through(m, "make_buf")
+        _make_helper(m, "unused", "heap")
+        cg = CallGraph(m)
+        reachable = cg.reachable_from("main")
+        assert "make_buf" in reachable
+        assert "unused" not in reachable
+
+
+class TestGuardPipelineUnchanged:
+    def test_guard_analysis_stays_conservative_without_summaries(self):
+        """The compiler's guard pass does not consume summaries: a
+        helper-returned stack pointer still gets guarded (safety-first
+        default), while the auditor's interprocedural view refines it."""
+        from repro.compiler.guard_analysis import GUARD_MD, GuardAnalysisPass
+        from repro.compiler.pass_manager import PassContext
+        from repro.compiler.pipeline import CompilerConfig
+
+        m = Module("pipeline-cons")
+        _make_helper(m, "make_local", "stack")
+        main = _main_loading_through(m, "make_local")
+        ctx = PassContext(config=CompilerConfig())
+        GuardAnalysisPass().run(m, ctx)
+        load = next(i for i in main.instructions() if isinstance(i, Load))
+        assert load.metadata.get(GUARD_MD)

@@ -1,0 +1,253 @@
+"""TFM-P3xx perf diagnostics, report filtering, and CLI output modes."""
+
+import json
+
+from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+from repro.ir import IRBuilder, Module, print_module
+from repro.ir.types import I64, PTR, VOID
+from repro.ir.values import Constant
+from repro.sanitizer import (
+    HIGH_FETCH_AMPLIFICATION,
+    INVARIANT_GUARD_IN_LOOP,
+    OBLIVIOUS_NOT_PREFETCHED,
+    SCHEDULE_FOR_OPAQUE_STREAM,
+    UNGUARDED_DEREF,
+    Sanitizer,
+    SanitizerReport,
+    Severity,
+    Diagnostic,
+)
+from repro.sanitizer.__main__ import main as sanitizer_cli
+
+from irprograms import build_sum_loop
+from test_symbolic_streams import build_strided_loop
+
+
+def perf_codes(module, object_size=256):
+    report = Sanitizer(strict=False, perf=True, object_size=object_size).run(module)
+    return [d.code for d in report.diagnostics if d.code.startswith("TFM-P")]
+
+
+def build_invariant_guard_loop():
+    """for (i...) sum += *p — the same heap address every iteration."""
+    m = Module("invariant")
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    p = b.call(PTR, "malloc", [Constant(I64, 64)], name="p")
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(I64, name="i")
+    b.condbr(b.icmp("slt", i, 100), body, exit_)
+    b.set_block(body)
+    v = b.load(I64, p, name="v")
+    del v
+    i2 = b.add(i, 1, name="i2")
+    b.br(header)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, body)
+    b.set_block(exit_)
+    b.ret(0)
+    return m
+
+
+class TestP301ObliviousNotPrefetched:
+    def test_fires_on_unprefetched_oblivious_loop(self):
+        assert OBLIVIOUS_NOT_PREFETCHED in perf_codes(build_sum_loop(n=100))
+
+    def test_silent_when_schedule_emitted(self):
+        m = build_sum_loop(n=512)
+        cfg = CompilerConfig(
+            object_size=256,
+            chunking=ChunkingPolicy.ALL,
+            enable_programmed_prefetch=True,
+        )
+        TrackFMCompiler(cfg).compile(m)
+        assert OBLIVIOUS_NOT_PREFETCHED not in perf_codes(m)
+
+    def test_silent_for_tiny_loops(self):
+        assert OBLIVIOUS_NOT_PREFETCHED not in perf_codes(build_sum_loop(n=2))
+
+    def test_perf_off_by_default(self):
+        report = Sanitizer(strict=False).run(build_sum_loop(n=100))
+        assert not [d for d in report.diagnostics if d.code.startswith("TFM-P")]
+
+
+class TestP302FetchAmplification:
+    def test_fires_on_sparse_stride(self):
+        # stride 32B over 256B objects: 4x amplification.
+        m = build_strided_loop(n=64, scale=4)
+        assert HIGH_FETCH_AMPLIFICATION in perf_codes(m)
+
+    def test_silent_on_dense_stream(self):
+        assert HIGH_FETCH_AMPLIFICATION not in perf_codes(build_sum_loop(n=512))
+
+
+class TestP303InvariantGuard:
+    def test_fires_on_loop_invariant_heap_access(self):
+        assert INVARIANT_GUARD_IN_LOOP in perf_codes(build_invariant_guard_loop())
+
+    def test_silent_on_strided_access(self):
+        assert INVARIANT_GUARD_IN_LOOP not in perf_codes(build_sum_loop(n=100))
+
+
+class TestP304ScheduleForOpaqueStream:
+    def _loop_with_sched(self, sched_stream):
+        """A chunked loop whose preheader carries a hand-planted sched."""
+        m = build_sum_loop(n=512)
+        cfg = CompilerConfig(
+            object_size=256,
+            chunking=ChunkingPolicy.ALL,
+            enable_programmed_prefetch=True,
+        )
+        TrackFMCompiler(cfg).compile(m)
+        # Retarget the emitted schedule at a stream no access consumes.
+        from repro.compiler.programmed_prefetch import PREFETCH_SCHED
+        from repro.ir.instructions import Call
+
+        main = m.get_function("main")
+        for inst in main.instructions():
+            if isinstance(inst, Call) and inst.callee == PREFETCH_SCHED:
+                inst.operands[5] = Constant(I64, sched_stream)
+        return m
+
+    def test_valid_schedule_is_silent(self):
+        assert SCHEDULE_FOR_OPAQUE_STREAM not in perf_codes(self._loop_with_sched(0))
+
+    def test_unmatched_stream_fires(self):
+        codes = perf_codes(self._loop_with_sched(7))
+        assert SCHEDULE_FOR_OPAQUE_STREAM in codes
+
+    def test_schedule_outside_preheader_fires(self):
+        m = build_sum_loop(n=512)
+        f = m.get_function("main")
+        entry = f.blocks[0]
+        term = entry.terminator
+        from repro.ir.instructions import Call
+
+        # entry is a preheader here, but stream 9 matches nothing.
+        sched = Call(
+            VOID,
+            "tfm_prefetch_sched",
+            [f.blocks[0].instructions[0]] + [Constant(I64, x) for x in (0, 8, 512, 4, 9)],
+        )
+        entry.insert_before(term, sched)
+        assert SCHEDULE_FOR_OPAQUE_STREAM in perf_codes(m)
+
+
+class TestReportFiltering:
+    def _report(self):
+        return SanitizerReport(
+            module_name="m",
+            strict=True,
+            diagnostics=[
+                Diagnostic("TFM-S101", Severity.ERROR, "a", "main"),
+                Diagnostic("TFM-S201", Severity.WARNING, "b", "main"),
+                Diagnostic("TFM-P301", Severity.WARNING, "c", "main"),
+            ],
+        )
+
+    def test_select_prefix(self):
+        kept = self._report().filtered(select=["TFM-P"])
+        assert [d.code for d in kept.diagnostics] == ["TFM-P301"]
+
+    def test_ignore_prefix(self):
+        kept = self._report().filtered(ignore=["TFM-S2", "TFM-P"])
+        assert [d.code for d in kept.diagnostics] == ["TFM-S101"]
+
+    def test_ignore_changes_ok(self):
+        report = self._report()
+        assert not report.ok
+        assert report.filtered(ignore=["TFM-S101"]).ok
+
+    def test_as_dict_round_trips_through_json(self):
+        blob = json.loads(json.dumps(self._report().as_dict()))
+        assert blob["errors"] == 1
+        assert blob["diagnostics"][0]["code"] == "TFM-S101"
+        assert blob["diagnostics"][0]["severity"] == "error"
+
+
+class TestCLI:
+    def _write(self, tmp_path, module, name="m.ir"):
+        path = tmp_path / name
+        path.write_text(print_module(module))
+        return str(path)
+
+    def _bad_module(self):
+        """A heap load with no guard: strict-mode TFM-S101."""
+        m = Module("bad")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "malloc", [Constant(I64, 64)], name="p")
+        v = b.load(I64, p, name="v")
+        b.ret(v)
+        return m
+
+    def test_ignore_silences_exit_code(self, tmp_path, capsys):
+        path = self._write(tmp_path, self._bad_module())
+        assert sanitizer_cli([path]) == 1
+        capsys.readouterr()
+        assert sanitizer_cli(["--ignore", UNGUARDED_DEREF, path]) == 0
+
+    def test_select_keeps_only_matching(self, tmp_path, capsys):
+        path = self._write(tmp_path, self._bad_module())
+        rc = sanitizer_cli(["--select", "TFM-S2", path])
+        out = capsys.readouterr().out
+        assert rc == 0  # the S101 error is filtered out
+        assert UNGUARDED_DEREF not in out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = self._write(tmp_path, self._bad_module())
+        rc = sanitizer_cli(["--format", "json", path])
+        blob = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert blob[0]["file"] == path
+        assert blob[0]["errors"] >= 1
+        codes = {d["code"] for d in blob[0]["diagnostics"]}
+        assert UNGUARDED_DEREF in codes
+
+    def test_perf_flag_via_cli(self, tmp_path, capsys):
+        m = build_sum_loop(n=100)
+        path = self._write(tmp_path, m, "oblivious.ir")
+        rc = sanitizer_cli(
+            ["--no-strict", "--perf", "--object-size", "256", path]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # perf findings are warnings, not errors
+        assert OBLIVIOUS_NOT_PREFETCHED in out
+
+    def test_explain_includes_perf_codes(self, capsys):
+        assert sanitizer_cli(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in (
+            OBLIVIOUS_NOT_PREFETCHED,
+            HIGH_FETCH_AMPLIFICATION,
+            INVARIANT_GUARD_IN_LOOP,
+            SCHEDULE_FOR_OPAQUE_STREAM,
+        ):
+            assert code in out
+
+    def test_select_perf_only_json(self, tmp_path, capsys):
+        m = build_sum_loop(n=100)
+        path = self._write(tmp_path, m, "oblivious.ir")
+        rc = sanitizer_cli(
+            [
+                "--no-strict",
+                "--perf",
+                "--object-size",
+                "256",
+                "--select",
+                "TFM-P",
+                "--format",
+                "json",
+                path,
+            ]
+        )
+        blob = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        codes = {d["code"] for d in blob[0]["diagnostics"]}
+        assert codes and all(c.startswith("TFM-P") for c in codes)

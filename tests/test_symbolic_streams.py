@@ -1,0 +1,252 @@
+"""Affine address-stream extraction (repro.analysis.symbolic)."""
+
+import pytest
+
+from repro.analysis.loops import find_loops
+from repro.analysis.symbolic import SymbolicAddressAnalysis
+from repro.ir import IRBuilder, Module
+from repro.ir.instructions import Load, Store
+from repro.ir.types import I64, PTR
+from repro.ir.values import Constant
+
+from irprograms import build_sum_loop
+
+
+def _analyze(module):
+    func = module.get_function("main")
+    return func, SymbolicAddressAnalysis(func)
+
+
+def _loop_of(analysis, func):
+    loops = list(analysis.loop_info)
+    assert loops, "expected at least one loop"
+    return loops[0]
+
+
+def _only_load_stream(module):
+    func, analysis = _analyze(module)
+    loads = [i for i in func.instructions() if isinstance(i, Load)]
+    heap_loads = [i for i in loads if analysis.stream_of(i) is not None]
+    assert len(heap_loads) == 1
+    return analysis.stream_of(heap_loads[0])
+
+
+class TestUnitStrideLoop:
+    def test_sum_loop_stream(self):
+        m = build_sum_loop(n=100, elem=8)
+        stream = _only_load_stream(m)
+        assert stream.exact
+        assert stream.stride == 8
+        assert stream.offset == 0
+        assert stream.elem_size == 8
+        assert stream.trips == 100
+        assert stream.base is not None and stream.base.name == "p"
+
+    def test_span_and_used_bytes(self):
+        m = build_sum_loop(n=100, elem=8)
+        stream = _only_load_stream(m)
+        assert stream.span_bytes() == 800
+        assert stream.used_bytes() == 800
+        assert stream.byte_interval() == (0, 800)
+
+
+def build_strided_loop(n=64, elem=8, scale=4, start=0, offset_elems=0):
+    """for i = start; i < n; i++: sum += p[scale*i + offset_elems]."""
+    m = Module("strided")
+    f = m.add_function("main", I64)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    p = b.call(PTR, "malloc", [Constant(I64, n * elem * scale + 64)], name="p")
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(I64, name="i")
+    s = b.phi(I64, name="s")
+    b.condbr(b.icmp("slt", i, n), body, exit_)
+    b.set_block(body)
+    addr = b.gep(p, i, elem * scale, name="addr")
+    if offset_elems:
+        addr = b.gep(addr, offset_elems, elem, name="addr2")
+    v = b.load(I64, addr, name="v")
+    s2 = b.add(s, v)
+    i2 = b.add(i, 1, name="i2")
+    b.br(header)
+    i.add_incoming(Constant(I64, start), entry)
+    i.add_incoming(i2, body)
+    s.add_incoming(Constant(I64, 0), entry)
+    s.add_incoming(s2, body)
+    b.set_block(exit_)
+    b.ret(s)
+    return m
+
+
+class TestGepChains:
+    def test_scaled_stride(self):
+        stream = _only_load_stream(build_strided_loop(scale=4, elem=8))
+        assert stream.exact and stream.stride == 32 and stream.offset == 0
+
+    def test_constant_gep_offset_folds(self):
+        stream = _only_load_stream(build_strided_loop(scale=4, offset_elems=3))
+        assert stream.exact and stream.stride == 32 and stream.offset == 24
+
+    def test_nonzero_start_shifts_offset(self):
+        stream = _only_load_stream(build_strided_loop(scale=1, start=10))
+        assert stream.exact and stream.offset == 80 and stream.stride == 8
+        # trips: i = 10..63
+        assert stream.trips == 54
+
+    def test_update_operand_index_is_one_step_ahead(self):
+        """p[i+1] indexed via the IV's update instruction."""
+        m = Module("lookahead")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "malloc", [Constant(I64, 1024)], name="p")
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        b.condbr(b.icmp("slt", i, 100), body, exit_)
+        b.set_block(body)
+        i2 = b.add(i, 1, name="i2")
+        v = b.load(I64, b.gep(p, i2, 8, name="addr"), name="v")
+        del v
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        func, analysis = _analyze(m)
+        load = next(j for j in func.instructions() if isinstance(j, Load))
+        stream = analysis.stream_of(load)
+        assert stream is not None and stream.exact
+        assert stream.offset == 8 and stream.stride == 8
+
+
+class TestPointerIV:
+    def test_pointer_phi_stream(self):
+        m = Module("ptr-iv")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        base = b.call(PTR, "malloc", [Constant(I64, 512)], name="base")
+        end = b.gep(base, 64, 8, name="end")
+        b.br(header)
+        b.set_block(header)
+        p = b.phi(PTR, name="p")
+        b.condbr(b.icmp("ne", p, end), body, exit_)
+        b.set_block(body)
+        v = b.load(I64, p, name="v")
+        del v
+        p2 = b.gep(p, 1, 8, name="p2")
+        b.br(header)
+        p.add_incoming(base, entry)
+        p.add_incoming(p2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        func, analysis = _analyze(m)
+        load = next(i for i in func.instructions() if isinstance(i, Load))
+        stream = analysis.stream_of(load)
+        assert stream is not None and stream.exact
+        assert stream.base is base and stream.stride == 8 and stream.offset == 0
+
+
+class TestOpaqueAndPartial:
+    def test_loaded_pointer_is_opaque(self):
+        """*q where q is loaded inside the loop: pointer chase."""
+        m = Module("chase")
+        f = m.add_function("main", I64)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "malloc", [Constant(I64, 512)], name="p")
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        b.condbr(b.icmp("slt", i, 8), body, exit_)
+        b.set_block(body)
+        q = b.load(PTR, b.gep(p, i, 8), name="q")
+        v = b.load(I64, q, name="v")
+        del v
+        i2 = b.add(i, 1, name="i2")
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        func, analysis = _analyze(m)
+        loads = [j for j in func.instructions() if isinstance(j, Load)]
+        by_name = {ld.name: analysis.stream_of(ld) for ld in loads}
+        assert by_name["q"] is not None  # p[i] itself is affine
+        assert by_name["v"] is None  # *q is opaque
+
+    def test_loop_invariant_unknown_index_is_partial(self):
+        """p[k + i] with k a function argument: stride known, start not."""
+        m = Module("partial")
+        f = m.add_function("main", I64, [I64], ["k"])
+        k = f.args[0]
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        p = b.call(PTR, "malloc", [Constant(I64, 4096)], name="p")
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I64, name="i")
+        b.condbr(b.icmp("slt", i, 16), body, exit_)
+        b.set_block(body)
+        off = b.gep(p, k, 8, name="off")
+        v = b.load(I64, b.gep(off, i, 8, name="addr"), name="v")
+        del v
+        i2 = b.add(i, 1, name="i2")
+        b.br(header)
+        i.add_incoming(Constant(I64, 0), entry)
+        i.add_incoming(i2, body)
+        b.set_block(exit_)
+        b.ret(0)
+        func, analysis = _analyze(m)
+        load = next(j for j in func.instructions() if isinstance(j, Load))
+        stream = analysis.stream_of(load)
+        assert stream is not None
+        assert not stream.exact
+        assert stream.stride == 8
+
+    def test_store_streams_are_derived_too(self):
+        from irprograms import build_write_then_sum
+
+        m = build_write_then_sum(n=50)
+        func, analysis = _analyze(m)
+        stores = [i for i in func.instructions() if isinstance(i, Store)]
+        streams = [analysis.stream_of(s) for s in stores]
+        assert all(st is not None and st.exact and st.stride == 8 for st in streams)
+        assert all(st.is_write for st in streams)
+
+
+class TestPostTransformIR:
+    def test_streams_survive_chunk_transform(self):
+        from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+
+        m = build_sum_loop(n=200, elem=8)
+        TrackFMCompiler(
+            CompilerConfig(object_size=256, chunking=ChunkingPolicy.ALL)
+        ).compile(m)
+        func = m.get_function("main")
+        analysis = SymbolicAddressAnalysis(func)
+        loads = [
+            i
+            for i in func.instructions()
+            if isinstance(i, Load) and analysis.stream_of(i) is not None
+        ]
+        assert loads, "chunked load should still have an affine stream"
+        stream = analysis.stream_of(loads[0])
+        assert stream.exact and stream.stride == 8 and stream.trips == 200
