@@ -323,6 +323,31 @@ class ObjectPool:
         self.residency.discard(obj_id)
         self._set_remote(obj_id)
 
+    def expel(self, obj_id: int) -> float:
+        """Forcibly evict one resident object; returns app-visible cycles.
+
+        The quota/migration path (``repro.serve``): the object leaves
+        local memory *now*, with a dirty writeback driven through the
+        evacuator (so deferral, journaling and fault accounting all
+        behave exactly as for capacity evictions).  A non-resident or
+        pinned object is left alone (pins outrank quotas, as they
+        outrank the evacuator).
+        """
+        self._check_id(obj_id)
+        if obj_id not in self.residency or self.residency.is_pinned(obj_id):
+            return 0.0
+        dirty = self.residency.is_dirty(obj_id)
+        self.residency.discard(obj_id)
+        self._set_remote(obj_id)
+        cycles = self.evacuator.process([(obj_id, dirty)], self.metrics)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.evict(
+                self.object_size, self.metrics.cycles,
+                n=1, dirty=1 if dirty else 0, name="expel",
+            )
+        return cycles
+
     # -- crash recovery (repro.integrity.RecoveryManager hooks) ---------------
 
     def reinstate_dirty(self, obj_id: int) -> float:

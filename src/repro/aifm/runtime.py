@@ -95,6 +95,14 @@ class AIFMRuntime:
         else:
             self.pool.degraded_handler = lambda _obj_id: stall_cycles
 
+    def remote_backends(self) -> tuple:
+        """Every far node this runtime talks to (one: the pool's).
+
+        Uniform across the four runtimes; the serving layer uses it to
+        treat each shard's backends as one fault domain.
+        """
+        return (self.pool.backend,)
+
     @property
     def tracer(self):
         return self.pool.tracer

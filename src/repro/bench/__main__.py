@@ -93,6 +93,11 @@ def main(argv=None) -> int:
         from repro.bench.prefetch_regress import main as pprefetch_main
 
         return pprefetch_main(argv[1:])
+    if argv and argv[0] == "serving":
+        # Sharded serving-layer curves + baseline gate: same convention.
+        from repro.bench.serving import main as serving_main
+
+        return serving_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

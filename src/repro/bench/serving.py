@@ -1,0 +1,298 @@
+"""Serving-layer benchmark + baseline gate: ``python -m repro.bench serving``.
+
+Sweeps the sharded serving simulation over a client-count × shard-count
+matrix ({100, 1k, 10k} open-loop clients against {1, 4, 16} far-node
+shards) plus one chaos cell (4 shards, one knocked out mid-run and
+rebalanced away), and reports throughput and p50/p95/p99 end-to-end
+latency per cell.
+
+Every cell is a deterministic discrete-event simulation — seeded
+arrivals, seeded Zipf keys, seeded fault schedules — so the full
+:class:`~repro.serve.simulation.ServingReport` is bit-identical across
+reruns.  That is what the baseline gate exploits: baselines are the
+*exact* report dictionaries, compared with ``==`` and no tolerance::
+
+    python -m repro.bench serving            # print the curves
+    python -m repro.bench serving --record   # (re)write baselines
+    python -m repro.bench serving --check    # gate (CI runs this)
+
+Baselines live in ``benchmarks/baselines/BENCH_serving_*.json`` — one
+file per client count plus one for the chaos cell.  Re-record after an
+intentional serving-layer change and commit the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.serve.cluster import ClusterConfig, ShardedCluster
+from repro.serve.simulation import ChaosAction, ServingSimulation
+from repro.serve.traffic import TrafficConfig, generate_schedule
+
+#: The acceptance matrix.
+CLIENT_COUNTS = (100, 1_000, 10_000)
+SHARD_COUNTS = (1, 4, 16)
+
+#: Total requests per cell (split across the cell's clients) — enough
+#: to queue meaningfully, small enough that the full sweep is seconds.
+TOTAL_REQUESTS = 10_000
+
+#: Keyspace and per-shard sizing: 4096 keys x 8 B = 32 KB of slots per
+#: shard worst-case vs 4 KB local — a single shard runs memory-starved,
+#: sixteen shards run resident, which is the curve the sweep shows.
+N_KEYS = 4096
+LOCAL_MEMORY = 4 * 1024
+
+#: The cell seed: every schedule and cluster derives from this.
+SEED = 2024
+
+#: Chaos cell shape: 4 shards, shard 1 dies at 40% of the run and is
+#: rebalanced away at 70%.
+CHAOS_SHARDS = 4
+CHAOS_LOSE_FRACTION = 0.4
+CHAOS_REBALANCE_FRACTION = 0.7
+CHAOS_LOST_SHARD = 1
+
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+RUNTIME_KIND = "trackfm"
+
+
+def _traffic(clients: int) -> TrafficConfig:
+    return TrafficConfig(
+        clients=clients,
+        requests_per_client=max(1, TOTAL_REQUESTS // clients),
+        n_keys=N_KEYS,
+        seed=SEED,
+    )
+
+
+def _cluster(n_shards: int) -> ShardedCluster:
+    return ShardedCluster(
+        ClusterConfig(
+            n_shards=n_shards,
+            n_keys=N_KEYS,
+            runtime=RUNTIME_KIND,
+            local_memory=LOCAL_MEMORY,
+            seed=SEED,
+        )
+    )
+
+
+def run_cell(clients: int, n_shards: int) -> Dict[str, object]:
+    """One fault-free matrix cell; returns the exact report dict."""
+    schedule = generate_schedule(_traffic(clients))
+    report = ServingSimulation(_cluster(n_shards), schedule).run()
+    return report.to_dict()
+
+
+def run_chaos_cell(clients: int = 1_000) -> Dict[str, object]:
+    """The knockout cell: lose one of four shards mid-run, rebalance,
+    and still finish — the report's degraded/reseeded counters are part
+    of the pinned baseline (exact retry/degrade accounting)."""
+    schedule = generate_schedule(_traffic(clients))
+    end = float(schedule.times[-1])
+    chaos = (
+        ChaosAction(end * CHAOS_LOSE_FRACTION, "lose", CHAOS_LOST_SHARD),
+        ChaosAction(end * CHAOS_REBALANCE_FRACTION, "rebalance"),
+    )
+    report = ServingSimulation(_cluster(CHAOS_SHARDS), schedule, chaos).run()
+    return report.to_dict()
+
+
+def measure_client_count(clients: int) -> Dict[str, object]:
+    """All shard counts for one client count (one baseline file)."""
+    return {
+        "bench": f"serving_c{clients}",
+        "clients": clients,
+        "runtime": RUNTIME_KIND,
+        "cells": {
+            f"shards_{s}": run_cell(clients, s) for s in SHARD_COUNTS
+        },
+    }
+
+
+def measure_chaos() -> Dict[str, object]:
+    return {
+        "bench": "serving_chaos",
+        "clients": 1_000,
+        "runtime": RUNTIME_KIND,
+        "cells": {"knockout": run_chaos_cell()},
+    }
+
+
+def _bench_names() -> List[str]:
+    return [f"c{c}" for c in CLIENT_COUNTS] + ["chaos"]
+
+
+def measure(name: str) -> Dict[str, object]:
+    if name == "chaos":
+        return measure_chaos()
+    return measure_client_count(int(name[1:]))
+
+
+def baseline_path(baseline_dir: Path, name: str) -> Path:
+    return Path(baseline_dir) / f"BENCH_serving_{name}.json"
+
+
+def record_baselines(
+    baseline_dir: Path, benches: Optional[List[str]] = None
+) -> List[Path]:
+    baseline_dir = Path(baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in benches or _bench_names():
+        path = baseline_path(baseline_dir, name)
+        path.write_text(json.dumps(measure(name), indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def check_baselines(
+    baseline_dir: Path, benches: Optional[List[str]] = None
+) -> Dict[str, object]:
+    """Re-measure every cell and compare exactly (no tolerance).
+
+    The simulation is a pure function of its seeds, so any diff is a
+    semantic change in the serving stack, never noise.
+    """
+    report: Dict[str, object] = {"benches": {}, "ok": True}
+    for name in benches or _bench_names():
+        path = baseline_path(Path(baseline_dir), name)
+        entry: Dict[str, object] = {"baseline": str(path)}
+        report["benches"][name] = entry  # type: ignore[index]
+        if not path.exists():
+            entry["status"] = "missing-baseline"
+            entry["hint"] = "run: python -m repro.bench serving --record"
+            report["ok"] = False
+            continue
+        baseline = json.loads(path.read_text())
+        measured = measure(name)
+        if measured != baseline:
+            diffs = _diff_cells(baseline.get("cells", {}), measured.get("cells", {}))
+            entry["status"] = "mismatch"
+            entry["diff"] = diffs
+            report["ok"] = False
+            continue
+        entry["status"] = "ok"
+    return report
+
+
+def _diff_cells(
+    expected: Dict[str, object], got: Dict[str, object]
+) -> Dict[str, object]:
+    """Per-cell, per-field diff so a gate failure names the drift."""
+    out: Dict[str, object] = {}
+    for cell in sorted(set(expected) | set(got)):
+        e, g = expected.get(cell), got.get(cell)
+        if e == g:
+            continue
+        if not isinstance(e, dict) or not isinstance(g, dict):
+            out[cell] = {"expected": e, "got": g}
+            continue
+        fields = {
+            key: {"expected": e.get(key), "got": g.get(key)}
+            for key in sorted(set(e) | set(g))
+            if e.get(key) != g.get(key)
+        }
+        out[cell] = fields
+    return out
+
+
+# -- human-readable curves ----------------------------------------------------
+
+
+def curves_text() -> str:
+    """The throughput/latency matrix as a text table."""
+    lines = [
+        "serving: open-loop clients vs far-node shards "
+        f"({RUNTIME_KIND} shards, {TOTAL_REQUESTS} requests/cell, "
+        f"{N_KEYS} keys, seed {SEED})",
+        "",
+        f"{'clients':>8} {'shards':>7} {'req/Mcyc':>10} "
+        f"{'p50':>9} {'p95':>10} {'p99':>11} {'degraded':>9}",
+    ]
+    for clients in CLIENT_COUNTS:
+        for shards in SHARD_COUNTS:
+            cell = run_cell(clients, shards)
+            p = cell["latency_percentiles"]
+            lines.append(
+                f"{clients:>8} {shards:>7} {cell['throughput_per_mcycle']:>10.1f} "
+                f"{p['p50']:>9.0f} {p['p95']:>10.0f} {p['p99']:>11.0f} "
+                f"{cell['degraded_requests']:>9}"
+            )
+    chaos = run_chaos_cell()
+    p = chaos["latency_percentiles"]
+    lines.append(
+        f"{1000:>8} {'4-1':>7} {chaos['throughput_per_mcycle']:>10.1f} "
+        f"{p['p50']:>9.0f} {p['p95']:>10.0f} {p['p99']:>11.0f} "
+        f"{chaos['degraded_requests']:>9}  <- knockout + rebalance"
+    )
+    stats = chaos["cluster_stats"]
+    lines.append(
+        f"\nchaos cell: {stats['reseeded_keys']} keys re-seeded after losing "
+        f"shard {CHAOS_LOST_SHARD} of {CHAOS_SHARDS}; run completed with "
+        f"{chaos['degraded_requests']} degraded requests"
+    )
+    return "\n".join(lines)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench serving",
+        description="Serving-layer curves and their exact baseline gate.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--record", action="store_true", help="measure and (re)write baselines"
+    )
+    mode.add_argument(
+        "--check", action="store_true", help="gate against recorded baselines"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help=f"baseline directory (default: {DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=_bench_names(),
+        help="restrict to one bench (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also write the check report JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.record:
+        for path in record_baselines(args.baseline_dir, args.bench):
+            print(f"recorded {path}")
+        return 0
+    if args.check:
+        report = check_baselines(args.baseline_dir, args.bench)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        for name, entry in report["benches"].items():  # type: ignore[union-attr]
+            status = entry["status"]
+            line = f"serving_{name}: {status}"
+            if status == "mismatch":
+                line += f"  diff cells: {sorted(entry['diff'])}"
+            print(line, file=sys.stderr if status != "ok" else sys.stdout)
+        return 0 if report["ok"] else 1
+
+    print(curves_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -180,6 +180,14 @@ class FastswapRuntime:
         else:
             self.degraded_handler = lambda _page: stall_cycles
 
+    def remote_backends(self) -> Tuple[RemoteBackend, ...]:
+        """Every far node this runtime talks to (one: the swap target).
+
+        Uniform across the four runtimes; the serving layer uses it to
+        treat each shard's backends as one fault domain.
+        """
+        return (self.backend,)
+
     @property
     def page_size(self) -> int:
         return self.config.page_size

@@ -57,6 +57,8 @@ class HybridRuntime:
         heap_size: int,
         object_size: int = 256,
         page_fraction: float = 0.5,
+        object_backend=None,
+        page_backend=None,
     ) -> None:
         if not 0.0 < page_fraction < 1.0:
             raise RuntimeConfigError("page_fraction must be in (0, 1)")
@@ -67,10 +69,12 @@ class HybridRuntime:
                 object_size=object_size,
                 local_memory=object_local,
                 heap_size=heap_size,
-            )
+            ),
+            backend=object_backend,
         )
         self.fastswap = FastswapRuntime(
-            FastswapConfig(local_memory=page_local, heap_size=heap_size)
+            FastswapConfig(local_memory=page_local, heap_size=heap_size),
+            backend=page_backend,
         )
         self.page_fraction = page_fraction
         self._handles: Dict[int, HybridHandle] = {}
@@ -112,6 +116,14 @@ class HybridRuntime:
     @property
     def tracer(self):
         return self.trackfm.tracer
+
+    def remote_backends(self) -> tuple:
+        """Both tiers' far nodes (object pool first, then swap target).
+
+        Uniform across the four runtimes; a hybrid shard is one fault
+        domain spanning two links, so losing the shard must arm both.
+        """
+        return self.trackfm.remote_backends() + self.fastswap.remote_backends()
 
     # -- allocation -----------------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.net.backends import (
     RdmaBackend,
     make_tcp_backend,
     make_rdma_backend,
+    make_shard_backend,
 )
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "RdmaBackend",
     "make_tcp_backend",
     "make_rdma_backend",
+    "make_shard_backend",
     "FaultPlan",
     "FaultSchedule",
     "FaultStats",

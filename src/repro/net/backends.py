@@ -286,3 +286,52 @@ def make_rdma_backend() -> RdmaBackend:
         per_message_cycles=RDMA_PER_MESSAGE_CYCLES,
     )
     return _apply_default_faults(RdmaBackend(link, name="rdma"))
+
+
+#: Seed salt mixed into a shard's fault-plan seed so every shard of a
+#: cluster replays an *independent* (but still deterministic) schedule.
+SHARD_SEED_SALT = 0x5EED_5A17
+
+
+def make_shard_backend(kind: str, shard_id: int, plan=None) -> RemoteBackend:
+    """A far node for one shard: its own link, schedule, policy, breaker.
+
+    Shards are independent fault domains: nothing mutable is shared
+    between two shards' backends, and when a ``plan`` is given each
+    shard rolls it under a seed derived from ``(plan.seed, shard_id)``
+    — so shard 3 of an 8-shard cluster sees the same fault sequence on
+    every run, regardless of what the other shards do.
+
+    Unlike the process-default factories, the retry policy and breaker
+    are *always* armed (even with no plan): a serving cluster must be
+    able to lose a shard mid-run, and the loss path runs through the
+    retry/breaker machinery.
+    """
+    if kind == "tcp":
+        backend: RemoteBackend = TcpBackend(
+            NetworkLink(
+                latency_cycles=TCP_LATENCY_CYCLES,
+                bytes_per_cycle=BYTES_PER_CYCLE_25G,
+                per_message_cycles=TCP_PER_MESSAGE_CYCLES,
+            ),
+            name=f"tcp-shard{shard_id}",
+        )
+    elif kind == "rdma":
+        backend = RdmaBackend(
+            NetworkLink(
+                latency_cycles=RDMA_LATENCY_CYCLES,
+                bytes_per_cycle=BYTES_PER_CYCLE_25G,
+                per_message_cycles=RDMA_PER_MESSAGE_CYCLES,
+            ),
+            name=f"rdma-shard{shard_id}",
+        )
+    else:
+        raise ValueError(f"unknown backend kind {kind!r} (want 'tcp' or 'rdma')")
+    seed = shard_id ^ SHARD_SEED_SALT
+    if plan is not None and not plan.is_noop:
+        shard_plan = plan.reseeded(plan.seed ^ seed)
+        backend.link.faults = shard_plan.schedule()
+        seed = shard_plan.seed
+    backend.retry_policy = RetryPolicy(seed=seed)
+    backend.breaker = CircuitBreaker()
+    return backend

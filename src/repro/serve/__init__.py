@@ -1,0 +1,47 @@
+"""``repro.serve``: the sharded multi-far-node serving layer.
+
+One logical object pool spread across N far nodes: consistent-hash
+placement (:mod:`~repro.serve.ring`), deterministic open-loop traffic
+(:mod:`~repro.serve.traffic`), per-shard fault domains and tenant
+quotas (:mod:`~repro.serve.cluster`), and a discrete-event simulation
+that measures end-to-end latency under load and under shard loss
+(:mod:`~repro.serve.simulation`).  See ``docs/serving.md``.
+"""
+
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterStats,
+    RequestResult,
+    Shard,
+    ShardedCluster,
+    default_value,
+    next_value,
+)
+from repro.serve.ring import HashRing, hash_key, moved_keys
+from repro.serve.simulation import (
+    ChaosAction,
+    ServingReport,
+    ServingSimulation,
+    run_serving,
+)
+from repro.serve.traffic import Schedule, TrafficConfig, generate_schedule
+
+__all__ = [
+    "ChaosAction",
+    "ClusterConfig",
+    "ClusterStats",
+    "HashRing",
+    "RequestResult",
+    "Schedule",
+    "ServingReport",
+    "ServingSimulation",
+    "Shard",
+    "ShardedCluster",
+    "TrafficConfig",
+    "default_value",
+    "generate_schedule",
+    "hash_key",
+    "moved_keys",
+    "next_value",
+    "run_serving",
+]

@@ -1,0 +1,550 @@
+"""The sharded cluster: one logical object pool across N far nodes.
+
+Each shard is a complete far-memory stack — its own runtime (any of the
+four models), its own :class:`~repro.net.backends.RemoteBackend` with a
+private retry policy and circuit breaker, its own metrics bundle and
+latency histogram.  Nothing mutable is shared between shards, which is
+what makes a shard an *independent fault domain*: arming a dead fault
+schedule on shard 3's link (``lose_shard``) trips only shard 3's
+breaker, degrades only shard 3's requests, and leaves the other shards'
+deterministic schedules untouched.
+
+Keys are placed by the consistent-hash ring (``repro.serve.ring``);
+each shard lazily assigns arriving keys to slots in its own heap, so a
+shard only pays local-memory pressure for keys it actually owns.
+
+**Data semantics.**  Each shard's key-value store models the far node's
+durable contents.  Losing a shard loses its data: requests for its keys
+are served *degraded* (stale reads, non-durable writes — counted in
+``degraded_accesses``) until ``rebalance()`` removes it from the ring
+and re-seeds its keys onto survivors from their initial values
+(restore from a cold replica).  Keys on surviving shards never notice:
+the chaos suite pins that their values are bit-identical to a
+fault-free run.  Joining a shard moves keys *to* it; moved keys that
+are resident on a surviving source are migrated through the source
+pool's evacuator (dirty ones cross the wire).
+
+**Tenant quotas.**  Per-tenant local-memory quotas bound how much of a
+shard's residency one tenant can hold: when a tenant exceeds its
+object budget, its least-recently-used object is expelled through the
+evacuator.  Quotas apply to object-granular tiers (AIFM, TrackFM, the
+hybrid's object side); the kernel-paging tier has no per-tenant view,
+exactly as a real cgroup-per-machine deployment would.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import RuntimeConfigError
+from repro.machine.costs import AccessKind
+from repro.net.backends import make_shard_backend
+from repro.net.faults import FaultPlan
+from repro.sim.metrics import Metrics
+from repro.trace.histogram import StreamingHistogram
+from repro.trace.tracer import NULL_TRACER
+from repro.serve.ring import HashRing, _splitmix64
+from repro.units import BASE_PAGE, KB, align_up
+
+#: Bytes per key slot (one 64-bit value per key).
+SLOT_BYTES = 8
+
+#: Stall charged per degraded access on a lost shard (same knob as the
+#: trace drivers' degraded mode).
+DEGRADED_STALL_CYCLES = 1_000.0
+
+_MASK64 = (1 << 64) - 1
+
+RUNTIME_KINDS = ("aifm", "trackfm", "fastswap", "hybrid")
+
+
+def default_value(key: int) -> int:
+    """The value every key starts with (and re-seeds to after data loss)."""
+    return _splitmix64((key << 8) ^ 0xD1CE) & 0x7FFFFFFF
+
+
+def next_value(key: int, previous: int) -> int:
+    """The value after one write — pure in ``(key, previous)``, so a
+    key's value is a function of how many writes reached durable state."""
+    return (previous * 1009 + key + 1) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Sizing and policy for one sharded serving cluster."""
+
+    n_shards: int
+    #: Distinct keys the cluster serves.
+    n_keys: int
+    #: Which runtime model each shard runs (``RUNTIME_KINDS``).
+    runtime: str = "aifm"
+    #: AIFM object size within each shard's pool.
+    object_size: int = 256
+    #: Local memory per shard (the constraint quotas carve up).
+    local_memory: int = 8 * KB
+    #: Per-tenant residency budget in bytes per shard (None = no quota).
+    tenant_quota_bytes: Optional[int] = None
+    #: Virtual nodes per shard on the placement ring.
+    vnodes: int = 128
+    seed: int = 0
+    #: Optional base fault plan; each shard replays it under its own
+    #: derived seed (independent fault domains).
+    fault_plan: Optional[FaultPlan] = None
+    degraded_stall_cycles: float = DEGRADED_STALL_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise RuntimeConfigError("n_shards must be >= 1")
+        if self.n_keys < 1:
+            raise RuntimeConfigError("n_keys must be >= 1")
+        if self.runtime not in RUNTIME_KINDS:
+            raise RuntimeConfigError(
+                f"unknown runtime kind {self.runtime!r}; have {RUNTIME_KINDS}"
+            )
+        if self.tenant_quota_bytes is not None and self.tenant_quota_bytes < self.object_size:
+            raise RuntimeConfigError("tenant quota smaller than one object")
+
+    @property
+    def shard_heap_bytes(self) -> int:
+        """Each shard's heap must be able to host *every* key: after
+        enough losses one survivor may own the whole keyspace."""
+        return align_up(max(self.n_keys * SLOT_BYTES, self.object_size), self.object_size)
+
+    @property
+    def tenant_quota_objects(self) -> Optional[int]:
+        if self.tenant_quota_bytes is None:
+            return None
+        return max(1, self.tenant_quota_bytes // self.object_size)
+
+
+class Shard:
+    """One far node: a runtime, its fault domain, and its key slots."""
+
+    def __init__(self, shard_id: int, config: ClusterConfig) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.lost = False
+        #: key -> heap offset of its slot in this shard's heap.
+        self.slots: Dict[int, int] = {}
+        #: The far node's durable contents (key -> value).
+        self.store: Dict[int, int] = {}
+        #: End-to-end request latency (queue wait + service), cycles.
+        self.latency = StreamingHistogram()
+        self.requests = 0
+        #: Per-tenant residency tracking for quota enforcement:
+        #: obj -> owning tenant, and per tenant an LRU of its objects.
+        self._obj_tenant: Dict[int, int] = {}
+        self._tenant_lru: Dict[int, OrderedDict] = {}
+        self._build_runtime()
+
+    # -- runtime adapters ---------------------------------------------------
+
+    def _build_runtime(self) -> None:
+        config = self.config
+        plan = config.fault_plan
+        heap = config.shard_heap_bytes
+        if config.runtime == "aifm":
+            from repro.aifm.pool import PoolConfig
+            from repro.aifm.runtime import AIFMRuntime
+
+            self.runtime = AIFMRuntime(
+                PoolConfig(
+                    object_size=config.object_size,
+                    local_memory=config.local_memory,
+                    heap_size=heap,
+                ),
+                backend=make_shard_backend("tcp", self.shard_id, plan),
+            )
+            self.runtime.allocate(heap)
+            self._base = 0
+        elif config.runtime == "trackfm":
+            from repro.aifm.pool import PoolConfig
+            from repro.trackfm.runtime import TrackFMRuntime
+
+            self.runtime = TrackFMRuntime(
+                PoolConfig(
+                    object_size=config.object_size,
+                    local_memory=config.local_memory,
+                    heap_size=heap,
+                ),
+                backend=make_shard_backend("tcp", self.shard_id, plan),
+            )
+            self._base = self.runtime.tfm_malloc(heap)
+        elif config.runtime == "fastswap":
+            from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
+
+            # The kernel-paging tier needs at least one page of both
+            # local memory and heap, whatever the cluster sizing says.
+            page_heap = max(heap, BASE_PAGE)
+            self.runtime = FastswapRuntime(
+                FastswapConfig(
+                    local_memory=max(config.local_memory, BASE_PAGE),
+                    heap_size=page_heap,
+                ),
+                backend=make_shard_backend("rdma", self.shard_id, plan),
+            )
+            self._base = self.runtime.allocate(heap)
+        else:  # hybrid
+            from repro.hybrid.runtime import HybridRuntime, Placement
+
+            page_heap = max(heap, BASE_PAGE)
+            self.runtime = HybridRuntime(
+                local_memory=max(config.local_memory, 2 * BASE_PAGE),
+                heap_size=page_heap,
+                object_size=config.object_size,
+                object_backend=make_shard_backend("tcp", self.shard_id, plan),
+                page_backend=make_shard_backend("rdma", self.shard_id, plan),
+            )
+            half = max(config.object_size, align_up(heap // 2, config.object_size))
+            self._obj_handle = self.runtime.allocate(half, Placement.OBJECTS)
+            self._page_handle = self.runtime.allocate(max(heap - half, SLOT_BYTES), Placement.PAGES)
+            self._obj_half = half
+            self._base = 0
+        self._enable_degraded()
+
+    def _enable_degraded(self) -> None:
+        stall = self.config.degraded_stall_cycles
+        runtime = self.runtime
+        if self.config.runtime == "hybrid":
+            # The object tier's own rung is the page-tier fallback; the
+            # page tier still needs a local degraded mode for a total
+            # shard outage.
+            runtime.fastswap.enable_degraded_mode(stall_cycles=stall)
+        else:
+            runtime.enable_degraded_mode(stall_cycles=stall)
+
+    @property
+    def pool(self):
+        """The shard's object pool, if its runtime kind has one."""
+        if self.config.runtime in ("aifm", "trackfm"):
+            return self.runtime.pool
+        if self.config.runtime == "hybrid":
+            return self.runtime.trackfm.pool
+        return None
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.runtime.metrics
+
+    def set_tracer(self, tracer) -> None:
+        self.runtime.set_tracer(tracer)
+
+    # -- slots --------------------------------------------------------------
+
+    def slot_of(self, key: int) -> int:
+        """Heap offset of ``key``'s slot (assigned on first placement)."""
+        offset = self.slots.get(key)
+        if offset is None:
+            offset = len(self.slots) * SLOT_BYTES
+            if offset + SLOT_BYTES > self.config.shard_heap_bytes:
+                raise RuntimeConfigError(
+                    f"shard {self.shard_id} heap exhausted at key {key}"
+                )
+            self.slots[key] = offset
+        return offset
+
+    def drop_key(self, key: int) -> None:
+        """Forget a key that moved away (its slot is not reused)."""
+        self.slots.pop(key, None)
+        self.store.pop(key, None)
+
+    # -- the service path ---------------------------------------------------
+
+    def service(self, key: int, kind: AccessKind, tenant: int) -> float:
+        """One request against this far node; returns service cycles."""
+        offset = self.slot_of(key)
+        runtime = self.runtime
+        if self.config.runtime == "hybrid":
+            if offset < self._obj_half:
+                cycles = runtime.access(self._obj_handle, offset, kind, SLOT_BYTES)
+            else:
+                cycles = runtime.access(
+                    self._page_handle, offset - self._obj_half, kind, SLOT_BYTES
+                )
+        elif self.config.runtime == "trackfm":
+            cycles = runtime.access(self._base + offset, kind, SLOT_BYTES)
+        else:
+            cycles = runtime.access(self._base + offset, kind, size=SLOT_BYTES)
+        cycles += self._enforce_quota(tenant, offset)
+        return cycles
+
+    # -- tenant quotas ------------------------------------------------------
+
+    def _enforce_quota(self, tenant: int, offset: int) -> float:
+        quota = self.config.tenant_quota_objects
+        pool = self.pool
+        if quota is None or pool is None:
+            return 0.0
+        if self.config.runtime == "hybrid" and offset >= self._obj_half:
+            # Page-tier slots have no per-tenant view (kernel paging).
+            return 0.0
+        obj_id = offset // self.config.object_size
+        previous = self._obj_tenant.get(obj_id)
+        if previous is not None and previous != tenant:
+            self._tenant_lru.get(previous, OrderedDict()).pop(obj_id, None)
+        self._obj_tenant[obj_id] = tenant
+        lru = self._tenant_lru.setdefault(tenant, OrderedDict())
+        lru.pop(obj_id, None)
+        lru[obj_id] = None
+        cycles = 0.0
+        while len(lru) > quota:
+            victim, _ = lru.popitem(last=False)
+            self._obj_tenant.pop(victim, None)
+            cycles += pool.expel(victim)
+        return cycles
+
+    def tenant_residency(self, tenant: int) -> int:
+        """Objects currently attributed to ``tenant`` (quota view)."""
+        return len(self._tenant_lru.get(tenant, ()))
+
+    # -- fault domain -------------------------------------------------------
+
+    def remote_backends(self) -> tuple:
+        return self.runtime.remote_backends()
+
+    def knock_out(self) -> None:
+        """Arm a dead fault schedule on every link of this shard."""
+        dead = FaultPlan(seed=self.shard_id ^ 0xDEAD, drop_rate=1.0)
+        for backend in self.remote_backends():
+            backend.link.faults = dead.schedule()
+        self.lost = True
+
+    def record_latency(self, latency_cycles: float) -> None:
+        self.requests += 1
+        self.latency.record(latency_cycles)
+
+
+@dataclass
+class RequestResult:
+    """What one served request did."""
+
+    shard_id: int
+    value: int
+    service_cycles: float
+    degraded: bool
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-level event counters (shard metrics live on the shards)."""
+
+    requests: int = 0
+    degraded_requests: int = 0
+    lost_shards: int = 0
+    rebalances: int = 0
+    #: Keys re-seeded onto survivors after a shard loss (data restored
+    #: from initial values — the cold-replica model).
+    reseeded_keys: int = 0
+    #: Keys migrated survivor → survivor through the evacuator (joins).
+    migrated_keys: int = 0
+    migration_cycles: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "degraded_requests": self.degraded_requests,
+            "lost_shards": self.lost_shards,
+            "rebalances": self.rebalances,
+            "reseeded_keys": self.reseeded_keys,
+            "migrated_keys": self.migrated_keys,
+            "migration_cycles": self.migration_cycles,
+        }
+
+
+class ShardedCluster:
+    """N shards behind one consistent-hash ring."""
+
+    def __init__(self, config: ClusterConfig, tracer=None) -> None:
+        self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.shards: Dict[int, Shard] = {
+            sid: Shard(sid, config) for sid in range(config.n_shards)
+        }
+        self.ring = HashRing(
+            sorted(self.shards), vnodes=config.vnodes, seed=config.seed
+        )
+        #: Cached placement (kept exactly consistent with the ring).
+        self._owner: Dict[int, int] = {}
+        self.stats = ClusterStats()
+        self._next_shard_id = config.n_shards
+        if tracer is not None:
+            self.set_tracer(tracer)
+
+    def set_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        for shard in self.shards.values():
+            shard.set_tracer(tracer)
+
+    # -- placement ----------------------------------------------------------
+
+    def place(self, key: int) -> int:
+        sid = self._owner.get(key)
+        if sid is None:
+            sid = self.ring.place(key)
+            self._owner[key] = sid
+        return sid
+
+    def live_shards(self) -> List[int]:
+        return [sid for sid, shard in sorted(self.shards.items()) if not shard.lost]
+
+    # -- the request path ---------------------------------------------------
+
+    def serve(self, key: int, tenant: int = 0, write: bool = False) -> RequestResult:
+        """Serve one request; returns value + service cycles.
+
+        Never raises for a lost shard: the shard's runtime runs in
+        degraded mode, so the request completes with a stall and is
+        counted in ``degraded_accesses`` (reads are stale, writes are
+        not durable — they die with the shard at rebalance).
+        """
+        if key < 0 or key >= self.config.n_keys:
+            raise RuntimeConfigError(
+                f"key {key} outside [0, {self.config.n_keys})"
+            )
+        sid = self.place(key)
+        shard = self.shards[sid]
+        kind = AccessKind.WRITE if write else AccessKind.READ
+        degraded_before = shard.metrics.degraded_accesses
+        cycles = shard.service(key, kind, tenant)
+        # Degraded = the request could not use the far node as intended:
+        # its remote path fell back locally (counted by the runtime), or
+        # it was a write to a lost shard (acknowledged, not durable).
+        # A read that hits host-local residency is *correct* even while
+        # the far node is down — not degraded.
+        degraded = shard.metrics.degraded_accesses > degraded_before or (
+            shard.lost and write
+        )
+        previous = shard.store.get(key, default_value(key))
+        if write:
+            value = next_value(key, previous)
+            if not shard.lost:
+                shard.store[key] = value
+            # A degraded write is acknowledged but not durable: the
+            # shard's (unreachable) store keeps the old value.
+        else:
+            value = previous
+        self.stats.requests += 1
+        if degraded:
+            self.stats.degraded_requests += 1
+        return RequestResult(sid, value, cycles, degraded)
+
+    def read_value(self, key: int) -> int:
+        """The durable value of ``key`` right now (no cost accounting)."""
+        shard = self.shards[self.place(key)]
+        return shard.store.get(key, default_value(key))
+
+    # -- chaos: loss, rebalance, join ---------------------------------------
+
+    def lose_shard(self, shard_id: int) -> None:
+        """The far node behind ``shard_id`` stops answering, mid-run."""
+        shard = self.shards.get(shard_id)
+        if shard is None or shard.lost:
+            raise RuntimeConfigError(f"shard {shard_id} not live")
+        if len(self.live_shards()) <= 1:
+            raise RuntimeConfigError("cannot lose the last live shard")
+        shard.knock_out()
+        self.stats.lost_shards += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.serve("shard_lost", self._now(), shard=shard_id)
+
+    def rebalance(self) -> int:
+        """Remove lost shards from the ring; re-seed their keys.
+
+        Keys owned by a lost shard are re-placed on survivors and
+        re-seeded from their initial values (cold-replica restore) —
+        consistent hashing guarantees no other key moves.  Returns the
+        number of re-seeded keys.
+        """
+        lost = [sid for sid, shard in self.shards.items() if shard.lost and sid in self.ring]
+        moved = 0
+        for sid in lost:
+            self.ring.remove_shard(sid)
+            dead = self.shards[sid]
+            for key, owner in list(self._owner.items()):
+                if owner != sid:
+                    continue
+                new_sid = self.ring.place(key)
+                self._owner[key] = new_sid
+                dead.drop_key(key)
+                # Re-seeded: the new shard starts from the key's initial
+                # value; its slot is assigned on first touch (remote).
+                moved += 1
+        self.stats.reseeded_keys += moved
+        if lost:
+            self.stats.rebalances += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.serve(
+                    "rebalance", self._now(),
+                    removed=sorted(lost), reseeded=moved,
+                )
+        return moved
+
+    def join_shard(self) -> int:
+        """Bring up a fresh shard and migrate its keys onto it.
+
+        Keys whose placement moves (consistent hashing: all of them
+        move *to* the new shard) are migrated: values are copied over,
+        and slots resident in a surviving source pool are expelled
+        through the source's evacuator (dirty ones pay a writeback).
+        Returns the new shard id.
+        """
+        sid = self._next_shard_id
+        self._next_shard_id += 1
+        shard = Shard(sid, self.config)
+        if self.tracer is not NULL_TRACER:
+            shard.set_tracer(self.tracer)
+        self.shards[sid] = shard
+        self.ring.add_shard(sid)
+        migrated = 0
+        cycles = 0.0
+        for key, owner in list(self._owner.items()):
+            new_sid = self.ring.place(key)
+            if new_sid == owner:
+                continue
+            source = self.shards[owner]
+            # Copy the durable value, then evacuate the source slot.
+            shard.store[key] = source.store.get(key, default_value(key))
+            pool = source.pool
+            slot = source.slots.get(key)
+            if pool is not None and slot is not None and not source.lost:
+                cycles += pool.expel(slot // self.config.object_size)
+            source.drop_key(key)
+            self._owner[key] = new_sid
+            migrated += 1
+        self.stats.migrated_keys += migrated
+        self.stats.migration_cycles += cycles
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.serve("join", self._now(), shard=sid, migrated=migrated)
+        return sid
+
+    # -- aggregation --------------------------------------------------------
+
+    def merged_metrics(self) -> Metrics:
+        """All shards' counters folded into one sparse bundle."""
+        return Metrics.aggregate(
+            shard.metrics for _sid, shard in sorted(self.shards.items())
+        )
+
+    def merged_latency(self) -> StreamingHistogram:
+        """Global latency distribution: per-shard histograms merged."""
+        merged = StreamingHistogram()
+        for _sid, shard in sorted(self.shards.items()):
+            merged.merge(shard.latency)
+        return merged
+
+    def values_checksum(self) -> int:
+        """Digest of every key's durable value (ordered by key)."""
+        acc = 0xCBF29CE484222325
+        for key in range(self.config.n_keys):
+            acc = ((acc ^ self.read_value(key)) * 0x100000001B3) & _MASK64
+        return acc
+
+    def _now(self) -> float:
+        return max(
+            (shard.metrics.cycles for shard in self.shards.values()), default=0.0
+        )

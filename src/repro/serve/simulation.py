@@ -1,0 +1,190 @@
+"""The discrete-event serving simulation: traffic meets the cluster.
+
+Each shard is modeled as a single-server FIFO queue: a request arriving
+at ``t`` starts service at ``max(t, shard.busy_until)``, holds the
+shard for its service cycles (runtime access + retries + quota
+enforcement + migrations it triggered), and completes when done.
+End-to-end latency = queue wait + service — the quantity whose p99
+explodes past saturation, which is the whole reason the serving layer
+simulates open-loop traffic instead of averaging closed-form costs.
+
+Chaos actions (:class:`ChaosAction`) fire at configured simulated
+times, *between* arrivals: a ``lose`` knocks a whole far node out
+mid-run (its requests degrade), ``rebalance`` shrinks the ring and
+re-seeds the dead shard's keys, ``join`` grows the ring and migrates.
+Everything — arrivals, service costs, fault schedules, chaos timing —
+is a pure function of seeds, so the full :class:`ServingReport`
+(fingerprints included) is bit-identical across reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeConfigError
+from repro.serve.cluster import ShardedCluster
+from repro.serve.traffic import Schedule
+
+_MASK64 = (1 << 64) - 1
+
+#: The percentile summary every serving report carries.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scripted control-plane event at a simulated time."""
+
+    at_cycles: float
+    #: ``lose`` (needs ``shard``), ``rebalance``, or ``join``.
+    action: str
+    shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("lose", "rebalance", "join"):
+            raise RuntimeConfigError(f"unknown chaos action {self.action!r}")
+        if self.action == "lose" and self.shard is None:
+            raise RuntimeConfigError("'lose' needs a shard id")
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run produced, JSON-ready."""
+
+    requests: int
+    degraded_requests: int
+    makespan_cycles: float
+    #: Completed requests per million simulated cycles.
+    throughput_per_mcycle: float
+    latency_mean: float
+    latency_percentiles: Dict[str, float]
+    per_shard_requests: Dict[str, int]
+    cluster_stats: Dict[str, object]
+    metrics: Dict[str, object]
+    #: FNV digest over every key's final durable value.
+    values_checksum: int
+    #: Digest of the arrival schedule that drove the run.
+    schedule_fingerprint: int
+    #: Digest over every completion (order, value, shard) — the run's
+    #: full observable behaviour in one number.
+    completions_fingerprint: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "degraded_requests": self.degraded_requests,
+            "makespan_cycles": self.makespan_cycles,
+            "throughput_per_mcycle": self.throughput_per_mcycle,
+            "latency_mean": self.latency_mean,
+            "latency_percentiles": dict(self.latency_percentiles),
+            "per_shard_requests": dict(self.per_shard_requests),
+            "cluster_stats": dict(self.cluster_stats),
+            "metrics": dict(self.metrics),
+            "values_checksum": self.values_checksum,
+            "schedule_fingerprint": self.schedule_fingerprint,
+            "completions_fingerprint": self.completions_fingerprint,
+        }
+
+
+@dataclass
+class ServingSimulation:
+    """Drives one :class:`Schedule` through one :class:`ShardedCluster`."""
+
+    cluster: ShardedCluster
+    schedule: Schedule
+    chaos: Sequence[ChaosAction] = ()
+    #: Per-key final values recorded after the run (chaos comparisons).
+    final_values: Dict[int, int] = field(default_factory=dict, init=False)
+
+    def run(self) -> ServingReport:
+        cluster = self.cluster
+        tracer = cluster.tracer
+        actions: List[ChaosAction] = sorted(
+            self.chaos, key=lambda a: (a.at_cycles, a.action)
+        )
+        next_action = 0
+        busy_until: Dict[int, float] = {}
+        makespan = 0.0
+        completions_acc = 0xCBF29CE484222325
+
+        for now, _client, tenant, key, is_write in self.schedule.rows():
+            while next_action < len(actions) and actions[next_action].at_cycles <= now:
+                self._apply(actions[next_action])
+                next_action += 1
+            sid = cluster.place(key)
+            start = max(now, busy_until.get(sid, 0.0))
+            result = cluster.serve(key, tenant=tenant, write=is_write)
+            completion = start + result.service_cycles
+            busy_until[result.shard_id] = completion
+            if completion > makespan:
+                makespan = completion
+            latency = completion - now
+            shard = cluster.shards[result.shard_id]
+            shard.record_latency(latency)
+            completions_acc = (
+                (completions_acc ^ (result.value + result.shard_id + (1 if result.degraded else 2)))
+                * 0x100000001B3
+            ) & _MASK64
+            if tracer.enabled:
+                tracer.serve(
+                    "request",
+                    completion,
+                    shard=result.shard_id,
+                    tenant=tenant,
+                    key=key,
+                    write=is_write,
+                    latency=latency,
+                    degraded=result.degraded,
+                )
+
+        # Chaos scripted past the last arrival still runs (e.g. a final
+        # rebalance whose re-seeding the report must reflect).
+        while next_action < len(actions):
+            self._apply(actions[next_action])
+            next_action += 1
+
+        for key in range(cluster.config.n_keys):
+            self.final_values[key] = cluster.read_value(key)
+
+        merged = cluster.merged_latency()
+        stats = cluster.stats
+        throughput = (
+            stats.requests / makespan * 1e6 if makespan > 0 else 0.0
+        )
+        return ServingReport(
+            requests=stats.requests,
+            degraded_requests=stats.degraded_requests,
+            makespan_cycles=makespan,
+            throughput_per_mcycle=throughput,
+            latency_mean=merged.mean,
+            latency_percentiles=merged.percentiles(PERCENTILES),
+            per_shard_requests={
+                str(sid): shard.requests
+                for sid, shard in sorted(cluster.shards.items())
+            },
+            cluster_stats=stats.as_dict(),
+            metrics=cluster.merged_metrics().as_dict(),
+            values_checksum=cluster.values_checksum(),
+            schedule_fingerprint=self.schedule.fingerprint(),
+            completions_fingerprint=completions_acc,
+        )
+
+    def _apply(self, action: ChaosAction) -> None:
+        if action.action == "lose":
+            self.cluster.lose_shard(action.shard)
+        elif action.action == "rebalance":
+            self.cluster.rebalance()
+        else:
+            self.cluster.join_shard()
+
+
+def run_serving(
+    cluster: ShardedCluster,
+    schedule: Schedule,
+    chaos: Sequence[ChaosAction] = (),
+) -> Tuple[ServingReport, Dict[int, int]]:
+    """One-shot helper: run and return ``(report, final key values)``."""
+    sim = ServingSimulation(cluster, schedule, chaos)
+    report = sim.run()
+    return report, sim.final_values

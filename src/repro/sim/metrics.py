@@ -9,7 +9,7 @@ I/O amplification).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.machine.costs import GuardKind
 
@@ -89,11 +89,19 @@ class Metrics:
         return self.total_bytes_transferred / working_set_bytes
 
     def merge(self, other: "Metrics") -> None:
-        """Fold ``other`` into this metrics bundle."""
+        """Fold ``other`` into this metrics bundle.
+
+        Sparseness-preserving: a guard kind ``other`` holds at zero is
+        *not* materialized here.  Aggregating per-shard metrics must not
+        grow explicit zero entries, or ``as_dict`` (which emits every
+        present guard key) would serialize differently from a fresh
+        bundle — breaking the exact ``BENCH_*.json`` fingerprints.
+        """
         self.cycles += other.cycles
         self.accesses += other.accesses
         for kind, n in other.guards.items():
-            self.count_guard(kind, n)
+            if n:
+                self.count_guard(kind, n)
         self.minor_faults += other.minor_faults
         self.major_faults += other.major_faults
         self.remote_fetches += other.remote_fetches
@@ -225,5 +233,14 @@ class Metrics:
             journal_replays=int(data.get("journal_replays", 0)),
         )
         for key, n in dict(data.get("guards", {})).items():
-            m.count_guard(GuardKind(key), int(n))
+            if int(n):
+                m.count_guard(GuardKind(key), int(n))
         return m
+
+    @classmethod
+    def aggregate(cls, bundles: "Iterable[Metrics]") -> "Metrics":
+        """Fold many bundles (e.g. one per shard) into a fresh one."""
+        total = cls()
+        for bundle in bundles:
+            total.merge(bundle)
+        return total

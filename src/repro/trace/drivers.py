@@ -333,6 +333,50 @@ def _run_hybrid(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
     )
 
 
+def _run_serve(runtime_name: str, seed: int, tracer: Tracer) -> TraceRunResult:
+    """The ``serve`` workload: a small sharded cluster under chaos.
+
+    Unlike the replay workloads, this one is not an access pattern over
+    one runtime — it stands up a 3-shard cluster of ``runtime_name``
+    shards, drives seeded open-loop traffic through the discrete-event
+    simulation, and knocks a shard out (then rebalances) mid-run, so
+    the trace shows the whole serving story: ``serve`` request
+    completions, ``shard_lost``/``rebalance`` markers, and the
+    per-shard ``retry``/``degrade`` storms a knockout causes.
+    """
+    from repro.serve.cluster import ClusterConfig, ShardedCluster
+    from repro.serve.simulation import ChaosAction, ServingSimulation
+    from repro.serve.traffic import TrafficConfig, generate_schedule
+
+    cluster = ShardedCluster(
+        ClusterConfig(
+            n_shards=3,
+            n_keys=96,
+            runtime=runtime_name,
+            local_memory=OBJECT_LOCAL,
+            seed=seed,
+            fault_plan=default_fault_plan(),
+        ),
+        tracer=tracer,
+    )
+    schedule = generate_schedule(
+        TrafficConfig(clients=12, requests_per_client=20, n_keys=96, seed=seed)
+    )
+    mid = float(schedule.times[len(schedule) // 2])
+    end = float(schedule.times[-1])
+    chaos = (
+        ChaosAction(mid, "lose", 1),
+        ChaosAction((mid + end) / 2.0, "rebalance"),
+    )
+    with tracer.phase("workload:serve", lambda: cluster.merged_metrics().cycles):
+        report = ServingSimulation(cluster, schedule, chaos).run()
+    return TraceRunResult(
+        "serve", runtime_name, seed, tracer,
+        report.completions_fingerprint & 0xFFFFFFFF,
+        report.makespan_cycles, cluster.merged_metrics(),
+    )
+
+
 RUNTIMES: Dict[str, Callable[[str, int, Tracer], TraceRunResult]] = {
     "trackfm": _run_trackfm,
     "aifm": _run_aifm,
@@ -340,7 +384,7 @@ RUNTIMES: Dict[str, Callable[[str, int, Tracer], TraceRunResult]] = {
     "hybrid": _run_hybrid,
 }
 
-WORKLOADS: Tuple[str, ...] = tuple(sorted(_PATTERNS))
+WORKLOADS: Tuple[str, ...] = tuple(sorted((*_PATTERNS, "serve")))
 
 
 def run_traced(
@@ -365,9 +409,9 @@ def run_traced(
     checksum-verified (and, with data-fault rates in the plan,
     corrupted / repaired / quarantined deterministically).
     """
-    if workload not in _PATTERNS:
+    if workload not in WORKLOADS:
         raise TraceError(
-            f"unknown workload {workload!r}; have {sorted(_PATTERNS)}"
+            f"unknown workload {workload!r}; have {sorted(WORKLOADS)}"
         )
     if runtime not in RUNTIMES:
         raise TraceError(
@@ -380,4 +424,6 @@ def run_traced(
             stack.enter_context(installed_fault_plan(fault_plan))
         if integrity is not None:
             stack.enter_context(installed_integrity_config(integrity))
+        if workload == "serve":
+            return _run_serve(runtime, seed, tracer)
         return RUNTIMES[runtime](workload, seed, tracer)

@@ -25,6 +25,7 @@ category    meaning
 ``corrupt`` payload failed checksum verification (kind, object)
 ``repair``  corrupted payload repaired by re-fetch / journal re-drive
 ``journal`` evacuation-journal event (replay, rollback, crash)
+``serve``   serving-layer event (request done, shard lost, rebalance)
 ``phase``   workload-defined span (``B``/``E`` pairs)
 ``counter`` point-in-time counter sample (Chrome ``C`` events)
 ``meta``    process/track naming metadata
@@ -52,6 +53,7 @@ CAT_DEGRADE = "degrade"
 CAT_CORRUPT = "corrupt"
 CAT_REPAIR = "repair"
 CAT_JOURNAL = "journal"
+CAT_SERVE = "serve"
 CAT_PHASE = "phase"
 CAT_COUNTER = "counter"
 CAT_META = "meta"
@@ -68,6 +70,7 @@ ALL_CATEGORIES = (
     CAT_CORRUPT,
     CAT_REPAIR,
     CAT_JOURNAL,
+    CAT_SERVE,
     CAT_PHASE,
     CAT_COUNTER,
     CAT_META,

@@ -44,6 +44,7 @@ from repro.trace.events import (
     CAT_PREFETCH,
     CAT_REPAIR,
     CAT_RETRY,
+    CAT_SERVE,
     PH_BEGIN,
     PH_COMPLETE,
     PH_COUNTER,
@@ -103,6 +104,9 @@ class NullTracer:
         pass
 
     def journal(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def serve(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def pass_event(self, *args: Any, **kwargs: Any) -> None:
@@ -245,6 +249,11 @@ class Tracer:
     def journal(self, action: str, obj_id: int, ts: float) -> None:
         """An evacuation-journal event (``replay``/``rollback``/``crash``)."""
         self.emit(CAT_JOURNAL, action, ts, obj=obj_id)
+
+    def serve(self, name: str, ts: float, **args: Any) -> None:
+        """A serving-layer event: ``request`` completions (with shard,
+        tenant and end-to-end latency), ``shard_lost``, ``rebalance``."""
+        self.emit(CAT_SERVE, name, ts, **args)
 
     def pass_event(
         self,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.aifm.allocator import Allocation, RegionAllocator
 from repro.aifm.pool import ObjectPool, PoolConfig
@@ -144,6 +144,15 @@ class TrackFMRuntime:
             self.pool.degraded_handler = hook
         else:
             self.pool.degraded_handler = lambda _obj_id: stall_cycles
+
+    def remote_backends(self) -> Tuple[RemoteBackend, ...]:
+        """Every far node this runtime talks to (one: the pool's).
+
+        The uniform hook the sharded serving layer uses to reach a
+        runtime's fault domains — arming a shard-loss schedule, reading
+        breaker state — without knowing which runtime kind it holds.
+        """
+        return (self.pool.backend,)
 
     @property
     def metrics(self) -> Metrics:

@@ -1,0 +1,224 @@
+"""Shard-knockout chaos tests for the sharded serving layer.
+
+The serving layer's resilience contract, pinned end to end:
+
+* a run that loses 1 of N shards mid-flight **completes** — no request
+  raises, the lost shard's traffic degrades;
+* keys placed on *surviving* shards finish with values **identical** to
+  a fault-free run of the same schedule (shard = independent fault
+  domain: the blast radius of a loss is exactly the lost shard's keys);
+* the retry/degrade accounting is exact: every post-knockout remote
+  access on the lost shard is counted, and fault-free shards count
+  nothing;
+* rebalancing removes the dead shard from the ring, re-seeds only its
+  keys, and the cluster keeps serving.
+
+Everything is deterministic, so equality assertions are exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    ChaosAction,
+    ClusterConfig,
+    ShardedCluster,
+    TrafficConfig,
+    default_value,
+    generate_schedule,
+    next_value,
+    run_serving,
+)
+from repro.errors import RuntimeConfigError
+
+N_KEYS = 256
+N_SHARDS = 4
+LOST = 1
+
+#: Small local memory so the lost shard keeps taking cache misses after
+#: the knockout — that is what exercises retries/timeouts/degrades.
+TRAFFIC = TrafficConfig(
+    clients=30, requests_per_client=40, n_keys=N_KEYS, seed=13
+)
+
+
+def _cluster(runtime: str = "aifm", **overrides) -> ShardedCluster:
+    config = ClusterConfig(
+        n_shards=N_SHARDS,
+        n_keys=N_KEYS,
+        runtime=runtime,
+        local_memory=overrides.pop("local_memory", 512),
+        **overrides,
+    )
+    return ShardedCluster(config)
+
+
+def _knockout_chaos(schedule, rebalance: bool = True):
+    mid = float(schedule.times[len(schedule) // 2])
+    end = float(schedule.times[-1])
+    chaos = [ChaosAction(mid, "lose", LOST)]
+    if rebalance:
+        chaos.append(ChaosAction((mid + end) / 2.0, "rebalance"))
+    return chaos
+
+
+@pytest.mark.parametrize("runtime", ["aifm", "trackfm", "fastswap", "hybrid"])
+def test_knockout_run_completes_every_request(runtime):
+    schedule = generate_schedule(TRAFFIC)
+    cluster = _cluster(runtime)
+    report, _values = run_serving(cluster, schedule, _knockout_chaos(schedule))
+    assert report.requests == len(schedule)
+    assert report.cluster_stats["lost_shards"] == 1
+    assert report.cluster_stats["rebalances"] == 1
+    assert report.cluster_stats["reseeded_keys"] > 0
+
+
+@pytest.mark.parametrize("runtime", ["aifm", "trackfm"])
+def test_surviving_shard_values_identical_to_fault_free(runtime):
+    schedule = generate_schedule(TRAFFIC)
+
+    baseline_cluster = _cluster(runtime)
+    _base_report, base_values = run_serving(baseline_cluster, schedule)
+    # Original placement decides the blast radius.
+    lost_keys = {
+        k for k in range(N_KEYS) if baseline_cluster.place(k) == LOST
+    }
+    assert lost_keys, "schedule must place some keys on the lost shard"
+    assert len(lost_keys) < N_KEYS
+
+    chaos_cluster = _cluster(runtime)
+    _chaos_report, chaos_values = run_serving(
+        chaos_cluster, schedule, _knockout_chaos(schedule)
+    )
+
+    mismatched_survivors = [
+        k for k in range(N_KEYS)
+        if k not in lost_keys and base_values[k] != chaos_values[k]
+    ]
+    assert mismatched_survivors == [], (
+        "shard loss leaked into surviving shards' values"
+    )
+    # Lost-shard keys re-seed to their initial values (cold-replica
+    # restore) and only accumulate post-rebalance writes: their final
+    # value must be reachable from the default by fewer writes than the
+    # fault-free run applied (writes during the outage were lost).
+    for k in lost_keys:
+        writes_to_k = int(
+            ((schedule.keys == k) & schedule.writes).sum()
+        )
+        reachable = set()
+        v = default_value(k)
+        for _ in range(writes_to_k + 1):
+            reachable.add(v)
+            v = next_value(k, v)
+        assert chaos_values[k] in reachable
+    # At least one lost key actually shed writes (the outage mattered).
+    written_lost = [
+        k for k in lost_keys
+        if int(((schedule.keys == k) & schedule.writes).sum()) > 0
+    ]
+    assert any(chaos_values[k] != base_values[k] for k in written_lost)
+
+
+def test_exact_retry_and_degrade_accounting():
+    schedule = generate_schedule(TRAFFIC)
+    cluster = _cluster("aifm")
+    report, _ = run_serving(cluster, schedule, _knockout_chaos(schedule))
+
+    lost_metrics = cluster.shards[LOST].metrics
+    survivors = [s for sid, s in cluster.shards.items() if sid != LOST]
+    # Every drop/timeout/retry/degrade in the whole cluster happened on
+    # the lost shard: shards are independent fault domains and the
+    # survivors ran fault-free.
+    for shard in survivors:
+        m = shard.metrics
+        assert m.drops == 0 and m.timeouts == 0 and m.retries == 0
+        assert m.degraded_accesses == 0
+    merged = report.metrics
+    assert merged.get("drops", 0) == lost_metrics.drops
+    assert merged.get("timeouts", 0) == lost_metrics.timeouts
+    assert merged.get("retries", 0) == lost_metrics.retries
+    assert merged.get("degraded_accesses", 0) == lost_metrics.degraded_accesses
+    # The knockout actually bit: remote misses on the dead shard were
+    # dropped, timed out, retried, and finally served degraded.
+    assert lost_metrics.drops > 0
+    assert lost_metrics.timeouts > 0
+    assert lost_metrics.degraded_accesses > 0
+    # Retry policy grants max_attempts-1 = 3 retries per exhausted
+    # access until the breaker opens, then fails fast: retries are
+    # bounded by 3 per degraded access.
+    assert lost_metrics.retries <= 3 * lost_metrics.degraded_accesses
+
+
+def test_rebalance_moves_only_lost_shard_keys():
+    schedule = generate_schedule(TRAFFIC)
+    cluster = _cluster("aifm")
+    # Warm placement for every key, then snapshot it.
+    before = {k: cluster.place(k) for k in range(N_KEYS)}
+    cluster.lose_shard(LOST)
+    moved = cluster.rebalance()
+    after = {k: cluster.place(k) for k in range(N_KEYS)}
+    changed = {k for k in range(N_KEYS) if before[k] != after[k]}
+    assert changed == {k for k in range(N_KEYS) if before[k] == LOST}
+    assert moved == len(changed)
+    assert LOST not in cluster.ring
+    assert all(after[k] != LOST for k in range(N_KEYS))
+    # The cluster still serves every key.
+    for k in sorted(changed)[:8]:
+        result = cluster.serve(k)
+        assert result.shard_id != LOST
+
+
+def test_chaos_run_is_deterministic():
+    schedule = generate_schedule(TRAFFIC)
+    chaos = _knockout_chaos(schedule)
+    r1, v1 = run_serving(_cluster("aifm"), schedule, chaos)
+    r2, v2 = run_serving(_cluster("aifm"), schedule, chaos)
+    assert r1.to_dict() == r2.to_dict()
+    assert v1 == v2
+
+
+def test_degraded_writes_are_not_durable():
+    cluster = _cluster("aifm")
+    key = next(k for k in range(N_KEYS) if cluster.place(k) == LOST)
+    first = cluster.serve(key, write=True)
+    assert not first.degraded
+    durable = cluster.read_value(key)
+    cluster.lose_shard(LOST)
+    lost_write = cluster.serve(key, write=True)
+    assert lost_write.degraded
+    # The acknowledged value diverges from the durable store.
+    assert cluster.read_value(key) == durable
+
+
+def test_cannot_lose_the_last_shard():
+    cluster = ShardedCluster(ClusterConfig(n_shards=1, n_keys=16))
+    with pytest.raises(RuntimeConfigError):
+        cluster.lose_shard(0)
+    multi = _cluster("aifm")
+    multi.lose_shard(0)
+    multi.lose_shard(2)
+    multi.lose_shard(3)
+    with pytest.raises(RuntimeConfigError):
+        multi.lose_shard(1)
+
+
+def test_join_shard_migrates_with_evacuator():
+    cluster = _cluster("aifm", local_memory=8 * 1024)
+    schedule = generate_schedule(
+        TrafficConfig(clients=10, requests_per_client=30, n_keys=N_KEYS, seed=5)
+    )
+    report, values_before = run_serving(cluster, schedule)
+    del report
+    placement_before = {k: cluster.place(k) for k in range(N_KEYS)}
+    new_sid = cluster.join_shard()
+    assert new_sid == N_SHARDS
+    moved = {
+        k for k in range(N_KEYS) if cluster.place(k) != placement_before[k]
+    }
+    assert moved, "a joining shard must take over some keys"
+    # Every moved key kept its durable value through the migration.
+    for k in moved:
+        assert cluster.read_value(k) == values_before[k]
+    assert cluster.stats.migrated_keys == len(moved)

@@ -1,0 +1,142 @@
+"""Property-based tests for the consistent-hash placement ring.
+
+The serving layer's placement guarantees are stated as hypothesis
+properties over 1–64 shards:
+
+* **determinism** — placement is a pure function of the shard set
+  (rebuild order and join history never matter);
+* **balance** — with 128 vnodes, every shard's deterministic ring-arc
+  share stays within a fixed band of fair share;
+* **minimal movement, leave** — removing a shard moves *only* the keys
+  it owned (exact, not statistical);
+* **minimal movement, join** — adding a shard moves keys *only onto*
+  the new shard.
+
+Balance is asserted on :meth:`HashRing.arc_shares` — the expected share
+of uniformly-hashed keys, a deterministic quantity — so the bounds are
+exact assertions, not flaky sampling.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeConfigError
+from repro.serve.ring import HashRing, hash_key, moved_keys
+
+#: Shard-id universe: small enough to explore collisions in membership,
+#: large enough to exercise the id space.
+SHARD_IDS = st.integers(min_value=0, max_value=0xFFFF)
+SHARD_SETS = st.sets(SHARD_IDS, min_size=1, max_size=64)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+KEYS = st.lists(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    min_size=1, max_size=200, unique=True,
+)
+
+#: Balance band for vnodes=128 over <= 64 shards: every shard's arc
+#: share within [0.35x, 2.0x] of fair.  Deterministic bound — if this
+#: fails, the ring's hash changed, not the dice.
+BALANCE_HI = 2.0
+BALANCE_LO = 0.35
+
+
+@given(shards=SHARD_SETS, seed=SEEDS, keys=KEYS)
+@settings(max_examples=60, deadline=None)
+def test_placement_pure_function_of_shard_set(shards, seed, keys):
+    ordered = HashRing(sorted(shards), seed=seed)
+    reversed_ = HashRing(sorted(shards, reverse=True), seed=seed)
+    assert ordered.placement(keys) == reversed_.placement(keys)
+    # Placed shards are members, always.
+    assert all(ordered.place(k) in shards for k in keys)
+
+
+@given(shards=SHARD_SETS, seed=SEEDS)
+@settings(max_examples=60, deadline=None)
+def test_arc_share_balance_within_band(shards, seed):
+    ring = HashRing(sorted(shards), vnodes=128, seed=seed)
+    shares = ring.arc_shares()
+    assert shares.keys() == set(shards)
+    total = sum(shares.values())
+    assert abs(total - 1.0) < 1e-9
+    fair = 1.0 / len(shards)
+    for sid, share in shares.items():
+        assert share <= BALANCE_HI * fair, (
+            f"shard {sid} owns {share / fair:.2f}x fair share"
+        )
+        assert share >= BALANCE_LO * fair, (
+            f"shard {sid} owns only {share / fair:.2f}x fair share"
+        )
+
+
+@given(shards=st.sets(SHARD_IDS, min_size=2, max_size=64), seed=SEEDS,
+       keys=KEYS, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_leave_moves_only_the_leavers_keys(shards, seed, keys, data):
+    ring = HashRing(sorted(shards), seed=seed)
+    before = ring.placement(keys)
+    leaver = data.draw(st.sampled_from(sorted(shards)))
+    ring.remove_shard(leaver)
+    after = ring.placement(keys)
+    for key, old, new in moved_keys(before, after):
+        assert old == leaver, (
+            f"key {key} moved {old} -> {new} but {leaver} left"
+        )
+    # Every key the leaver owned must land somewhere else.
+    for key, owner in before.items():
+        if owner == leaver:
+            assert after[key] != leaver
+
+
+@given(shards=SHARD_SETS, seed=SEEDS, keys=KEYS, joiner=SHARD_IDS)
+@settings(max_examples=60, deadline=None)
+def test_join_moves_keys_only_to_the_joiner(shards, seed, keys, joiner):
+    if joiner in shards:
+        shards = shards - {joiner}
+        if not shards:
+            return
+    ring = HashRing(sorted(shards), seed=seed)
+    before = ring.placement(keys)
+    ring.add_shard(joiner)
+    after = ring.placement(keys)
+    for key, old, new in moved_keys(before, after):
+        assert new == joiner, (
+            f"key {key} moved {old} -> {new}, not to joiner {joiner}"
+        )
+
+
+@given(shards=SHARD_SETS, seed=SEEDS, keys=KEYS, joiner=SHARD_IDS)
+@settings(max_examples=40, deadline=None)
+def test_join_then_leave_roundtrips(shards, seed, keys, joiner):
+    if joiner in shards:
+        return
+    ring = HashRing(sorted(shards), seed=seed)
+    before = ring.placement(keys)
+    ring.add_shard(joiner)
+    ring.remove_shard(joiner)
+    assert ring.placement(keys) == before
+
+
+@given(key=st.integers(min_value=0, max_value=2**40), seed=SEEDS)
+@settings(max_examples=100, deadline=None)
+def test_hash_key_is_stable(key, seed):
+    assert hash_key(key, seed) == hash_key(key, seed)
+    assert 0 <= hash_key(key, seed) < 2**64
+
+
+def test_ring_membership_errors():
+    ring = HashRing([0, 1])
+    with pytest.raises(RuntimeConfigError):
+        ring.add_shard(0)
+    with pytest.raises(RuntimeConfigError):
+        ring.remove_shard(7)
+    with pytest.raises(RuntimeConfigError):
+        ring.add_shard(0x10000)
+    ring.remove_shard(0)
+    ring.remove_shard(1)
+    with pytest.raises(RuntimeConfigError):
+        ring.place(42)
+    with pytest.raises(RuntimeConfigError):
+        HashRing(vnodes=0)
