@@ -4,88 +4,23 @@ These go beyond the paper's figures: each isolates one mechanism
 DESIGN.md calls out (state table, prefetch depth, evacuator policy,
 chunk-setup cost) or prototypes a §5 direction (heap pruning, hybrid
 placement).
+
+The experiments and their acceptance checks now live in
+:mod:`repro.ablate.legacy` (folded into the ablation harness — see
+docs/ablations.md); this file is the thin benchmark wrapper that keeps
+them in the pytest-benchmark suite, one test per folded experiment.
 """
+
+import pytest
 
 from bench_util import run_experiment
 
-from repro.bench.ablations import (
-    ablation_chase_prefetch,
-    ablation_chunk_setup,
-    ablation_evacuator_policy,
-    ablation_heap_pruning,
-    ablation_hybrid_memcached,
-    ablation_multisize,
-    ablation_offload,
-    ablation_prefetch_depth,
-    ablation_state_table,
+from repro.ablate.legacy import LEGACY_ABLATIONS
+
+
+@pytest.mark.parametrize(
+    "ablation", LEGACY_ABLATIONS, ids=lambda spec: spec.name
 )
-
-
-def test_ablation_state_table(benchmark):
-    result = run_experiment(benchmark, ablation_state_table)
-    with_table, without = result.get("total cycles").values
-    assert without > 1.3 * with_table
-
-
-def test_ablation_prefetch_depth(benchmark):
-    result = run_experiment(benchmark, ablation_prefetch_depth)
-    costs = result.get("fetch cycles").values
-    assert costs == sorted(costs, reverse=True)
-    assert costs[0] / costs[-1] > 5  # deep pipelining pays
-
-
-def test_ablation_evacuator_policy(benchmark):
-    result = run_experiment(benchmark, ablation_evacuator_policy)
-    clock = result.get("CLOCK (hot bits)").values
-    lru = result.get("LRU").values
-    # Hotness tracking never loses to plain LRU on zipf traffic.
-    assert all(c <= l + 1e-9 for c, l in zip(clock, lru))
-
-
-def test_ablation_chunk_setup(benchmark):
-    result = run_experiment(benchmark, ablation_chunk_setup)
-    crossovers = result.get("d*").values
-    assert crossovers == sorted(crossovers)
-    default_idx = result.x_values.index(12700)
-    assert 650 < crossovers[default_idx] < 800
-
-
-def test_ablation_heap_pruning(benchmark):
-    result = run_experiment(benchmark, ablation_heap_pruning)
-    base, pruned = result.get("cycles").values
-    base_g, pruned_g = result.get("guards").values
-    assert pruned < base
-    assert pruned_g < base_g
-
-
-def test_ablation_chase_prefetch(benchmark):
-    result = run_experiment(benchmark, ablation_chase_prefetch)
-    plain, chased = result.get("cycles").values
-    plain_slow, chased_slow = result.get("slow guards").values
-    assert chased < plain
-    assert chased_slow < plain_slow
-
-
-def test_ablation_offload(benchmark):
-    result = run_experiment(benchmark, ablation_offload)
-    fetch, offload = result.get("cycles").values
-    fetch_bytes, offload_bytes = result.get("bytes fetched").values
-    assert offload < fetch / 3
-    assert offload_bytes < fetch_bytes / 100
-
-
-def test_ablation_multisize(benchmark):
-    result = run_experiment(benchmark, ablation_multisize)
-    small, big, multi = result.get("cycles").values
-    assert multi < small and multi < big
-    small_bytes, big_bytes, multi_bytes = result.get("bytes fetched").values
-    assert multi_bytes <= small_bytes < big_bytes
-
-
-def test_ablation_hybrid_memcached(benchmark):
-    result = run_experiment(benchmark, ablation_hybrid_memcached)
-    hyb = result.get("Hybrid").values
-    fsw = result.get("Fastswap").values
-    tfm = result.get("TrackFM").values
-    assert all(h > f for h, f in zip(hyb, fsw))
-    assert all(h > 0.9 * t for h, t in zip(hyb, tfm))
+def test_ablation(benchmark, ablation):
+    result = run_experiment(benchmark, ablation.experiment)
+    ablation.check(result)

@@ -1,0 +1,133 @@
+"""The nine hand-written ablation experiments, folded into the harness.
+
+These predate the matrix engine: each wraps one experiment from
+:mod:`repro.bench.ablations` together with the acceptance check its
+benchmark test used to hand-roll inline.  ``benchmarks/bench_ablations.py``
+is now a thin parametrized wrapper over :data:`LEGACY_ABLATIONS`, and
+``python -m repro.ablate --legacy`` runs the same checks standalone.
+
+The checks are kept byte-for-byte equivalent to the original inline
+assertions — they are regression anchors, not scoring inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench import ablations as _exp
+
+ExperimentFn = Callable[[], object]
+CheckFn = Callable[[object], None]
+
+
+@dataclass(frozen=True)
+class LegacyAblation:
+    """One folded experiment: a zero-arg runner plus its acceptance check."""
+
+    name: str
+    experiment: ExperimentFn
+    check: CheckFn
+
+
+def _check_state_table(result) -> None:
+    with_table, without = result.get("total cycles").values
+    assert without > 1.3 * with_table
+
+
+def _check_prefetch_depth(result) -> None:
+    costs = result.get("fetch cycles").values
+    assert costs == sorted(costs, reverse=True)
+    assert costs[0] / costs[-1] > 5  # deep pipelining pays
+
+
+def _check_evacuator_policy(result) -> None:
+    clock = result.get("CLOCK (hot bits)").values
+    lru = result.get("LRU").values
+    # Hotness tracking never loses to plain LRU on zipf traffic.
+    assert all(c <= l + 1e-9 for c, l in zip(clock, lru))
+
+
+def _check_chunk_setup(result) -> None:
+    crossovers = result.get("d*").values
+    assert crossovers == sorted(crossovers)
+    default_idx = result.x_values.index(12700)
+    assert 650 < crossovers[default_idx] < 800
+
+
+def _check_heap_pruning(result) -> None:
+    base, pruned = result.get("cycles").values
+    base_g, pruned_g = result.get("guards").values
+    assert pruned < base
+    assert pruned_g < base_g
+
+
+def _check_chase_prefetch(result) -> None:
+    plain, chased = result.get("cycles").values
+    plain_slow, chased_slow = result.get("slow guards").values
+    assert chased < plain
+    assert chased_slow < plain_slow
+
+
+def _check_offload(result) -> None:
+    fetch, offload = result.get("cycles").values
+    fetch_bytes, offload_bytes = result.get("bytes fetched").values
+    assert offload < fetch / 3
+    assert offload_bytes < fetch_bytes / 100
+
+
+def _check_multisize(result) -> None:
+    small, big, multi = result.get("cycles").values
+    assert multi < small and multi < big
+    small_bytes, big_bytes, multi_bytes = result.get("bytes fetched").values
+    assert multi_bytes <= small_bytes < big_bytes
+
+
+def _check_hybrid_memcached(result) -> None:
+    hyb = result.get("Hybrid").values
+    fsw = result.get("Fastswap").values
+    tfm = result.get("TrackFM").values
+    assert all(h > f for h, f in zip(hyb, fsw))
+    assert all(h > 0.9 * t for h, t in zip(hyb, tfm))
+
+
+LEGACY_ABLATIONS = (
+    LegacyAblation("state_table", _exp.ablation_state_table, _check_state_table),
+    LegacyAblation(
+        "prefetch_depth", _exp.ablation_prefetch_depth, _check_prefetch_depth
+    ),
+    LegacyAblation(
+        "evacuator_policy", _exp.ablation_evacuator_policy, _check_evacuator_policy
+    ),
+    LegacyAblation("chunk_setup", _exp.ablation_chunk_setup, _check_chunk_setup),
+    LegacyAblation("heap_pruning", _exp.ablation_heap_pruning, _check_heap_pruning),
+    LegacyAblation(
+        "chase_prefetch", _exp.ablation_chase_prefetch, _check_chase_prefetch
+    ),
+    LegacyAblation("offload", _exp.ablation_offload, _check_offload),
+    LegacyAblation("multisize", _exp.ablation_multisize, _check_multisize),
+    LegacyAblation(
+        "hybrid_memcached", _exp.ablation_hybrid_memcached, _check_hybrid_memcached
+    ),
+)
+
+LEGACY_NAMES = tuple(spec.name for spec in LEGACY_ABLATIONS)
+
+_BY_NAME = {spec.name: spec for spec in LEGACY_ABLATIONS}
+
+
+def legacy_ablation(name: str) -> LegacyAblation:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown legacy ablation {name!r}; known: {', '.join(LEGACY_NAMES)}"
+        ) from None
+
+
+def run_legacy(name: str):
+    """Run one folded experiment and apply its check; returns the result."""
+    spec = legacy_ablation(name)
+    result = spec.experiment()
+    spec.check(result)
+    return result

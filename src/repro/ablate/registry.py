@@ -1,0 +1,187 @@
+"""The component registry: every toggleable mechanism as a named knob.
+
+A :class:`Knobs` vector is the full configuration of one ablation run —
+all ``True`` is the baseline (every mechanism on, including
+``programmed_prefetch``, which is opt-in elsewhere so stock baselines
+stay bit-stable).  ``Knobs.off(name)`` produces the leave-one-out
+vector for one component.
+
+Each :class:`Component` carries an ``applies(kind, workload, runtime,
+scenario)`` predicate: ablating the integrity ladder in a fault-free
+cell, or the decode cache in a cell that never compiles IR, would
+produce an all-zero delta row and dilute the ranking, so the matrix
+only expands leave-one-out cells where the mechanism can matter.  The
+actual *apply* of a knob lives in :mod:`repro.ablate.runner`, which
+translates the vector into ``CompilerConfig`` fields, interpreter
+engine choice, backend retry posture, degraded-mode wiring, and
+cluster quota config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Tuple
+
+from repro.errors import ReproError
+
+
+class AblationError(ReproError):
+    """Bad component name / knob vector / matrix configuration."""
+
+
+@dataclass(frozen=True)
+class Knobs:
+    """One on/off vector over every registered mechanism."""
+
+    decode_cache: bool = True
+    chunked_transforms: bool = True
+    programmed_prefetch: bool = True
+    stride_prefetcher: bool = True
+    integrity_checking: bool = True
+    retry_degrade: bool = True
+    hybrid_fallback: bool = True
+    tenant_quotas: bool = True
+
+    def off(self, name: str) -> "Knobs":
+        """The leave-one-out vector with ``name`` disabled."""
+        if name not in KNOB_NAMES:
+            raise AblationError(
+                f"unknown component {name!r}; have {', '.join(KNOB_NAMES)}"
+            )
+        return replace(self, **{name: False})
+
+    def enabled(self, name: str) -> bool:
+        if name not in KNOB_NAMES:
+            raise AblationError(
+                f"unknown component {name!r}; have {', '.join(KNOB_NAMES)}"
+            )
+        return getattr(self, name)
+
+
+KNOB_NAMES: Tuple[str, ...] = tuple(f.name for f in fields(Knobs))
+
+#: The all-on baseline vector every cell is scored against.
+BASELINE = Knobs()
+
+Predicate = Callable[[str, str, str], bool]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One registered mechanism: a knob plus where ablating it is meaningful."""
+
+    #: Knob name (a :class:`Knobs` field).
+    name: str
+    #: Short human title for reports.
+    title: str
+    #: One line on what the mechanism does / what ablating it means.
+    summary: str
+    #: ``(kind, workload, runtime, scenario) -> bool``.
+    predicate: Callable[[str, str, str, str], bool]
+
+    def applies(self, kind: str, workload: str, runtime: str, scenario: str) -> bool:
+        return self.predicate(kind, workload, runtime, scenario)
+
+
+def _ir_only(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    return kind == "ir"
+
+
+def _stride(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    # Compiler-inserted prefetches on compiled IR; the runtime stride
+    # prefetcher on AIFM's access path.  Fastswap's kernel readahead and
+    # the serving layer's point lookups have no stride knob.
+    return kind == "ir" or (kind == "pattern" and runtime == "aifm")
+
+
+def _integrity(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    # Only corrupt cells exercise the ladder; shard backends never
+    # attach integrity, so serving cells are excluded.
+    return scenario == "corrupt" and kind != "serving"
+
+
+def _retry(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    # Serving clusters always arm retry/breaker (losing a shard must be
+    # survivable), so the knob is only meaningful outside them.
+    return scenario == "faulty" and kind != "serving"
+
+
+def _hybrid_fallback(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    return runtime == "hybrid" and kind != "serving" and scenario != "clean"
+
+
+def _quotas(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    return kind == "serving"
+
+
+COMPONENTS: Tuple[Component, ...] = (
+    Component(
+        "decode_cache",
+        "Interpreter decode cache",
+        "Pre-decoded op records vs re-decoding IR every dispatch "
+        "(ablated: engine='legacy'); scored on deterministic host "
+        "dispatch units, not wall-clock.",
+        _ir_only,
+    ),
+    Component(
+        "chunked_transforms",
+        "Chunked remotable transforms",
+        "Loop chunking that hoists guards out of oblivious loops "
+        "(ChunkingPolicy.ALL — the cost model rejects these CI-sized "
+        "short loops; ablated: NONE, every access guards).",
+        _ir_only,
+    ),
+    Component(
+        "programmed_prefetch",
+        "Programmed prefetch schedules",
+        "tfm_prefetch_sched exact schedules for oblivious affine "
+        "streams (ablated: streams fall back to the stride prefetcher).",
+        _ir_only,
+    ),
+    Component(
+        "stride_prefetcher",
+        "Stride prefetcher",
+        "Compiler stride/chase prefetch on IR; AIFM's runtime stride "
+        "prefetcher on pattern replays (ablated: demand fetches only).",
+        _stride,
+    ),
+    Component(
+        "integrity_checking",
+        "Integrity checking",
+        "Checksum verify->repair->quarantine on every fetch (ablated: "
+        "corruption flows into the program silently).",
+        _integrity,
+    ),
+    Component(
+        "retry_degrade",
+        "Retry + degraded mode",
+        "Bounded retry, circuit breaker, and local degraded service "
+        "(ablated: no breaker, patient unbounded-attempt retry, no "
+        "degraded mode — the run pays full timeout+backoff for every "
+        "loss).",
+        _retry,
+    ),
+    Component(
+        "hybrid_fallback",
+        "Hybrid page-tier fallback",
+        "Object-tier failures fall back to lazily shadowed kernel pages "
+        "(ablated: the object tier degrades in place instead).",
+        _hybrid_fallback,
+    ),
+    Component(
+        "tenant_quotas",
+        "Serving tenant quotas",
+        "Per-tenant local-memory budgets on object-granular shards "
+        "(ablated: tenants share local memory unboundedly).",
+        _quotas,
+    ),
+)
+
+
+def component(name: str) -> Component:
+    for comp in COMPONENTS:
+        if comp.name == name:
+            return comp
+    raise AblationError(
+        f"unknown component {name!r}; have {', '.join(c.name for c in COMPONENTS)}"
+    )

@@ -1,0 +1,168 @@
+"""Importance scoring: what does each component's removal cost?
+
+Per ``(cell, component)`` pair the scorer compares the leave-one-out
+run against the cell's all-on baseline and folds the relative metric
+deltas into one signed score:
+
+* positive — removing the component made things worse (it *helps*);
+* negative — removing it made things better (it *costs* more than it
+  earns in that cell);
+* ``CRITICAL_SCORE`` — the ablated run failed outright (an error the
+  component was absorbing), the strongest evidence there is.
+
+Deltas are relative (``(ablated - base) / base``), so a cell with
+millions of cycles and a cell with thousands weigh the same; each
+metric carries a fixed weight (cycles dominate; fetch/byte counts and
+the deterministic host-dispatch proxy contribute; serving cells add
+p99).  Protective components (integrity) barely move cycles, so the
+score adds a *protection* term: detections lost per baseline fetch,
+plus a flat penalty when the ablated run computes a different value
+than the baseline (silent corruption reached the program).
+
+Everything is plain float arithmetic over deterministic inputs —
+no clocks, no randomness — so scores are bit-stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ablate.runner import CellRun
+
+#: Relative-delta weights (the report documents these).
+WEIGHTS: Dict[str, float] = {
+    "cycles": 1.0,
+    "remote_fetches": 0.2,
+    "bytes_fetched": 0.2,
+    "host_units": 0.25,
+    "p99": 0.5,
+}
+
+#: Score assigned when the ablated run failed outright.
+CRITICAL_SCORE = 10.0
+
+#: Weight of the protection term (lost detections + value divergence).
+PROTECTION_WEIGHT = 5.0
+
+#: |importance| below this is noise -> "neutral".
+NEUTRAL_BAND = 0.02
+
+
+def _rel(base: float, ablated: float) -> float:
+    if base == 0.0:
+        return 0.0
+    return (ablated - base) / base
+
+
+def score_pair(base: CellRun, ablated: CellRun) -> Dict[str, object]:
+    """Score one leave-one-out run against its baseline cell."""
+    if not ablated.ok:
+        return {
+            "score": CRITICAL_SCORE,
+            "critical": True,
+            "deltas": {},
+            "error": ablated.error,
+        }
+    deltas: Dict[str, float] = {
+        "cycles": _rel(base.cycles, ablated.cycles),
+        "remote_fetches": _rel(
+            base.metric("remote_fetches"), ablated.metric("remote_fetches")
+        ),
+        "bytes_fetched": _rel(
+            base.metric("bytes_fetched"), ablated.metric("bytes_fetched")
+        ),
+    }
+    if base.host_units or ablated.host_units:
+        deltas["host_units"] = _rel(base.host_units, ablated.host_units)
+    if base.latency:
+        deltas["p99"] = _rel(
+            base.latency.get("p99", 0.0), ablated.latency.get("p99", 0.0)
+        )
+    score = sum(WEIGHTS[name] * value for name, value in deltas.items())
+
+    detections_lost = max(
+        0.0, base.metric("corruptions_detected") - ablated.metric("corruptions_detected")
+    )
+    value_diverged = (
+        base.value is not None
+        and ablated.value is not None
+        and base.value != ablated.value
+    )
+    protection = 0.0
+    if detections_lost:
+        protection += (
+            PROTECTION_WEIGHT * detections_lost / max(1.0, base.metric("remote_fetches"))
+        )
+    if value_diverged:
+        protection += PROTECTION_WEIGHT
+    out: Dict[str, object] = {
+        "score": score + protection,
+        "critical": False,
+        "deltas": deltas,
+    }
+    if protection:
+        out["protection"] = protection
+    if value_diverged:
+        out["value_diverged"] = True
+    return out
+
+
+def verdict_of(importance: float, any_critical: bool) -> str:
+    if any_critical:
+        return "critical"
+    if importance > NEUTRAL_BAND:
+        return "helps"
+    if importance < -NEUTRAL_BAND:
+        return "harmful"
+    return "neutral"
+
+
+def rank_components(
+    per_component: Dict[str, List[Tuple[str, Dict[str, object]]]],
+) -> List[Dict[str, object]]:
+    """Fold per-cell scores into one ranked row per component.
+
+    ``per_component`` maps component name -> ``[(cell_id, pair_score)]``.
+    Importance is the mean cell score; ties break on name so the
+    ranking is total and stable.
+    """
+    rows: List[Dict[str, object]] = []
+    for name in sorted(per_component):
+        pairs = per_component[name]
+        if not pairs:
+            continue
+        scores = [float(entry["score"]) for _, entry in pairs]  # type: ignore[arg-type]
+        importance = sum(scores) / len(scores)
+        any_critical = any(entry.get("critical") for _, entry in pairs)
+        mean_deltas = _mean_deltas([entry for _, entry in pairs])
+        ranked_cells = sorted(
+            (
+                {"cell": cell_id, "score": float(entry["score"])}  # type: ignore[arg-type]
+                for cell_id, entry in pairs
+            ),
+            key=lambda row: (-row["score"], row["cell"]),
+        )
+        rows.append(
+            {
+                "component": name,
+                "importance": importance,
+                "verdict": verdict_of(importance, any_critical),
+                "cells": len(pairs),
+                "mean_deltas": mean_deltas,
+                "top_cells": ranked_cells[:3],
+            }
+        )
+    rows.sort(
+        key=lambda row: (-float(row["importance"]), str(row["component"]))  # type: ignore[arg-type]
+    )
+    return rows
+
+
+def _mean_deltas(entries: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for entry in entries:
+        for name, value in dict(entry.get("deltas", {})).items():  # type: ignore[call-overload]
+            sums[name] = sums.get(name, 0.0) + float(value)
+            counts[name] = counts.get(name, 0) + 1
+    return {name: sums[name] / counts[name] for name in sorted(sums)}

@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench --list         # show what exists
     python -m repro.bench --all          # everything (a few seconds)
     python -m repro.bench regress --check   # baseline gate (see regress.py)
+    python -m repro.bench ablate --quick    # ablation matrix (see repro.ablate)
 
 The original artifact exposes ``make trackfm_fig14a`` etc.; this is the
 equivalent entry point for the reproduction.
@@ -98,6 +99,11 @@ def main(argv=None) -> int:
         from repro.bench.serving import main as serving_main
 
         return serving_main(argv[1:])
+    if argv and argv[0] == "ablate":
+        # Ablation matrix + ranked importance report: same convention.
+        from repro.ablate.__main__ import main as ablate_main
+
+        return ablate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

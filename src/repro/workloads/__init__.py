@@ -15,6 +15,15 @@ point from the evaluation:
   slab allocator, zipf skew sweep (Fig. 16);
 * :mod:`repro.workloads.nas`       — NAS CG/FT/IS/MG/SP kernel models
   plus unoptimized-style IR versions of FT/SP for the O1 study (Fig. 17).
+
+Three post-paper workloads widen the ablation matrix (docs/ablations.md):
+
+* :mod:`repro.workloads.graph`    — pointer-chasing BFS over a seeded
+  random graph (CSR in one far arena);
+* :mod:`repro.workloads.extsort`  — external sort: partitioned run
+  formation + data-dependent k-way merge;
+* :mod:`repro.workloads.webcache` — Zipf web-cache trace replayed
+  through the sharded serving layer.
 """
 
 from repro.workloads.zipf import ZipfGenerator
@@ -26,6 +35,9 @@ from repro.workloads.analytics import AnalyticsWorkload
 from repro.workloads.memcached import MemcachedWorkload
 from repro.workloads.nas import NasBenchmark, NAS_SUITE, build_nas_ir
 from repro.workloads.nas_kernels import KERNELS as NAS_KERNELS
+from repro.workloads.graph import GraphTraversalWorkload
+from repro.workloads.extsort import ExternalSortWorkload
+from repro.workloads.webcache import WebCacheConfig, WebCacheWorkload
 
 __all__ = [
     "ZipfGenerator",
@@ -41,4 +53,8 @@ __all__ = [
     "NAS_SUITE",
     "build_nas_ir",
     "NAS_KERNELS",
+    "GraphTraversalWorkload",
+    "ExternalSortWorkload",
+    "WebCacheConfig",
+    "WebCacheWorkload",
 ]

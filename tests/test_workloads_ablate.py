@@ -1,0 +1,129 @@
+"""The three ablation-matrix workloads: graph BFS, external sort, web cache.
+
+Each gets the same three-part treatment the ablation matrix relies on:
+seeded determinism (same seed, same everything; different seed,
+different trace), cross-runtime value equality (the computed value is a
+property of the workload, never of the memory system underneath), and
+one chaos cell (the workload survives a fault plan with the resilience
+machinery armed).
+"""
+
+import pytest
+
+from repro.ablate.matrix import CellSpec
+from repro.ablate.registry import BASELINE
+from repro.ablate.runner import run_cell
+from repro.machine.costs import AccessKind
+from repro.workloads.extsort import ExternalSortWorkload
+from repro.workloads.graph import GraphTraversalWorkload
+from repro.workloads.webcache import WebCacheConfig, WebCacheWorkload
+
+RUNTIMES = ("aifm", "fastswap", "hybrid", "trackfm")
+
+
+class TestGraphTraversal:
+    def test_seeded_determinism(self):
+        a = GraphTraversalWorkload(seed=3)
+        b = GraphTraversalWorkload(seed=3)
+        assert a.value() == b.value()
+        assert list(a.accesses()) == list(b.accesses())
+        assert GraphTraversalWorkload(seed=4).value() != a.value()
+
+    def test_bfs_visits_every_node(self):
+        wl = GraphTraversalWorkload()
+        order, dist = wl.bfs()
+        assert sorted(order) == list(range(wl.n_nodes))
+        # The ring edges guarantee connectivity; distances are finite.
+        assert all(d >= 0 for d in dist)
+
+    def test_accesses_stay_in_arena(self):
+        wl = GraphTraversalWorkload()
+        for offset, kind in wl.accesses():
+            assert 0 <= offset < wl.arena_bytes
+            assert kind in (AccessKind.READ, AccessKind.WRITE)
+
+    def test_writes_present(self):
+        kinds = {kind for _, kind in GraphTraversalWorkload().accesses()}
+        assert kinds == {AccessKind.READ, AccessKind.WRITE}
+
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    def test_cross_runtime_value_equality(self, runtime):
+        run = run_cell(CellSpec("graph", runtime, "clean", "pattern"), BASELINE)
+        assert run.ok
+        assert run.value == GraphTraversalWorkload().value()
+
+    def test_chaos_cell(self):
+        run = run_cell(CellSpec("graph", "trackfm", "faulty", "pattern"), BASELINE)
+        assert run.ok
+        assert run.value == GraphTraversalWorkload().value()
+        assert run.metric("drops") > 0
+        assert run.metric("degraded_accesses") > 0
+
+
+class TestExternalSort:
+    def test_seeded_determinism(self):
+        a = ExternalSortWorkload(seed=9)
+        b = ExternalSortWorkload(seed=9)
+        assert a.value() == b.value()
+        assert list(a.accesses()) == list(b.accesses())
+        assert ExternalSortWorkload(seed=10).value() != a.value()
+
+    def test_merge_is_a_sort(self):
+        wl = ExternalSortWorkload()
+        merged = wl.merged()
+        assert list(merged) == sorted(wl.keys)
+        for run in wl.sorted_runs():
+            assert list(run) == sorted(run)
+
+    def test_accesses_stay_in_arena(self):
+        wl = ExternalSortWorkload()
+        for offset, kind in wl.accesses():
+            assert 0 <= offset < wl.arena_bytes
+
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    def test_cross_runtime_value_equality(self, runtime):
+        run = run_cell(CellSpec("extsort", runtime, "clean", "pattern"), BASELINE)
+        assert run.ok
+        assert run.value == ExternalSortWorkload().value()
+
+    def test_chaos_cell(self):
+        run = run_cell(CellSpec("extsort", "trackfm", "corrupt", "pattern"), BASELINE)
+        assert run.ok
+        assert run.value == ExternalSortWorkload().value()
+        assert run.metric("corruptions_detected") > 0
+
+
+class TestWebCache:
+    def test_seeded_determinism(self):
+        wl = WebCacheWorkload()
+        assert wl.value() == WebCacheWorkload().value()
+        assert wl.with_seed(99).value() != wl.value()
+
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    def test_cross_runtime_fingerprint_equality(self, runtime):
+        # The completion fingerprint folds order, value, and shard — all
+        # properties of the trace and placement, not the memory system.
+        assert WebCacheWorkload().value(runtime=runtime) == WebCacheWorkload().value()
+
+    def test_quota_knob_moves_fetches(self):
+        wl = WebCacheWorkload()
+        with_quotas = wl.run(runtime="aifm", quotas=True)
+        without = wl.run(runtime="aifm", quotas=False)
+        assert with_quotas.completions_fingerprint == without.completions_fingerprint
+        assert (
+            with_quotas.metrics["remote_fetches"]
+            > without.metrics["remote_fetches"]
+        )
+
+    def test_chaos_cell(self):
+        run = run_cell(CellSpec("webcache", "trackfm", "faulty", "serving"), BASELINE)
+        assert run.ok
+        assert run.latency is not None and run.latency["p99"] > 0
+        clean = run_cell(CellSpec("webcache", "trackfm", "clean", "serving"), BASELINE)
+        assert clean.ok
+        assert run.latency["p99"] > clean.latency["p99"]
+
+    def test_config_is_frozen(self):
+        cfg = WebCacheConfig()
+        with pytest.raises(Exception):
+            cfg.n_keys = 1
