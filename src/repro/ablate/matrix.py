@@ -16,8 +16,9 @@ is no pattern replay for it), so it runs only under ``trackfm``; the
 ``webcache`` workload runs through the serving layer, whose shard
 backends never attach integrity, so it has no ``corrupt`` scenario.
 Quick mode (CI) keeps every workload and scenario but restricts
-runtimes to ``(hybrid, trackfm)`` — the two composite models — which
-still exercises all eight registered components.
+runtimes to ``(adaptive, hybrid, trackfm)`` — the composite models plus
+the online selector — which still exercises all ten registered
+components.
 """
 
 from __future__ import annotations
@@ -35,8 +36,8 @@ WORKLOADS: Tuple[str, ...] = ("chase", "extsort", "graph", "hashmap", "stream", 
 #: Workloads with a compiled-IR form (run under trackfm as IR cells).
 IR_WORKLOADS: Tuple[str, ...] = ("chase", "hashmap", "stream")
 
-RUNTIMES: Tuple[str, ...] = ("aifm", "fastswap", "hybrid", "trackfm")
-QUICK_RUNTIMES: Tuple[str, ...] = ("hybrid", "trackfm")
+RUNTIMES: Tuple[str, ...] = ("adaptive", "aifm", "fastswap", "hybrid", "trackfm")
+QUICK_RUNTIMES: Tuple[str, ...] = ("adaptive", "hybrid", "trackfm")
 
 SCENARIOS: Tuple[str, ...] = ("clean", "faulty", "corrupt")
 

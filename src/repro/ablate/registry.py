@@ -41,6 +41,8 @@ class Knobs:
     retry_degrade: bool = True
     hybrid_fallback: bool = True
     tenant_quotas: bool = True
+    adaptive_selector: bool = True
+    evacuation_policy: bool = True
 
     def off(self, name: str) -> "Knobs":
         """The leave-one-out vector with ``name`` disabled."""
@@ -114,6 +116,23 @@ def _quotas(kind: str, workload: str, runtime: str, scenario: str) -> bool:
     return kind == "serving"
 
 
+def _adaptive_selector(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    # Only the adaptive runtime carries the online path selector; its
+    # serving shards are built by the cluster, which does not plumb the
+    # knob, so pattern replays are where leaving it out is meaningful.
+    return kind == "pattern" and runtime == "adaptive"
+
+
+def _evacuation_policy(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    # CLOCK vs LRU reclaim matters wherever a residency set evicts:
+    # compiled IR runs and the single-runtime pattern replays.  The
+    # composite runtimes (hybrid, adaptive) build their tier pools
+    # internally and keep the default CLOCK posture.
+    return kind == "ir" or (
+        kind == "pattern" and runtime in ("aifm", "fastswap", "trackfm")
+    )
+
+
 COMPONENTS: Tuple[Component, ...] = (
     Component(
         "decode_cache",
@@ -174,6 +193,22 @@ COMPONENTS: Tuple[Component, ...] = (
         "Per-tenant local-memory budgets on object-granular shards "
         "(ablated: tenants share local memory unboundedly).",
         _quotas,
+    ),
+    Component(
+        "adaptive_selector",
+        "Adaptive path selector",
+        "Online per-region objects-vs-pages selection from windowed "
+        "density stats (ablated: every region stays on the object "
+        "tier — the static TrackFM posture).",
+        _adaptive_selector,
+    ),
+    Component(
+        "evacuation_policy",
+        "CLOCK evacuation policy",
+        "CLOCK second-chance victim selection in the residency sets "
+        "(ablated: strict LRU — no hot-bit protection for recently "
+        "re-touched entries).",
+        _evacuation_policy,
     ),
 )
 

@@ -24,6 +24,13 @@ Ablation postures worth spelling out:
   optimization), so IR cells also report deterministic *host dispatch
   units* — a fixed-cost dispatch model over interpreter steps — which
   the scorer weighs instead of (banned, non-deterministic) wall-clock.
+* **adaptive_selector off** keeps the adaptive runtime's two tiers but
+  freezes the selector (``adaptive=False``): no profiling, no epochs,
+  every region stays on the object tier — bit-identical to the static
+  TrackFM posture, so the delta is exactly what online selection earns.
+* **evacuation_policy off** flips every residency set from CLOCK
+  second-chance to strict LRU (``use_clock=False``), removing the
+  hot-bit protection recently re-touched entries get under pressure.
 
 A cell that raises :class:`~repro.errors.FarMemoryUnavailableError` or
 :class:`~repro.errors.DataIntegrityError` under an ablation is reported
@@ -196,7 +203,10 @@ def _run_ir(spec: CellSpec, knobs: Knobs) -> CellRun:
     compiled = TrackFMCompiler(config).compile(module)
     runtime = TrackFMRuntime(
         PoolConfig(
-            object_size=OBJECT_SIZE, local_memory=OBJECT_LOCAL, heap_size=HEAP
+            object_size=OBJECT_SIZE,
+            local_memory=OBJECT_LOCAL,
+            heap_size=HEAP,
+            use_clock=knobs.evacuation_policy,
         )
     )
     _arm_resilience(runtime, spec, knobs)
@@ -262,7 +272,10 @@ def _pattern_runtime(spec: CellSpec, knobs: Knobs, arena: int):
 
         runtime = AIFMRuntime(
             PoolConfig(
-                object_size=OBJECT_SIZE, local_memory=OBJECT_LOCAL, heap_size=HEAP
+                object_size=OBJECT_SIZE,
+                local_memory=OBJECT_LOCAL,
+                heap_size=HEAP,
+                use_clock=knobs.evacuation_policy,
             )
         )
         runtime.allocate(arena)
@@ -274,10 +287,28 @@ def _pattern_runtime(spec: CellSpec, knobs: Knobs, arena: int):
         from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
 
         runtime = FastswapRuntime(
-            FastswapConfig(local_memory=PAGE_LOCAL, heap_size=HEAP)
+            FastswapConfig(
+                local_memory=PAGE_LOCAL,
+                heap_size=HEAP,
+                use_clock=knobs.evacuation_policy,
+            )
         )
         runtime.allocate(arena)
         return runtime, lambda off, kind: runtime.access(off, kind, size=8)
+    if spec.runtime == "adaptive":
+        from repro.hybrid.runtime import AdaptiveHybridRuntime
+
+        # The drivers' sizing with both tiers' budgets pooled; the knob
+        # freezes the selector (every region stays on the object tier),
+        # so the delta against baseline is what online selection earns.
+        runtime = AdaptiveHybridRuntime(
+            local_memory=OBJECT_LOCAL + PAGE_LOCAL,
+            heap_size=HEAP,
+            object_size=OBJECT_SIZE,
+            adaptive=knobs.adaptive_selector,
+        )
+        base = runtime.tfm_malloc(arena)
+        return runtime, lambda off, kind: runtime.access(base + off, kind, size=8)
     if spec.runtime == "hybrid":
         from repro.hybrid.runtime import HybridRuntime, Placement
 
@@ -305,7 +336,10 @@ def _pattern_runtime(spec: CellSpec, knobs: Knobs, arena: int):
 
     runtime = TrackFMRuntime(
         PoolConfig(
-            object_size=OBJECT_SIZE, local_memory=OBJECT_LOCAL, heap_size=HEAP
+            object_size=OBJECT_SIZE,
+            local_memory=OBJECT_LOCAL,
+            heap_size=HEAP,
+            use_clock=knobs.evacuation_policy,
         )
     )
     base = runtime.tfm_malloc(arena)

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
+from typing import Callable
+
 from repro.errors import FarMemoryUnavailableError, RuntimeConfigError
 from repro.net.backends import RemoteBackend
 from repro.sim.metrics import Metrics
@@ -43,6 +45,12 @@ class Evacuator:
     #: Fraction of writeback cycles charged to the application; the rest
     #: overlaps with useful work on other cores.
     sync_fraction: float = 0.25
+    #: Optional per-eviction hook ``(obj_id, dirty) -> extra cycles``.
+    #: The adaptive hybrid runtime installs one so evictions double as
+    #: its migration points: an object whose region has flipped to the
+    #: page tier is re-homed there as it leaves local memory, instead of
+    #: only writing back to the object tier's far node.
+    on_evict: Optional[Callable[[int, bool], float]] = None
     #: Dirty objects whose writeback was deferred (remote tier down),
     #: in deferral order; re-driven by :meth:`drain_deferred`.
     _deferred: List[int] = field(default_factory=list, init=False, repr=False)
@@ -95,8 +103,11 @@ class Evacuator:
         unavailability here must not fail an unrelated access.
         """
         cycles = 0.0
+        hook = self.on_evict
         for obj_id, dirty in evicted:
             metrics.evictions += 1
+            if hook is not None:
+                cycles += hook(obj_id, dirty)
             if not dirty:
                 continue
             cost = self._writeback(obj_id, metrics)

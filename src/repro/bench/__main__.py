@@ -99,6 +99,11 @@ def main(argv=None) -> int:
         from repro.bench.serving import main as serving_main
 
         return serving_main(argv[1:])
+    if argv and argv[0] == "hybrid":
+        # Adaptive-hybrid matrix + baseline gate: same convention.
+        from repro.bench.hybrid import main as hybrid_main
+
+        return hybrid_main(argv[1:])
     if argv and argv[0] == "ablate":
         # Ablation matrix + ranked importance report: same convention.
         from repro.ablate.__main__ import main as ablate_main

@@ -1,0 +1,403 @@
+"""Adaptive-hybrid benchmark + baseline gate: ``python -m repro.bench hybrid``.
+
+Sweeps the adaptive hybrid data plane (docs/hybrid.md) against *both*
+static tiers — a pure TrackFM object runtime and a pure kernel-paging
+runtime, each given the adaptive runtime's whole local-memory budget —
+across a local-memory-fraction × workload matrix:
+
+* ``dense``  — repeated fine-stride sweeps of a small arena (paging's
+  best case: faults amortize over reuse, hits are guard-free);
+* ``sparse`` — scattered one-object probes over a large arena (object
+  fetch's best case: no I/O amplification);
+* ``phase``  — :class:`~repro.workloads.phase.PhaseShiftWorkload`, the
+  mixed-density case neither static placement serves well.
+
+Every cell is a deterministic replay, so the recorded reports are exact
+(``==``, no tolerance) like the other baseline gates.  On top of the
+bit-exact compare, ``--check`` enforces the adaptive plane's acceptance
+bar from the measured numbers themselves: adaptive cycles must be
+within ``TOLERANCE`` of the best static tier on **every** cell, and
+must beat both statics outright on at least one mixed-density cell::
+
+    python -m repro.bench hybrid            # print the matrix
+    python -m repro.bench hybrid --record   # (re)write baselines
+    python -m repro.bench hybrid --check    # gate (CI runs this)
+
+Baselines live in ``benchmarks/baselines/BENCH_hybrid_<workload>.json``.
+Re-record after an intentional selector/cost-model change and commit
+the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.aifm.pool import PoolConfig
+from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
+from repro.hybrid.runtime import AdaptiveHybridRuntime
+from repro.hybrid.selector import SelectorConfig
+from repro.machine.costs import AccessKind
+from repro.trackfm.runtime import TrackFMRuntime
+from repro.units import BASE_PAGE
+from repro.workloads.phase import PhaseShiftWorkload
+
+OBJECT_SIZE = 256
+ELEM = 8
+SEED = 9
+
+#: Fraction of the workload arena granted as local memory per cell; all
+#: pressured — an online policy's payoff is steady state, and a run
+#: whose arena fits local memory is all warmup and no steady state.
+MEMORY_FRACTIONS = (0.25, 0.5, 0.75)
+
+#: Adaptive cells must land within this factor of the best static tier.
+TOLERANCE = 1.15
+
+#: Reactive selector for the sweep: short epochs bound the per-phase
+#: warmup on the wrong tier, and a small hysteresis band lets the phase
+#: workload's density flips be tracked within a couple of epochs.
+EPOCH_ACCESSES = 32
+SELECTOR = SelectorConfig(hysteresis=0.05, min_accesses=4)
+
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+_LCG_MUL = 2654435761
+_LCG_ADD = 40503
+
+
+# -- the workload streams -----------------------------------------------------
+
+
+DENSE_ARENA = 64 * 1024
+DENSE_PASSES = 64
+SPARSE_ARENA = 64 * 1024
+SPARSE_PROBES = 4096
+
+
+def _dense_stream() -> Iterator[Tuple[int, AccessKind]]:
+    """Fine-stride sweeps: write pass, then read passes (steady reuse)."""
+    for sweep in range(DENSE_PASSES):
+        kind = AccessKind.WRITE if sweep == 0 else AccessKind.READ
+        for off in range(0, DENSE_ARENA, 64):
+            yield off, kind
+
+
+def _sparse_stream() -> Iterator[Tuple[int, AccessKind]]:
+    """LCG-scattered probes of one object per page: a tiny object
+    working set strewn across many pages — object fetch's best case."""
+    n_pages = SPARSE_ARENA // BASE_PAGE
+    state = SEED & 0xFFFFFFFF
+    for _ in range(SPARSE_PROBES):
+        state = (state * _LCG_MUL + _LCG_ADD) & 0xFFFFFFFF
+        yield (state % n_pages) * BASE_PAGE, AccessKind.READ
+
+
+_PHASE = PhaseShiftWorkload(
+    n_regions=8,
+    region_bytes=4096,
+    dense_stride=64,
+    n_phases=6,
+    dense_passes=16,
+    sparse_probes=12,
+    seed=SEED,
+)
+
+WORKLOADS: Dict[str, Tuple[int, Callable[[], Iterator[Tuple[int, AccessKind]]]]] = {
+    "dense": (DENSE_ARENA, _dense_stream),
+    "sparse": (SPARSE_ARENA, _sparse_stream),
+    "phase": (_PHASE.arena_bytes, _PHASE.accesses),
+}
+
+#: Cells where neither static placement fits the whole run — the ones
+#: the adaptive plane must win outright on at least one of.
+MIXED_WORKLOADS = ("phase",)
+
+
+# -- the three engines --------------------------------------------------------
+
+
+def _replay(access: Callable[[int, AccessKind], float],
+            stream: Iterator[Tuple[int, AccessKind]]) -> int:
+    checksum = 0
+    for offset, kind in stream:
+        access(offset, kind)
+        checksum = (checksum * 31 + offset + 1) & 0xFFFFFFFF
+    return checksum
+
+
+def _run_objects(workload: str, local_memory: int) -> Tuple[float, int]:
+    arena, stream = WORKLOADS[workload]
+    runtime = TrackFMRuntime(
+        PoolConfig(
+            object_size=OBJECT_SIZE,
+            local_memory=max(local_memory, OBJECT_SIZE),
+            heap_size=arena,
+        )
+    )
+    runtime.initialize()
+    ptr = runtime.tfm_malloc(arena)
+    checksum = _replay(
+        lambda off, kind: runtime.access(ptr + off, kind, ELEM), stream()
+    )
+    return runtime.metrics.cycles, checksum
+
+
+def _run_pages(workload: str, local_memory: int) -> Tuple[float, int]:
+    arena, stream = WORKLOADS[workload]
+    runtime = FastswapRuntime(
+        FastswapConfig(
+            local_memory=max(local_memory, BASE_PAGE), heap_size=arena
+        )
+    )
+    base = runtime.allocate(arena)
+    checksum = _replay(
+        lambda off, kind: runtime.access(base + off, kind, size=ELEM), stream()
+    )
+    return runtime.metrics.cycles, checksum
+
+
+def _run_adaptive(workload: str, local_memory: int) -> Tuple[float, int, Dict[str, int]]:
+    arena, stream = WORKLOADS[workload]
+    runtime = AdaptiveHybridRuntime(
+        local_memory=max(local_memory, 2 * BASE_PAGE),
+        heap_size=arena,
+        object_size=OBJECT_SIZE,
+        epoch_accesses=EPOCH_ACCESSES,
+        selector_config=SELECTOR,
+    )
+    runtime.initialize()
+    ptr = runtime.tfm_malloc(arena)
+    checksum = _replay(
+        lambda off, kind: runtime.access(ptr + off, kind, ELEM), stream()
+    )
+    counters = {
+        "tier_switches": runtime.metrics.tier_switches,
+        "objects_migrated": runtime.metrics.objects_migrated,
+        "epochs": runtime.epochs,
+    }
+    return runtime.metrics.cycles, checksum, counters
+
+
+# -- cells + reports ----------------------------------------------------------
+
+
+def run_cell(workload: str, fraction: float) -> Dict[str, object]:
+    """One (workload, local-memory-fraction) cell, all three engines."""
+    arena, _ = WORKLOADS[workload]
+    local_memory = max(2 * BASE_PAGE, int(arena * fraction))
+    objects_cycles, objects_value = _run_objects(workload, local_memory)
+    pages_cycles, pages_value = _run_pages(workload, local_memory)
+    adaptive_cycles, adaptive_value, counters = _run_adaptive(
+        workload, local_memory
+    )
+    best_static = min(objects_cycles, pages_cycles)
+    return {
+        "fraction": fraction,
+        "local_memory": local_memory,
+        "objects_cycles": round(objects_cycles, 3),
+        "pages_cycles": round(pages_cycles, 3),
+        "adaptive_cycles": round(adaptive_cycles, 3),
+        "adaptive": counters,
+        "values_equal": objects_value == pages_value == adaptive_value,
+        "value": adaptive_value,
+        "within_band": adaptive_cycles <= best_static * TOLERANCE,
+        "wins_outright": adaptive_cycles < best_static,
+    }
+
+
+def measure(workload: str) -> Dict[str, object]:
+    return {
+        "bench": f"hybrid_{workload}",
+        "workload": workload,
+        "tolerance": TOLERANCE,
+        "seed": SEED,
+        "cells": {
+            f"mem_{int(f * 100)}": run_cell(workload, f)
+            for f in MEMORY_FRACTIONS
+        },
+    }
+
+
+def baseline_path(baseline_dir: Path, workload: str) -> Path:
+    return Path(baseline_dir) / f"BENCH_hybrid_{workload}.json"
+
+
+def record_baselines(
+    baseline_dir: Path, benches: Optional[List[str]] = None
+) -> List[Path]:
+    baseline_dir = Path(baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in benches or sorted(WORKLOADS):
+        path = baseline_path(baseline_dir, name)
+        path.write_text(json.dumps(measure(name), indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def check_baselines(
+    baseline_dir: Path, benches: Optional[List[str]] = None
+) -> Dict[str, object]:
+    """Exact-compare against baselines, then enforce the acceptance bar.
+
+    Two layers: the replay is a pure function of its seeds, so the
+    reports must match bit-for-bit; and the matched reports must show
+    the adaptive plane within the tolerance band of the best static
+    tier on every cell, winning outright on at least one mixed cell.
+    """
+    names = benches or sorted(WORKLOADS)
+    report: Dict[str, object] = {"benches": {}, "ok": True}
+    mixed_win = False
+    for name in names:
+        path = baseline_path(Path(baseline_dir), name)
+        entry: Dict[str, object] = {"baseline": str(path)}
+        report["benches"][name] = entry  # type: ignore[index]
+        if not path.exists():
+            entry["status"] = "missing-baseline"
+            entry["hint"] = "run: python -m repro.bench hybrid --record"
+            report["ok"] = False
+            continue
+        baseline = json.loads(path.read_text())
+        measured = measure(name)
+        if measured != baseline:
+            entry["status"] = "mismatch"
+            entry["diff"] = _diff_cells(
+                baseline.get("cells", {}), measured.get("cells", {})
+            )
+            report["ok"] = False
+            continue
+        out_of_band = [
+            cell
+            for cell, data in measured["cells"].items()  # type: ignore[union-attr]
+            if not (data["within_band"] and data["values_equal"])
+        ]
+        if out_of_band:
+            entry["status"] = "out-of-band"
+            entry["cells"] = out_of_band
+            report["ok"] = False
+            continue
+        if name in MIXED_WORKLOADS and any(
+            data["wins_outright"]
+            for data in measured["cells"].values()  # type: ignore[union-attr]
+        ):
+            mixed_win = True
+        entry["status"] = "ok"
+    if set(MIXED_WORKLOADS) & set(names) and not mixed_win:
+        report["ok"] = False
+        report["mixed_win"] = False
+    return report
+
+
+def _diff_cells(
+    expected: Dict[str, object], got: Dict[str, object]
+) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for cell in sorted(set(expected) | set(got)):
+        e, g = expected.get(cell), got.get(cell)
+        if e == g:
+            continue
+        if not isinstance(e, dict) or not isinstance(g, dict):
+            out[cell] = {"expected": e, "got": g}
+            continue
+        out[cell] = {
+            key: {"expected": e.get(key), "got": g.get(key)}
+            for key in sorted(set(e) | set(g))
+            if e.get(key) != g.get(key)
+        }
+    return out
+
+
+# -- human-readable matrix ----------------------------------------------------
+
+
+def curves_text() -> str:
+    lines = [
+        "hybrid: adaptive vs best-of-both-static "
+        f"(object size {OBJECT_SIZE}, tolerance {TOLERANCE}x, seed {SEED})",
+        "",
+        f"{'workload':>8} {'mem%':>5} {'objects':>12} {'pages':>12} "
+        f"{'adaptive':>12} {'switches':>9} {'verdict':>9}",
+    ]
+    for name in sorted(WORKLOADS):
+        for fraction in MEMORY_FRACTIONS:
+            cell = run_cell(name, fraction)
+            verdict = (
+                "wins"
+                if cell["wins_outright"]
+                else ("in-band" if cell["within_band"] else "OUT")
+            )
+            lines.append(
+                f"{name:>8} {int(fraction * 100):>5} "
+                f"{cell['objects_cycles']:>12.0f} {cell['pages_cycles']:>12.0f} "
+                f"{cell['adaptive_cycles']:>12.0f} "
+                f"{cell['adaptive']['tier_switches']:>9} {verdict:>9}"
+            )
+    return "\n".join(lines)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench hybrid",
+        description="Adaptive-hybrid matrix and its exact baseline gate.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--record", action="store_true", help="measure and (re)write baselines"
+    )
+    mode.add_argument(
+        "--check", action="store_true", help="gate against recorded baselines"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help=f"baseline directory (default: {DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=sorted(WORKLOADS),
+        help="restrict to one workload (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also write the check report JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.record:
+        for path in record_baselines(args.baseline_dir, args.bench):
+            print(f"recorded {path}")
+        return 0
+    if args.check:
+        report = check_baselines(args.baseline_dir, args.bench)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        for name, entry in report["benches"].items():  # type: ignore[union-attr]
+            status = entry["status"]
+            line = f"hybrid_{name}: {status}"
+            if status == "mismatch":
+                line += f"  diff cells: {sorted(entry['diff'])}"
+            if status == "out-of-band":
+                line += f"  cells: {entry['cells']}"
+            print(line, file=sys.stderr if status != "ok" else sys.stdout)
+        if report.get("mixed_win") is False:
+            print(
+                "hybrid: adaptive never beat both statics on a mixed cell",
+                file=sys.stderr,
+            )
+        return 0 if report["ok"] else 1
+
+    print(curves_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -128,6 +128,86 @@ class ChunkingCostModel:
         distance = -(-fetch_cycles // per_object)
         return int(max(1, min(max_distance, distance)))
 
+    # -- paging-vs-object crossover (the adaptive hybrid's selector) --------
+
+    def page_tier_cost(
+        self,
+        accesses: float,
+        distinct_pages: float,
+        resident_fraction: float = 0.0,
+        reclaim_cycles: float = 0.0,
+        wire_page_cycles: float = 0.0,
+    ) -> float:
+        """Window cycles a page tier charges over the raw accesses.
+
+        Hits are guard-free; each non-resident page pays one amortized
+        remote fault, the reclaim it forces, and the wire serialization
+        of the whole page (I/O amplification).  Flat in access count —
+        which is exactly why paging wins dense regions.
+        """
+        del accesses  # page hits cost nothing beyond the local access
+        miss = 1.0 - resident_fraction
+        c = self.costs
+        return distinct_pages * miss * (
+            c.fastswap_fault_remote_read + reclaim_cycles + wire_page_cycles
+        )
+
+    def object_tier_cost(
+        self,
+        accesses: float,
+        distinct_objects: float,
+        resident_fraction: float = 0.0,
+        wire_object_cycles: float = 0.0,
+    ) -> float:
+        """Window cycles an object tier charges over the raw accesses.
+
+        Every access pays a cached fast-path guard; each non-resident
+        object touched pays one remote slow-path guard plus the object's
+        (small) wire serialization.  Linear in access count — why object
+        fetch wins sparse regions.
+        """
+        miss = 1.0 - resident_fraction
+        c = self.costs
+        return (
+            accesses * c.fast_guard_read_cached
+            + distinct_objects * miss * (c.slow_guard_remote + wire_object_cycles)
+        )
+
+    def prefer_pages(
+        self,
+        accesses: float,
+        distinct_objects: float,
+        distinct_pages: float,
+        resident_fraction: float = 0.0,
+        reclaim_cycles: float = 0.0,
+        wire_object_cycles: float = 0.0,
+        wire_page_cycles: float = 0.0,
+    ) -> bool:
+        """True when the page tier is predicted cheaper for the window."""
+        return self.page_tier_cost(
+            accesses, distinct_pages, resident_fraction, reclaim_cycles,
+            wire_page_cycles,
+        ) <= self.object_tier_cost(
+            accesses, distinct_objects, resident_fraction, wire_object_cycles
+        )
+
+    def paging_crossover_density(
+        self,
+        objects_touched_per_page: float = 1.0,
+        resident_fraction: float = 0.0,
+        reclaim_cycles: float = 0.0,
+        wire_object_cycles: float = 0.0,
+        wire_page_cycles: float = 0.0,
+    ) -> float:
+        """Accesses/page/window where the two tier costs intersect."""
+        return self.costs.paging_crossover_density(
+            objects_touched_per_page=objects_touched_per_page,
+            resident_fraction=resident_fraction,
+            reclaim_cycles=reclaim_cycles,
+            wire_object_cycles=wire_object_cycles,
+            wire_page_cycles=wire_page_cycles,
+        )
+
     def should_chunk(self, shape: LoopShape) -> bool:
         """True when the chunked transform is predicted cheaper."""
         naive, chunked = self.loop_costs(shape)

@@ -41,6 +41,10 @@ class FastswapConfig:
     reclaim_cycles: float = 2_000.0
     #: Fraction of dirty-page writeback charged synchronously.
     writeback_sync_fraction: float = 0.25
+    #: Reclaim victim selection: CLOCK second-chance (the Linux
+    #: active/inactive approximation) vs strict LRU — the ablation
+    #: engine's evacuation-policy knob flips this to LRU.
+    use_clock: bool = True
     costs: CostTable = field(default_factory=lambda: DEFAULT_COSTS)
 
     def __post_init__(self) -> None:
@@ -89,8 +93,11 @@ class FastswapRuntime:
         self.degraded_handler = None
         self.page_shift = log2_exact(config.page_size)
         # Linux reclaim approximates LRU with active/inactive lists;
-        # CLOCK-style second chance is the closest simple model.
-        self.residency = ResidencySet(config.local_capacity_pages, use_clock=True)
+        # CLOCK-style second chance is the closest simple model (strict
+        # LRU reachable via config for the evacuation-policy ablation).
+        self.residency = ResidencySet(
+            config.local_capacity_pages, use_clock=config.use_clock
+        )
         self._brk = 0
 
     def set_tracer(self, tracer) -> None:

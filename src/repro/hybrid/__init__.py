@@ -8,8 +8,36 @@ object pool and a kernel page cache, and each allocation is *placed* on
 the mechanism that suits its access pattern — page-backed for coarse,
 high-temporal-reuse data (zero software cost on hits), object-backed
 for fine-grained data (no I/O amplification on misses).
+
+Two planes (docs/hybrid.md):
+
+* :class:`HybridRuntime` — static: the caller picks the placement per
+  allocation, and the page tier doubles as the degrade/fallback target.
+* :class:`AdaptiveHybridRuntime` — online: a :class:`DensityProfiler`
+  folds the access stream into windowed region stats, a
+  :class:`PathSelector` re-evaluates the paging-vs-object cost
+  crossover per region every epoch, and flipped regions are migrated
+  between tiers (eagerly for resident state, lazily at evacuation).
 """
 
-from repro.hybrid.runtime import HybridRuntime, Placement
+from repro.hybrid.placement import Placement
+from repro.hybrid.profiler import DensityProfiler, RegionStats
+from repro.hybrid.runtime import (
+    AdaptiveHybridRuntime,
+    HybridHandle,
+    HybridRuntime,
+    MigrationEvent,
+)
+from repro.hybrid.selector import PathSelector, SelectorConfig
 
-__all__ = ["HybridRuntime", "Placement"]
+__all__ = [
+    "AdaptiveHybridRuntime",
+    "DensityProfiler",
+    "HybridHandle",
+    "HybridRuntime",
+    "MigrationEvent",
+    "PathSelector",
+    "Placement",
+    "RegionStats",
+    "SelectorConfig",
+]

@@ -1,0 +1,14 @@
+"""The placement axis shared by the static and adaptive hybrid planes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Placement(enum.Enum):
+    """Which mechanism backs an allocation (or, adaptively, a region)."""
+
+    #: TrackFM objects: guarded, sub-page granularity.
+    OBJECTS = "objects"
+    #: Kernel pages: unguarded, page granularity, fault on miss.
+    PAGES = "pages"

@@ -1,12 +1,28 @@
-"""A hybrid runtime: TrackFM objects and kernel pages, side by side."""
+"""Hybrid runtimes: TrackFM objects and kernel pages, side by side.
+
+Two planes share the two tiers:
+
+* :class:`HybridRuntime` — the original *static* plane: the caller picks
+  a :class:`Placement` per allocation, and the page tier doubles as the
+  degrade/fallback target when the object tier's far node is lost or an
+  object is quarantined.
+* :class:`AdaptiveHybridRuntime` — the *online* plane (docs/hybrid.md):
+  a :class:`~repro.hybrid.profiler.DensityProfiler` folds the access
+  stream into windowed region stats, a
+  :class:`~repro.hybrid.selector.PathSelector` evaluates the
+  paging-vs-object cost crossover per region every epoch, and regions
+  whose decision flips are migrated between tiers — eagerly for their
+  resident state, and lazily at evacuation time through the
+  :class:`~repro.aifm.evacuator.Evacuator` ``on_evict`` hook.
+"""
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.aifm.pool import PoolConfig
+from repro.compiler.cost_model import ChunkingCostModel
 from repro.errors import (
     DataIntegrityError,
     FarMemoryUnavailableError,
@@ -14,21 +30,24 @@ from repro.errors import (
     RuntimeConfigError,
 )
 from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
+from repro.hybrid.placement import Placement
+from repro.hybrid.profiler import DensityProfiler
+from repro.hybrid.selector import PathSelector, SelectorConfig
 from repro.integrity import IntegrityConfig, RecoveryReport
-from repro.machine.costs import AccessKind
+from repro.machine.costs import AccessKind, GuardKind
 from repro.sim.metrics import Metrics
-from repro.trackfm.pointer import is_tfm_pointer
+from repro.trackfm.guards import GuardResult
+from repro.trackfm.pointer import decode_tfm_pointer, is_tfm_pointer
 from repro.trackfm.runtime import TrackFMRuntime
 from repro.units import BASE_PAGE
 
-
-class Placement(enum.Enum):
-    """Which mechanism backs an allocation."""
-
-    #: TrackFM objects: guarded, sub-page granularity.
-    OBJECTS = "objects"
-    #: Kernel pages: unguarded, page granularity, fault on miss.
-    PAGES = "pages"
+__all__ = [
+    "AdaptiveHybridRuntime",
+    "HybridHandle",
+    "HybridRuntime",
+    "MigrationEvent",
+    "Placement",
+]
 
 
 @dataclass(frozen=True)
@@ -202,3 +221,339 @@ class HybridRuntime:
     def split(self) -> Tuple[Metrics, Metrics]:
         """(object-side, page-side) metrics, unmerged."""
         return self.trackfm.metrics, self.fastswap.metrics
+
+
+# -- the adaptive plane ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One selector flip: a region re-homed between tiers."""
+
+    epoch: int
+    region: int
+    source: Placement
+    target: Placement
+    #: Region objects re-homed by the flip.
+    objects: int
+
+
+class _TierRouter:
+    """A guard-engine-shaped proxy that routes each access by placement.
+
+    Implements the :class:`~repro.trackfm.guards.GuardEngine` surface
+    (``guard``/``boundary_check``/``locality_guard``) so the inherited
+    TrackFM access paths and the IR interpreter bridge work unchanged.
+    OBJECTS regions take the real guard engine; PAGES regions skip guard
+    code entirely and touch the page tier (the whole point of paging:
+    resident pages cost nothing in software).  Chunked-loop guards stay
+    on the object tier — chunking pins one object per chunk, and is
+    already the compiler's answer for high-density loops.
+    """
+
+    def __init__(self, runtime: "AdaptiveHybridRuntime", object_guards) -> None:
+        self.runtime = runtime
+        self.object_guards = object_guards
+        self.costs = object_guards.costs
+        self.metrics = object_guards.metrics
+        self.tracer = object_guards.tracer
+
+    def guard(self, addr: int, kind: AccessKind, depth: int = 1) -> GuardResult:
+        if not is_tfm_pointer(addr):
+            return self.object_guards.guard(addr, kind, depth=depth)
+        rt = self.runtime
+        offset = decode_tfm_pointer(addr)
+        rt._note_access(offset, kind)
+        region = offset // rt.region_bytes
+        if rt._placement.get(region, Placement.OBJECTS) is Placement.OBJECTS:
+            return self.object_guards.guard(addr, kind, depth=depth)
+        return rt._page_guard(region, offset, kind)
+
+    def boundary_check(self) -> float:
+        return self.object_guards.boundary_check()
+
+    def locality_guard(
+        self, addr: int, kind: AccessKind, depth: int = 1
+    ) -> GuardResult:
+        return self.object_guards.locality_guard(addr, kind, depth=depth)
+
+
+class AdaptiveHybridRuntime(TrackFMRuntime):
+    """Online per-region path selection over the two hybrid tiers.
+
+    A drop-in :class:`~repro.trackfm.runtime.TrackFMRuntime`: the
+    allocator, chunk streams, prefetch schedules and the IR interpreter
+    bridge all work unchanged.  What changes is the guard engine — a
+    :class:`_TierRouter` that profiles every guarded access and serves
+    regions the :class:`~repro.hybrid.selector.PathSelector` has flipped
+    to :attr:`Placement.PAGES` through a private page tier at kernel
+    fault costs instead of guard+fetch costs.
+
+    Both tiers account into **one** metrics bundle (the object pool's),
+    so ``metrics`` reads uniformly and nothing is double-charged: the
+    page tier's ``_touch_page`` returns cycles for the inherited
+    ``access``/interpreter paths to add, exactly like a guard result.
+
+    Determinism: epochs are counted in guarded accesses, the profiler
+    and selector are pure folds of the access stream, and migrations
+    walk regions in sorted order — the same program replays bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        local_memory: int,
+        heap_size: int,
+        object_size: int = 256,
+        page_fraction: float = 0.5,
+        region_bytes: Optional[int] = None,
+        epoch_accesses: int = 256,
+        selector_config: SelectorConfig = SelectorConfig(),
+        overcommit_interleave_max: float = 0.125,
+        adaptive: bool = True,
+        object_backend=None,
+        page_backend=None,
+        cache=None,
+    ) -> None:
+        if not 0.0 < page_fraction < 1.0:
+            raise RuntimeConfigError("page_fraction must be in (0, 1)")
+        if epoch_accesses < 1:
+            raise RuntimeConfigError("epoch_accesses must be >= 1")
+        page_local = max(BASE_PAGE, int(local_memory * page_fraction))
+        object_local = max(object_size, local_memory - page_local)
+        super().__init__(
+            PoolConfig(
+                object_size=object_size,
+                local_memory=object_local,
+                heap_size=heap_size,
+            ),
+            backend=object_backend,
+            cache=cache,
+        )
+        self.fastswap = FastswapRuntime(
+            FastswapConfig(local_memory=page_local, heap_size=heap_size),
+            backend=page_backend,
+        )
+        # One bundle backs both tiers: re-point the page tier (and its
+        # backend/integrity plumbing) at the pool's metrics so the
+        # inherited ``metrics`` property sees everything and stays a
+        # stable, mutable object (the interpreter bridge mutates it).
+        page_bundle = self.fastswap.metrics
+        self.fastswap.metrics = self.pool.metrics
+        if self.fastswap.backend.metrics is page_bundle:
+            self.fastswap.backend.metrics = self.pool.metrics
+        self.page_fraction = page_fraction
+        self.region_bytes = (
+            region_bytes if region_bytes is not None else self.fastswap.page_size
+        )
+        if self.region_bytes % self.fastswap.page_size != 0:
+            raise RuntimeConfigError(
+                "region_bytes must be a multiple of the page size so "
+                "region shadows stay page-aligned"
+            )
+        self.epoch_accesses = epoch_accesses
+        #: Windows whose region-interleave rate is at or below this are
+        #: sweep-shaped: page-tier over-commit is cheap for them (one
+        #: fault per page per pass) and the capacity gate stands aside.
+        self.overcommit_interleave_max = overcommit_interleave_max
+        self.adaptive = adaptive
+        self.profiler = DensityProfiler(
+            self.region_bytes, object_size, self.fastswap.page_size
+        )
+        self.selector = PathSelector(
+            ChunkingCostModel(object_size, self.config.costs), selector_config
+        )
+        self._placement: Dict[int, Placement] = {}
+        #: Page-heap base of each region's shadow range (lazily built;
+        #: kept across flips so a region can bounce without new heap).
+        self._shadow: Dict[int, int] = {}
+        self._epoch_ticks = 0
+        self.epochs = 0
+        self.migration_log: List[MigrationEvent] = []
+        # Route every guard through the selector's placement map.
+        self._object_guards = self.guards
+        self.guards = _TierRouter(self, self._object_guards)
+        # Evictions double as migration points: a dirty object leaving
+        # the pool while its region is page-placed re-homes its bytes
+        # into the shadow page instead of only writing back remotely.
+        self.pool.evacuator.on_evict = self._on_evict
+
+    # -- wiring (both tiers, one surface) -----------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        super().set_tracer(tracer)  # pool, router (.tracer), object backend
+        self._object_guards.tracer = tracer
+        self.fastswap.set_tracer(tracer)
+
+    def enable_integrity(self, config: Optional[IntegrityConfig] = None):
+        """Arm checksum verification on both tiers (shared metrics)."""
+        checker = super().enable_integrity(config)
+        self.fastswap.enable_integrity(config)
+        return checker
+
+    def recover(self) -> RecoveryReport:
+        report = RecoveryReport()
+        if self.pool.integrity is not None:
+            report.merge(super().recover())
+        if self.fastswap.integrity is not None:
+            report.merge(self.fastswap.recover())
+        return report
+
+    def enable_degraded_mode(self, stall_cycles: float = 0.0, hook=None) -> None:
+        super().enable_degraded_mode(stall_cycles, hook)
+        self.fastswap.enable_degraded_mode(stall_cycles, hook)
+
+    def remote_backends(self):
+        return super().remote_backends() + self.fastswap.remote_backends()
+
+    # -- placement bookkeeping ----------------------------------------------
+
+    def placement_of(self, offset: int) -> Placement:
+        """Current tier of the region containing heap ``offset``."""
+        return self._placement.get(offset // self.region_bytes, Placement.OBJECTS)
+
+    def region_placements(self) -> Dict[int, Placement]:
+        """A snapshot of every non-default region placement."""
+        return dict(self._placement)
+
+    def _note_access(self, offset: int, kind: AccessKind) -> None:
+        if not self.adaptive:
+            return
+        self.profiler.record(offset, kind)
+        self._epoch_ticks += 1
+        if self._epoch_ticks >= self.epoch_accesses:
+            self.rebalance()
+
+    # -- the page-tier access path -------------------------------------------
+
+    def _ensure_shadow(self, region: int) -> int:
+        shadow = self._shadow.get(region)
+        if shadow is None:
+            shadow = self.fastswap.allocate(self.region_bytes)
+            self._shadow[region] = shadow
+        return shadow
+
+    def _page_guard(self, region: int, offset: int, kind: AccessKind) -> GuardResult:
+        fs = self.fastswap
+        shadow = self._ensure_shadow(region)
+        page = fs.page_of(shadow + (offset % self.region_bytes))
+        was_resident = page in fs.residency
+        # _touch_page returns its cycles (its counters land in the shared
+        # bundle); the inherited access()/interpreter paths add them —
+        # exactly once — alongside the local access, like a guard result.
+        cycles = fs._touch_page(page, kind)
+        return GuardResult(
+            GuardKind.NONE, cycles, remote_fetch=not was_resident
+        )
+
+    # -- selection + migration -------------------------------------------------
+
+    def rebalance(self) -> List[MigrationEvent]:
+        """Fold the window, re-decide every profiled region, migrate flips.
+
+        Called automatically every ``epoch_accesses`` guarded accesses;
+        callable directly (the serving layer's chaos tests force an
+        epoch mid-knockout).  Returns this epoch's migrations.
+        """
+        self._epoch_ticks = 0
+        self.epochs += 1
+        interleave = self.profiler.interleave_rate()
+        stats = self.profiler.fold()
+        events: List[MigrationEvent] = []
+        metrics = self.pool.metrics
+        tracer = self.tracer
+        # Capacity gate: the cost model prices one amortized fault per
+        # distinct page, which only holds while the page tier can keep
+        # the placed regions resident — or while the access stream runs
+        # region-at-a-time (a sweep faults each page once per pass no
+        # matter the capacity).  Over-commit is allowed for sweep-shaped
+        # windows and refused for interleaved ones, where it would turn
+        # every access into a fault.
+        region_pages = self.region_bytes // self.fastswap.page_size
+        capacity = self.fastswap.config.local_capacity_pages
+        sweep_shaped = interleave <= self.overcommit_interleave_max
+        placed = sum(
+            region_pages
+            for p in self._placement.values()
+            if p is Placement.PAGES
+        )
+        for region in sorted(stats):
+            current = self._placement.get(region, Placement.OBJECTS)
+            decision = self.selector.decide(stats[region], current)
+            if decision is current:
+                continue
+            if decision is Placement.PAGES:
+                if placed + region_pages > capacity and not sweep_shaped:
+                    continue
+                placed += region_pages
+            else:
+                placed -= region_pages
+            self._placement[region] = decision
+            moved = self._migrate_region(region, decision)
+            metrics.tier_switches += 1
+            metrics.objects_migrated += moved
+            event = MigrationEvent(self.epochs, region, current, decision, moved)
+            events.append(event)
+            self.migration_log.append(event)
+            if tracer.enabled:
+                tracer.tier(
+                    "switch",
+                    metrics.cycles,
+                    region=region,
+                    source=current.value,
+                    target=decision.value,
+                    objects=moved,
+                )
+        return events
+
+    def _region_objects(self, region: int) -> Tuple[int, int]:
+        """``(first_obj, count)`` of the region, clipped to the heap."""
+        per_region = self.region_bytes // self.object_size
+        first = region * per_region
+        count = max(0, min(per_region, self.pool.config.num_objects - first))
+        return first, count
+
+    def _migrate_region(self, region: int, target: Placement) -> int:
+        """Re-home one region's resident state; returns objects re-homed."""
+        first, count = self._region_objects(region)
+        if target is Placement.PAGES:
+            self._ensure_shadow(region)
+            for obj_id in range(first, first + count):
+                # expel() drives the evacuator, whose on_evict hook lands
+                # dirty bytes in the shadow page; pinned objects stay put
+                # and migrate later, at their natural eviction.
+                self.pool.expel(obj_id)
+            return count
+        fs = self.fastswap
+        shadow = self._shadow.get(region)
+        if shadow is not None:
+            metrics = self.pool.metrics
+            first_page = fs.page_of(shadow)
+            for page in range(first_page, first_page + self.region_bytes // fs.page_size):
+                if page not in fs.residency:
+                    continue
+                dirty = fs.residency.is_dirty(page)
+                fs.residency.discard(page)
+                metrics.evictions += 1
+                if dirty:
+                    wb = fs.backend.link.wire_cycles(fs.page_size)
+                    cycles = wb * fs.config.writeback_sync_fraction
+                    metrics.bytes_evacuated += fs.page_size
+                    fs.backend.link.stats.bytes_evicted += fs.page_size
+                    metrics.cycles += cycles
+        return count
+
+    def _on_evict(self, obj_id: int, dirty: bool) -> float:
+        """Evacuator hook: the migration step at evacuation time."""
+        offset = obj_id * self.object_size
+        region = offset // self.region_bytes
+        if self._placement.get(region, Placement.OBJECTS) is not Placement.PAGES:
+            return 0.0
+        if not dirty:
+            return 0.0
+        shadow = self._ensure_shadow(region)
+        page = self.fastswap.page_of(shadow + (offset % self.region_bytes))
+        # Resident + dirty without remote traffic: the bytes came from
+        # the local object copy.  _reinstate_page self-accounts victim
+        # reclaim/writeback cycles, so the hook itself returns 0.
+        self.fastswap._reinstate_page(page)
+        return 0.0

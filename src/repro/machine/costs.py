@@ -182,6 +182,54 @@ class CostTable:
         )
         return numerator / denom
 
+    def paging_crossover_density(
+        self,
+        objects_touched_per_page: float = 1.0,
+        resident_fraction: float = 0.0,
+        reclaim_cycles: float = 0.0,
+        wire_object_cycles: float = 0.0,
+        wire_page_cycles: float = 0.0,
+        kind: AccessKind = AccessKind.READ,
+    ) -> float:
+        """Accesses/page/window above which paging beats object fetch.
+
+        The "Tale of Two Paths" crossover: a page tier pays one
+        amortized fault per non-resident page and nothing per access; an
+        object tier pays a fast-path guard on *every* access plus one
+        remote slow-path guard per non-resident object it touches.  With
+        miss probability ``m = 1 - resident_fraction``, per page and
+        window::
+
+            page_cost(d)   = m * (fault_remote + reclaim + w_p)        (flat in d)
+            object_cost(d) = d * c_f + k * m * (slow_guard_remote + w_o)
+
+        where ``d`` is accesses per page, ``k`` objects touched per
+        page, and ``w_p``/``w_o`` the wire serialization of one page /
+        one object (the I/O amplification term: a page fault moves the
+        whole page over the wire, an object fetch only the object).
+        Solving ``page_cost = object_cost`` for ``d`` gives the
+        crossover; clamped at 0 (dense pages touch every object, making
+        the object tier's fetches alone dearer than one fault — paging
+        wins at any density).
+        """
+        fast = self.fast_guard(kind, cached=True)
+        if fast <= 0:
+            raise RuntimeConfigError(
+                "cost table degenerate: fast-path guard must cost cycles"
+            )
+        miss = 1.0 - resident_fraction
+        page_cost = miss * (
+            self.fastswap_fault(kind, remote=True)
+            + reclaim_cycles
+            + wire_page_cycles
+        )
+        object_fetches = (
+            objects_touched_per_page
+            * miss
+            * (self.slow_guard_remote + wire_object_cycles)
+        )
+        return max(0.0, (page_cost - object_fetches) / fast)
+
     def with_overrides(self, **kwargs: float) -> "CostTable":
         """Return a copy with some costs replaced (for ablations)."""
         return replace(self, **kwargs)

@@ -57,7 +57,7 @@ DEGRADED_STALL_CYCLES = 1_000.0
 
 _MASK64 = (1 << 64) - 1
 
-RUNTIME_KINDS = ("aifm", "trackfm", "fastswap", "hybrid")
+RUNTIME_KINDS = ("aifm", "trackfm", "fastswap", "hybrid", "adaptive")
 
 
 def default_value(key: int) -> int:
@@ -186,6 +186,19 @@ class Shard:
                 backend=make_shard_backend("rdma", self.shard_id, plan),
             )
             self._base = self.runtime.allocate(heap)
+        elif config.runtime == "adaptive":
+            from repro.hybrid.runtime import AdaptiveHybridRuntime
+
+            # A TrackFM-shaped shard whose guards route per-region: the
+            # selector moves hot slot regions onto the page tier online.
+            self.runtime = AdaptiveHybridRuntime(
+                local_memory=max(config.local_memory, 2 * BASE_PAGE),
+                heap_size=max(heap, BASE_PAGE),
+                object_size=config.object_size,
+                object_backend=make_shard_backend("tcp", self.shard_id, plan),
+                page_backend=make_shard_backend("rdma", self.shard_id, plan),
+            )
+            self._base = self.runtime.tfm_malloc(heap)
         else:  # hybrid
             from repro.hybrid.runtime import HybridRuntime, Placement
 
@@ -218,7 +231,7 @@ class Shard:
     @property
     def pool(self):
         """The shard's object pool, if its runtime kind has one."""
-        if self.config.runtime in ("aifm", "trackfm"):
+        if self.config.runtime in ("aifm", "trackfm", "adaptive"):
             return self.runtime.pool
         if self.config.runtime == "hybrid":
             return self.runtime.trackfm.pool
@@ -263,7 +276,7 @@ class Shard:
                 cycles = runtime.access(
                     self._page_handle, offset - self._obj_half, kind, SLOT_BYTES
                 )
-        elif self.config.runtime == "trackfm":
+        elif self.config.runtime in ("trackfm", "adaptive"):
             cycles = runtime.access(self._base + offset, kind, SLOT_BYTES)
         else:
             cycles = runtime.access(self._base + offset, kind, size=SLOT_BYTES)

@@ -58,6 +58,11 @@ class Metrics:
     quarantined_objects: int = 0
     #: Writebacks re-driven from the evacuation journal (repair + recovery).
     journal_replays: int = 0
+    #: Adaptive-hybrid counters (``repro.hybrid`` path selector).
+    #: Regions whose selected tier flipped at a rebalance epoch.
+    tier_switches: int = 0
+    #: Objects physically moved between tiers by those flips.
+    objects_migrated: int = 0
 
     def count_guard(self, kind: GuardKind, n: int = 1) -> None:
         self.guards[kind] = self.guards.get(kind, 0) + n
@@ -119,6 +124,8 @@ class Metrics:
         self.corruptions_repaired += other.corruptions_repaired
         self.quarantined_objects += other.quarantined_objects
         self.journal_replays += other.journal_replays
+        self.tier_switches += other.tier_switches
+        self.objects_migrated += other.objects_migrated
 
     def reset(self) -> None:
         self.cycles = 0.0
@@ -141,6 +148,8 @@ class Metrics:
         self.corruptions_repaired = 0
         self.quarantined_objects = 0
         self.journal_replays = 0
+        self.tier_switches = 0
+        self.objects_migrated = 0
 
     def snapshot(self) -> "Metrics":
         """A copy of the current counters."""
@@ -165,6 +174,8 @@ class Metrics:
             corruptions_repaired=self.corruptions_repaired,
             quarantined_objects=self.quarantined_objects,
             journal_replays=self.journal_replays,
+            tier_switches=self.tier_switches,
+            objects_migrated=self.objects_migrated,
         )
         return copy
 
@@ -202,6 +213,8 @@ class Metrics:
             "corruptions_repaired",
             "quarantined_objects",
             "journal_replays",
+            "tier_switches",
+            "objects_migrated",
         ):
             value = getattr(self, key)
             if value:
@@ -231,6 +244,8 @@ class Metrics:
             corruptions_repaired=int(data.get("corruptions_repaired", 0)),
             quarantined_objects=int(data.get("quarantined_objects", 0)),
             journal_replays=int(data.get("journal_replays", 0)),
+            tier_switches=int(data.get("tier_switches", 0)),
+            objects_migrated=int(data.get("objects_migrated", 0)),
         )
         for key, n in dict(data.get("guards", {})).items():
             if int(n):

@@ -333,6 +333,27 @@ def _run_hybrid(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
     )
 
 
+def _run_adaptive(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
+    from repro.hybrid.runtime import AdaptiveHybridRuntime
+
+    runtime = AdaptiveHybridRuntime(
+        local_memory=OBJECT_LOCAL + PAGE_LOCAL,
+        heap_size=HEAP,
+        object_size=OBJECT_SIZE,
+    )
+    runtime.set_tracer(tracer)
+    if default_fault_plan() is not None:
+        runtime.enable_degraded_mode(stall_cycles=DEGRADED_STALL_CYCLES)
+    runtime.initialize()
+    ptr = runtime.tfm_malloc(ARRAY_BYTES)
+    return _replay(
+        "adaptive", workload, seed, tracer,
+        lambda off, kind: runtime.access(ptr + off, kind, size=ELEM),
+        lambda: runtime.metrics.cycles,
+        lambda: runtime.metrics,
+    )
+
+
 def _run_serve(runtime_name: str, seed: int, tracer: Tracer) -> TraceRunResult:
     """The ``serve`` workload: a small sharded cluster under chaos.
 
@@ -382,6 +403,7 @@ RUNTIMES: Dict[str, Callable[[str, int, Tracer], TraceRunResult]] = {
     "aifm": _run_aifm,
     "fastswap": _run_fastswap,
     "hybrid": _run_hybrid,
+    "adaptive": _run_adaptive,
 }
 
 WORKLOADS: Tuple[str, ...] = tuple(sorted((*_PATTERNS, "serve")))

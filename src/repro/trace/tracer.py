@@ -45,6 +45,7 @@ from repro.trace.events import (
     CAT_REPAIR,
     CAT_RETRY,
     CAT_SERVE,
+    CAT_TIER,
     PH_BEGIN,
     PH_COMPLETE,
     PH_COUNTER,
@@ -107,6 +108,9 @@ class NullTracer:
         pass
 
     def serve(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def tier(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def pass_event(self, *args: Any, **kwargs: Any) -> None:
@@ -254,6 +258,12 @@ class Tracer:
         """A serving-layer event: ``request`` completions (with shard,
         tenant and end-to-end latency), ``shard_lost``, ``rebalance``."""
         self.emit(CAT_SERVE, name, ts, **args)
+
+    def tier(self, name: str, ts: float, **args: Any) -> None:
+        """An adaptive-hybrid tier event: ``switch`` (selector flip with
+        region + direction) or ``migrate`` (objects moved at a rebalance
+        epoch)."""
+        self.emit(CAT_TIER, name, ts, **args)
 
     def pass_event(
         self,

@@ -23,7 +23,10 @@ Three post-paper workloads widen the ablation matrix (docs/ablations.md):
 * :mod:`repro.workloads.extsort`  — external sort: partitioned run
   formation + data-dependent k-way merge;
 * :mod:`repro.workloads.webcache` — Zipf web-cache trace replayed
-  through the sharded serving layer.
+  through the sharded serving layer;
+* :mod:`repro.workloads.phase`    — dense/sparse phase changes that
+  rotate the hot region (exercises the adaptive hybrid's online
+  selector, docs/hybrid.md).
 """
 
 from repro.workloads.zipf import ZipfGenerator
@@ -38,6 +41,7 @@ from repro.workloads.nas_kernels import KERNELS as NAS_KERNELS
 from repro.workloads.graph import GraphTraversalWorkload
 from repro.workloads.extsort import ExternalSortWorkload
 from repro.workloads.webcache import WebCacheConfig, WebCacheWorkload
+from repro.workloads.phase import PhaseShiftWorkload
 
 __all__ = [
     "ZipfGenerator",
@@ -57,4 +61,5 @@ __all__ = [
     "ExternalSortWorkload",
     "WebCacheConfig",
     "WebCacheWorkload",
+    "PhaseShiftWorkload",
 ]

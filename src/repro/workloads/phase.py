@@ -1,0 +1,120 @@
+"""Phase-change workload: region densities that flip mid-run.
+
+The adaptive hybrid's selector (docs/hybrid.md) is an *online* policy;
+the workloads the rest of the suite replays are density-stationary, so
+any one-shot placement would serve them equally well.  This workload is
+the one that is only served well by a policy that keeps watching: it
+runs ``n_phases`` phases, and each phase moves the *hot* region — the
+one swept densely, object after object, pass after pass — one slot
+along the arena while every other region cools down to sparse probes.
+
+A region that was hot (high access density: paging amortizes, guard
+costs dominate) becomes sparse (low density: one fault per probe window
+hauls a whole page over the wire for a handful of bytes — object fetch
+wins), and vice versa, so a reactive selector flips regions both
+objects → pages and pages → objects over the run.  With the default
+cost calibration the sparse-side advantage is real but modest (the I/O
+amplification wire term), so selectors need a small hysteresis band
+(≲ 0.08) to track the phase changes; the differential tests run it
+both ways.
+
+Like every workload here, structure, access order and the result
+digest are pure functions of the constructor arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.errors import WorkloadError
+from repro.machine.costs import AccessKind
+
+_MASK64 = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv_fold(acc: int, value: int) -> int:
+    return ((acc ^ (value & _MASK64)) * _FNV_PRIME) & _MASK64
+
+
+class PhaseShiftWorkload:
+    """Dense/sparse phases that rotate the hot region around the arena."""
+
+    name = "phase"
+
+    def __init__(
+        self,
+        n_regions: int = 4,
+        region_bytes: int = 4096,
+        dense_stride: int = 256,
+        n_phases: int = 4,
+        dense_passes: int = 8,
+        sparse_probes: int = 12,
+        seed: int = 1,
+    ) -> None:
+        if n_regions < 2:
+            raise WorkloadError("phase workload needs at least 2 regions")
+        if n_phases < 2:
+            raise WorkloadError("phase workload needs at least 2 phases")
+        if region_bytes <= 0 or dense_stride <= 0:
+            raise WorkloadError("region_bytes and dense_stride must be positive")
+        if region_bytes % dense_stride != 0:
+            raise WorkloadError(
+                f"region_bytes {region_bytes} must be a multiple of "
+                f"dense_stride {dense_stride}"
+            )
+        if dense_passes < 1 or sparse_probes < 1:
+            raise WorkloadError("dense_passes and sparse_probes must be >= 1")
+        self.n_regions = n_regions
+        self.region_bytes = region_bytes
+        self.dense_stride = dense_stride
+        self.n_phases = n_phases
+        self.dense_passes = dense_passes
+        self.sparse_probes = sparse_probes
+        self.seed = seed
+        self.arena_bytes = n_regions * region_bytes
+
+    def hot_region(self, phase: int) -> int:
+        """The densely swept region of ``phase`` (rotates with the seed)."""
+        return (phase + self.seed) % self.n_regions
+
+    def accesses(self) -> Iterator[Tuple[int, AccessKind]]:
+        """The far-memory access stream, phase by phase.
+
+        The hot region is swept at ``dense_stride`` (writes on the first
+        pass, reads after: a build-then-reuse shape); every cold region
+        gets ``sparse_probes`` reads of its first word, dealt
+        round-robin *across* the cold regions — the interleaved shape a
+        page tier is worst at (each probe lands on a different page) and
+        an object tier shrugs at (each probe is one resident object).
+        """
+        slots = self.region_bytes // self.dense_stride
+        for phase in range(self.n_phases):
+            hot = self.hot_region(phase)
+            hot_base = hot * self.region_bytes
+            for sweep in range(self.dense_passes):
+                kind = AccessKind.WRITE if sweep == 0 else AccessKind.READ
+                for slot in range(slots):
+                    yield hot_base + slot * self.dense_stride, kind
+            for _ in range(self.sparse_probes):
+                for region in range(self.n_regions):
+                    if region == hot:
+                        continue
+                    yield region * self.region_bytes, AccessKind.READ
+
+    def value(self) -> int:
+        """FNV digest of the access stream — the program result.
+
+        Runtime-independent: the stream is a pure function of the
+        workload parameters, never of where its bytes were served from.
+        """
+        acc = _FNV_OFFSET
+        for offset, kind in self.accesses():
+            acc = _fnv_fold(acc, (offset << 1) | (1 if kind is AccessKind.WRITE else 0))
+        return acc
+
+    @property
+    def accesses_per_phase(self) -> int:
+        slots = self.region_bytes // self.dense_stride
+        return self.dense_passes * slots + self.sparse_probes * (self.n_regions - 1)

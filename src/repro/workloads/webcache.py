@@ -19,10 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.net.faults import FaultPlan
-from repro.serve.cluster import ClusterConfig, ShardedCluster
-from repro.serve.simulation import ChaosAction, ServingReport, ServingSimulation
-from repro.serve.traffic import TrafficConfig, generate_schedule
+
+if TYPE_CHECKING:  # real imports happen lazily inside the methods:
+    # `repro.serve.traffic` imports this package for its Zipf generator,
+    # so a module-level import here would close an import cycle and make
+    # ``import repro.serve`` order-dependent.
+    from repro.serve.cluster import ClusterConfig
+    from repro.serve.simulation import ChaosAction, ServingReport
+    from repro.serve.traffic import TrafficConfig
 
 
 @dataclass(frozen=True)
@@ -55,7 +62,9 @@ class WebCacheWorkload:
     def __init__(self, config: WebCacheConfig = WebCacheConfig()) -> None:
         self.config = config
 
-    def traffic_config(self) -> TrafficConfig:
+    def traffic_config(self) -> "TrafficConfig":
+        from repro.serve.traffic import TrafficConfig
+
         cfg = self.config
         return TrafficConfig(
             clients=cfg.clients,
@@ -73,7 +82,9 @@ class WebCacheWorkload:
         runtime: str,
         fault_plan: Optional[FaultPlan] = None,
         quotas: bool = True,
-    ) -> ClusterConfig:
+    ) -> "ClusterConfig":
+        from repro.serve.cluster import ClusterConfig
+
         cfg = self.config
         return ClusterConfig(
             n_shards=cfg.n_shards,
@@ -91,8 +102,12 @@ class WebCacheWorkload:
         runtime: str = "aifm",
         fault_plan: Optional[FaultPlan] = None,
         quotas: bool = True,
-        chaos: Sequence[ChaosAction] = (),
-    ) -> ServingReport:
+        chaos: Sequence["ChaosAction"] = (),
+    ) -> "ServingReport":
+        from repro.serve.cluster import ShardedCluster
+        from repro.serve.simulation import ServingSimulation
+        from repro.serve.traffic import generate_schedule
+
         schedule = generate_schedule(self.traffic_config())
         cluster = ShardedCluster(self.cluster_config(runtime, fault_plan, quotas))
         return ServingSimulation(cluster, schedule, chaos).run()

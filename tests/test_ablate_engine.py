@@ -46,8 +46,8 @@ from repro.ablate.score import (
 
 
 class TestRegistry:
-    def test_eight_components_with_matching_knobs(self):
-        assert len(COMPONENTS) == 8
+    def test_ten_components_with_matching_knobs(self):
+        assert len(COMPONENTS) == 10
         assert {c.name for c in COMPONENTS} == set(KNOB_NAMES)
 
     def test_baseline_all_on(self):
@@ -89,6 +89,22 @@ class TestRegistry:
         )
         assert component("retry_degrade").applies("pattern", "graph", "trackfm", "faulty")
         assert not component("retry_degrade").applies("pattern", "graph", "trackfm", "clean")
+        assert component("adaptive_selector").applies(
+            "pattern", "hashmap", "adaptive", "clean"
+        )
+        assert not component("adaptive_selector").applies(
+            "pattern", "hashmap", "trackfm", "clean"
+        )
+        assert not component("adaptive_selector").applies(
+            "serving", "webcache", "adaptive", "clean"
+        )
+        assert component("evacuation_policy").applies(
+            "pattern", "graph", "fastswap", "clean"
+        )
+        assert component("evacuation_policy").applies("ir", "stream", "trackfm", "clean")
+        assert not component("evacuation_policy").applies(
+            "pattern", "graph", "adaptive", "clean"
+        )
 
 
 class TestMatrix:
@@ -114,7 +130,7 @@ class TestMatrix:
 
     def test_chase_is_trackfm_only(self):
         assert supported("chase", "trackfm", "clean")
-        for runtime in ("aifm", "fastswap", "hybrid"):
+        for runtime in ("adaptive", "aifm", "fastswap", "hybrid"):
             assert not supported("chase", runtime, "clean")
 
     def test_webcache_has_no_corrupt_scenario(self):
@@ -175,6 +191,26 @@ class TestRunner:
         ablated = run_cell(spec, BASELINE.off("integrity_checking"))
         assert base.metric("corruptions_detected") > 0
         assert ablated.metric("corruptions_detected") == 0
+
+    def test_adaptive_selector_off_costs_cycles(self):
+        spec = CellSpec("hashmap", "adaptive", "clean", "pattern")
+        base = run_cell(spec, BASELINE)
+        ablated = run_cell(spec, BASELINE.off("adaptive_selector"))
+        assert base.ok and ablated.ok
+        assert ablated.value == base.value
+        # Frozen selector = static object tier: no switches, more cycles.
+        assert base.metric("tier_switches") > 0
+        assert ablated.metric("tier_switches") == 0
+        assert ablated.cycles > base.cycles
+
+    def test_evacuation_policy_off_changes_reclaim_order(self):
+        spec = CellSpec("graph", "trackfm", "clean", "pattern")
+        base = run_cell(spec, BASELINE)
+        ablated = run_cell(spec, BASELINE.off("evacuation_policy"))
+        assert base.ok and ablated.ok
+        assert ablated.value == base.value
+        # LRU victims differ from CLOCK's second-chance picks here.
+        assert ablated.cycles != base.cycles
 
     def test_run_is_deterministic(self):
         spec = CellSpec("graph", "hybrid", "faulty", "pattern")
@@ -242,7 +278,7 @@ class TestReportGate:
     def test_quick_report_matches_checked_in_baseline_bit_for_bit(self, tmp_path):
         # One measurement serves three assertions: the report is
         # bit-identical to the recorded baseline (determinism + gate),
-        # ranks all eight components, and spans all six workloads.
+        # ranks all ten components, and spans all six workloads.
         report = build_report(quick=True)
         recorded = baseline_path(Path("benchmarks/baselines"), quick=True)
         assert dumps(report) == recorded.read_text()

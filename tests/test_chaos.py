@@ -23,7 +23,8 @@ from repro.errors import (
     TransientNetworkError,
 )
 from repro.fastswap.runtime import FastswapConfig, FastswapRuntime
-from repro.hybrid.runtime import HybridRuntime, Placement
+from repro.hybrid.runtime import AdaptiveHybridRuntime, HybridRuntime, Placement
+from repro.hybrid.selector import SelectorConfig
 from repro.machine.costs import AccessKind
 from repro.net.backends import RemoteBackend, make_tcp_backend
 from repro.net.faults import (
@@ -40,6 +41,7 @@ from repro.sim.metrics import Metrics
 from repro.trace.drivers import run_traced
 from repro.trackfm.runtime import TrackFMRuntime
 from repro.units import KB, MB
+from repro.workloads.phase import PhaseShiftWorkload
 
 #: A plan every workload below survives: drops are retried away well
 #: inside the default policy's four attempts, so program values must
@@ -169,7 +171,9 @@ class TestFaultSpecParsing:
 class TestSurvivableDifferential:
     """Values under survivable faults == fault-free golden values."""
 
-    @pytest.mark.parametrize("runtime", ["trackfm", "aifm", "fastswap", "hybrid"])
+    @pytest.mark.parametrize(
+        "runtime", ["trackfm", "aifm", "fastswap", "hybrid", "adaptive"]
+    )
     @pytest.mark.parametrize("workload", ["stream", "hashmap"])
     def test_values_match_fault_free(self, workload, runtime):
         clean = run_traced(workload, runtime, seed=5)
@@ -383,6 +387,85 @@ class TestHybridFallback:
         pages = rt.allocate(1024, Placement.PAGES)
         rt.access(pages, 0)
         assert rt.extra_metrics.degraded_accesses == 0
+
+
+class TestAdaptiveMigrationChaos:
+    """Survivable faults while tier migrations are in flight.
+
+    The selector's decisions are pure functions of the access stream's
+    counters — never of what the network did — so a survivable fault
+    plan must leave the replay checksum, every migration event, and the
+    final region placements bit-identical to the fault-free run, while
+    the resilience counters show the faults really happened.
+    """
+
+    #: Phase-change workload: the hot region rotates, so migrations go
+    #: both directions while faults are landing on both tiers' links.
+    WORKLOAD = PhaseShiftWorkload(
+        n_regions=4,
+        region_bytes=4096,
+        dense_stride=64,
+        n_phases=4,
+        dense_passes=16,
+        sparse_probes=12,
+        seed=3,
+    )
+
+    def _run_phase(self, fault_plan=None, rebalance_mid_flight=False):
+        wl = self.WORKLOAD
+        rt = AdaptiveHybridRuntime(
+            local_memory=16 * KB,
+            heap_size=64 * KB,
+            object_size=256,
+            epoch_accesses=64,
+            selector_config=SelectorConfig(hysteresis=0.05, min_accesses=4),
+        )
+        if fault_plan is not None:
+            for backend in rt.remote_backends():
+                backend.link.faults = fault_plan.schedule()
+                backend.retry_policy = RetryPolicy()
+        ptr = rt.tfm_malloc(wl.arena_bytes)
+        half = wl.accesses_per_phase * wl.n_phases // 2
+        checksum = 0
+        for i, (off, kind) in enumerate(wl.accesses()):
+            rt.access(ptr + off, kind, size=8)
+            checksum = (checksum * 31 + off + 1) & 0xFFFFFFFF
+            if rebalance_mid_flight and i == half:
+                rt.rebalance()
+        return rt, checksum
+
+    def test_survivable_faults_change_nothing_but_cost(self):
+        clean_rt, clean_sum = self._run_phase()
+        faulty_rt, faulty_sum = self._run_phase(SURVIVABLE)
+        assert faulty_sum == clean_sum
+        # Migrations really were in flight, in both directions.
+        assert clean_rt.metrics.tier_switches > 0
+        assert any(e.target is Placement.PAGES for e in clean_rt.migration_log)
+        assert any(e.target is Placement.OBJECTS for e in clean_rt.migration_log)
+        # ... and the faulted run made the same decisions at the same
+        # epochs, ending in the same placements.
+        assert faulty_rt.migration_log == clean_rt.migration_log
+        assert faulty_rt.region_placements() == clean_rt.region_placements()
+        m = faulty_rt.metrics
+        assert m.drops > 0
+        assert m.retries == m.drops and m.timeouts == m.drops
+        assert m.degraded_accesses == 0
+        assert faulty_rt.metrics.cycles > clean_rt.metrics.cycles
+
+    def test_forced_rebalance_mid_flight_under_faults(self):
+        clean_rt, clean_sum = self._run_phase(rebalance_mid_flight=True)
+        faulty_rt, faulty_sum = self._run_phase(
+            SURVIVABLE, rebalance_mid_flight=True
+        )
+        assert faulty_sum == clean_sum
+        assert faulty_rt.migration_log == clean_rt.migration_log
+        assert faulty_rt.region_placements() == clean_rt.region_placements()
+
+    def test_faulted_migration_replay_is_bit_identical(self):
+        a_rt, _ = self._run_phase(SURVIVABLE)
+        b_rt, _ = self._run_phase(SURVIVABLE)
+        assert a_rt.metrics.as_dict() == b_rt.metrics.as_dict()
+        assert a_rt.migration_log == b_rt.migration_log
 
 
 class TestEvacuatorDeferral:

@@ -7,6 +7,9 @@ pointer chases — see :mod:`tests.irgen`).  Each seed's program runs
 1. untouched, under the plain interpreter (ground truth);
 2. fully TrackFM-compiled — with the guard-safety sanitizer verifying
    every pipeline stage — on a memory-constrained far-memory runtime;
+3. TrackFM-compiled on the *adaptive hybrid* runtime, whose online
+   selector migrates regions between the object and page tiers while
+   the program runs (the fuzz oracle for the migration protocol);
 
 and the results must be identical.  The seed is in the test id and the
 assertion message: ``generate_module(<seed>)`` reproduces any failure
@@ -21,6 +24,7 @@ import pytest
 
 from repro.aifm.pool import PoolConfig
 from repro.compiler import ChunkingPolicy, CompilerConfig, TrackFMCompiler
+from repro.hybrid.runtime import AdaptiveHybridRuntime
 from repro.integrity import IntegrityConfig
 from repro.ir import verify_module
 from repro.machine.cache import AlwaysHitCache
@@ -28,7 +32,7 @@ from repro.net.faults import FaultPlan, RetryPolicy
 from repro.sim.interpreter import Interpreter
 from repro.sim.irrun import TrackFMProgram
 from repro.trackfm.runtime import TrackFMRuntime
-from repro.units import KB, MB
+from repro.units import BASE_PAGE, KB, MB
 
 from tests.irgen import generate_module
 
@@ -86,6 +90,45 @@ def far_run(
     return TrackFMProgram(module, runtime, max_steps=5_000_000).run("main").value
 
 
+def adaptive_far_run(
+    module,
+    fault_rate: float = FAULT_RATE,
+    fault_seed: int = 0,
+    corrupt_rate: float = CORRUPT_RATE,
+) -> int:
+    """The fifth engine: the adaptive hybrid, selector live, both tiers.
+
+    Same memory-starved posture as :func:`far_run`, but region accesses
+    flow through the online path selector — regions migrate between the
+    object tier and the shadow page tier mid-program, and faults /
+    corruption land on both tiers' links.
+    """
+    runtime = AdaptiveHybridRuntime(
+        local_memory=2 * BASE_PAGE,
+        heap_size=1 * MB,
+        object_size=256,
+        epoch_accesses=64,
+        cache=AlwaysHitCache(),
+    )
+    if fault_rate > 0.0 or corrupt_rate > 0.0:
+        plan = FaultPlan(
+            seed=fault_seed,
+            drop_rate=fault_rate,
+            jitter_cycles=200.0 if fault_rate > 0.0 else 0.0,
+            bitflip_rate=corrupt_rate,
+            stale_read_rate=corrupt_rate,
+            torn_write_rate=corrupt_rate,
+            lost_writeback_rate=corrupt_rate,
+        )
+        for backend in runtime.remote_backends():
+            backend.link.faults = plan.schedule()
+            if fault_rate > 0.0:
+                backend.retry_policy = RetryPolicy(max_attempts=8, seed=fault_seed)
+    if corrupt_rate > 0.0:
+        runtime.enable_integrity(IntegrityConfig(seed=fault_seed, max_refetches=4))
+    return TrackFMProgram(module, runtime, max_steps=5_000_000).run("main").value
+
+
 class TestSeededDifferential:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_full_pipeline_matches_raw_interpreter(self, seed):
@@ -99,6 +142,20 @@ class TestSeededDifferential:
         got = far_run(compiled.module)
         assert got == expected, (
             f"seed {seed}: far-memory TrackFM run returned {got}, raw "
+            f"interpreter returned {expected}; reproduce with "
+            f"tests.irgen.generate_module({seed})"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adaptive_hybrid_matches_raw_interpreter(self, seed):
+        raw = generate_module(seed)
+        expected = Interpreter(raw, max_steps=5_000_000).run("main").value
+
+        module = generate_module(seed)
+        compiled = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        got = adaptive_far_run(compiled.module)
+        assert got == expected, (
+            f"seed {seed}: adaptive-hybrid run returned {got}, raw "
             f"interpreter returned {expected}; reproduce with "
             f"tests.irgen.generate_module({seed})"
         )
@@ -141,6 +198,18 @@ class TestFaultedDifferential:
             f"interpreter returned {expected}"
         )
 
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_low_rate_faults_do_not_change_adaptive_values(self, seed):
+        raw = generate_module(seed)
+        expected = Interpreter(raw, max_steps=5_000_000).run("main").value
+        module = generate_module(seed)
+        compiled = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        got = adaptive_far_run(compiled.module, fault_rate=0.02, fault_seed=seed)
+        assert got == expected, (
+            f"seed {seed}: faulted adaptive-hybrid run returned {got}, "
+            f"raw interpreter returned {expected}"
+        )
+
 
 class TestCorruptedDifferential:
     """A small always-on slice of the corruption-injected differential.
@@ -160,4 +229,18 @@ class TestCorruptedDifferential:
         assert got == expected, (
             f"seed {seed}: corruption-injected far-memory run returned "
             f"{got}, raw interpreter returned {expected}"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_low_rate_corruption_does_not_change_adaptive_values(self, seed):
+        raw = generate_module(seed)
+        expected = Interpreter(raw, max_steps=5_000_000).run("main").value
+        module = generate_module(seed)
+        compiled = TrackFMCompiler(CompilerConfig(verify_guards=True)).compile(module)
+        got = adaptive_far_run(
+            compiled.module, fault_rate=0.0, fault_seed=seed, corrupt_rate=0.02
+        )
+        assert got == expected, (
+            f"seed {seed}: corruption-injected adaptive-hybrid run "
+            f"returned {got}, raw interpreter returned {expected}"
         )

@@ -1,0 +1,261 @@
+"""Hypothesis properties of the adaptive path selector.
+
+The selector's docstring promises two structural properties; this file
+makes hypothesis hunt for counterexamples over the whole input space
+instead of trusting a few hand-picked windows:
+
+* **Monotone in density** — the object-tier cost is linear in a
+  window's access count while the page-tier cost is flat, so raising
+  density over a fixed footprint can only move a decision *toward*
+  pages.  In particular a higher-density window never flips an
+  established page placement back to objects.
+* **Crossover continuity** — ``crossover_density`` really is the
+  break-even point: evaluating both tier costs at exactly that density
+  lands them on the same cycle count (no jump at the boundary).
+* **Idempotence** — hysteresis makes ``decide`` a projection: feeding
+  its own output back as the current placement never flips again, for
+  *any* window, so migration replay is stable.
+
+These are pure-function properties (the selector holds no state), plus
+one runtime-level corollary: a second ``rebalance()`` over an empty
+window migrates nothing.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.compiler.cost_model import ChunkingCostModel
+from repro.hybrid.placement import Placement
+from repro.hybrid.profiler import RegionStats
+from repro.hybrid.selector import PathSelector, SelectorConfig
+
+OBJECT_SIZE = 256
+
+#: Footprints stay physical: a region's touched objects and pages are
+#: both positive, and a page can hold several objects.
+ACCESSES = st.integers(min_value=1, max_value=200_000)
+OBJECTS = st.integers(min_value=1, max_value=512)
+PAGES = st.integers(min_value=1, max_value=64)
+PLACEMENTS = st.sampled_from([Placement.OBJECTS, Placement.PAGES])
+HYSTERESIS = st.floats(
+    min_value=0.0, max_value=2.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _selector(hysteresis: float = 0.25, min_accesses: int = 1) -> PathSelector:
+    return PathSelector(
+        ChunkingCostModel(OBJECT_SIZE),
+        SelectorConfig(hysteresis=hysteresis, min_accesses=min_accesses),
+    )
+
+
+def _stats(accesses: int, objects: int, pages: int) -> RegionStats:
+    return RegionStats(
+        region=0,
+        accesses=accesses,
+        distinct_objects=objects,
+        distinct_pages=pages,
+        writes=0,
+    )
+
+
+class TestMonotonicity:
+    @given(
+        low=ACCESSES,
+        extra=st.integers(min_value=1, max_value=200_000),
+        objects=OBJECTS,
+        pages=PAGES,
+        hysteresis=HYSTERESIS,
+        current=PLACEMENTS,
+    )
+    @settings(max_examples=200)
+    def test_more_density_never_moves_toward_objects(
+        self, low, extra, objects, pages, hysteresis, current
+    ):
+        """Once a window prefers pages, a denser window still does."""
+        selector = _selector(hysteresis=hysteresis)
+        sparse = selector.decide(_stats(low, objects, pages), current)
+        dense = selector.decide(_stats(low + extra, objects, pages), current)
+        if sparse is Placement.PAGES:
+            assert dense is Placement.PAGES
+        if dense is Placement.OBJECTS:
+            assert sparse is Placement.OBJECTS
+
+    @given(
+        accesses=ACCESSES,
+        objects=OBJECTS,
+        pages=PAGES,
+        hysteresis=HYSTERESIS,
+    )
+    @settings(max_examples=200)
+    def test_page_placement_survives_any_density_increase(
+        self, accesses, objects, pages, hysteresis
+    ):
+        """Higher density never flips page -> object, full stop."""
+        selector = _selector(hysteresis=hysteresis)
+        stats = _stats(accesses, objects, pages)
+        assume(selector.decide(stats, Placement.OBJECTS) is Placement.PAGES)
+        # The window was dense enough to *leave* the object tier; every
+        # denser window must keep the page placement it produced.
+        for factor in (2, 10, 100):
+            denser = _stats(accesses * factor, objects, pages)
+            assert selector.decide(denser, Placement.PAGES) is Placement.PAGES
+
+    @given(accesses=ACCESSES, objects=OBJECTS, pages=PAGES)
+    @settings(max_examples=200)
+    def test_object_cost_linear_page_cost_flat(self, accesses, objects, pages):
+        selector = _selector()
+        obj_lo, page_lo = selector.tier_costs(_stats(accesses, objects, pages))
+        obj_hi, page_hi = selector.tier_costs(
+            _stats(accesses * 2, objects, pages)
+        )
+        assert obj_hi > obj_lo
+        assert page_hi == page_lo
+
+
+@st.composite
+def sparse_footprints(draw):
+    """Footprints with at most one touched object per touched page.
+
+    The crossover exists only while the per-page object fixed cost
+    stays below the page-fault cost — with the default cost table that
+    means fewer than ~1.11 objects per page.  Denser object footprints
+    make paging cheaper at *any* access count (crossover clamps to 0),
+    which is its own branch of the selector, tested separately.
+    """
+    pages = draw(PAGES)
+    objects = draw(st.integers(min_value=1, max_value=pages))
+    return objects, pages
+
+
+class TestCrossoverContinuity:
+    @given(footprint=sparse_footprints(), hysteresis=HYSTERESIS)
+    @settings(max_examples=200)
+    def test_tier_costs_meet_at_the_crossover(self, footprint, hysteresis):
+        """At ``crossover_density`` accesses/page the costs are equal."""
+        objects, pages = footprint
+        selector = _selector(hysteresis=hysteresis)
+        probe = _stats(1, objects, pages)
+        density = selector.crossover_density(probe)
+        assert density > 0.0
+        at_crossover = RegionStats(
+            region=0,
+            accesses=density * pages,  # break-even accesses for the window
+            distinct_objects=objects,
+            distinct_pages=pages,
+            writes=0,
+        )
+        object_cost, page_cost = selector.tier_costs(at_crossover)
+        assert page_cost > 0.0
+        assert abs(object_cost - page_cost) <= 1e-6 * page_cost
+
+    @given(footprint=sparse_footprints())
+    @settings(max_examples=200)
+    def test_decision_brackets_the_crossover(self, footprint):
+        """Just below the crossover objects win; well above, pages win.
+
+        With zero hysteresis the decision must agree with the cost
+        comparison on both sides of the break-even density.
+        """
+        objects, pages = footprint
+        selector = _selector(hysteresis=0.0)
+        density = selector.crossover_density(_stats(1, objects, pages))
+        assume(density > 2.0)
+        below = _stats(int(density * pages * 0.5), objects, pages)
+        above = _stats(int(density * pages * 2.0) + 1, objects, pages)
+        assume(below.accesses >= 1)
+        assert selector.decide(below, Placement.PAGES) is Placement.OBJECTS
+        assert selector.decide(above, Placement.OBJECTS) is Placement.PAGES
+
+    @given(
+        accesses=ACCESSES,
+        pages=PAGES,
+        multiplier=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=200)
+    def test_dense_object_footprints_always_prefer_pages(
+        self, accesses, pages, multiplier
+    ):
+        """Past the ratio bound the crossover clamps to 0: pages win.
+
+        When a window touches ~2x more objects than pages, the object
+        tier pays its per-object fixed cost more often than the page
+        tier pays faults, so paging is cheaper at any density and the
+        break-even point vanishes.
+        """
+        selector = _selector(hysteresis=0.0)
+        stats = _stats(accesses, pages * multiplier, pages)
+        assert selector.crossover_density(stats) == 0.0
+        assert selector.decide(stats, Placement.PAGES) is Placement.PAGES
+
+
+class TestIdempotence:
+    @given(
+        accesses=st.integers(min_value=0, max_value=200_000),
+        objects=OBJECTS,
+        pages=PAGES,
+        hysteresis=HYSTERESIS,
+        current=PLACEMENTS,
+    )
+    @settings(max_examples=200)
+    def test_decide_is_a_projection(
+        self, accesses, objects, pages, hysteresis, current
+    ):
+        """decide(stats, decide(stats, current)) == decide(stats, current)."""
+        selector = _selector(hysteresis=hysteresis, min_accesses=8)
+        stats = _stats(accesses, objects, pages)
+        first = selector.decide(stats, current)
+        assert selector.decide(stats, first) is first
+
+    @given(
+        accesses=ACCESSES,
+        objects=OBJECTS,
+        pages=PAGES,
+        current=PLACEMENTS,
+    )
+    @settings(max_examples=200)
+    def test_decision_is_pure(self, accesses, objects, pages, current):
+        selector = _selector()
+        stats = _stats(accesses, objects, pages)
+        assert selector.decide(stats, current) is selector.decide(stats, current)
+
+    @given(
+        accesses=st.integers(min_value=0, max_value=7),
+        objects=OBJECTS,
+        pages=PAGES,
+        current=PLACEMENTS,
+    )
+    @settings(max_examples=100)
+    def test_noisy_windows_never_migrate(self, accesses, objects, pages, current):
+        """Below ``min_accesses`` the selector always stands pat."""
+        selector = _selector(min_accesses=8)
+        assert selector.decide(_stats(accesses, objects, pages), current) is current
+
+
+class TestRuntimeIdempotence:
+    def test_empty_window_rebalance_migrates_nothing(self):
+        from repro.hybrid.runtime import AdaptiveHybridRuntime
+        from repro.machine.costs import AccessKind
+        from repro.units import KB
+
+        rt = AdaptiveHybridRuntime(
+            local_memory=16 * KB,
+            heap_size=64 * KB,
+            object_size=256,
+            epoch_accesses=64,
+            selector_config=SelectorConfig(hysteresis=0.05, min_accesses=4),
+        )
+        base = rt.tfm_malloc(16 * KB)
+        for _ in range(16):
+            for off in range(0, 4096, 64):
+                rt.access(base + off, AccessKind.READ, size=8)
+        rt.rebalance()  # drain whatever the tail window held
+        settled = len(rt.migration_log)
+        assert rt.metrics.tier_switches == settled
+        # No further accesses: every subsequent rebalance sees an empty
+        # window, and the migration log must not grow.
+        rt.rebalance()
+        rt.rebalance()
+        assert len(rt.migration_log) == settled
+        assert rt.metrics.tier_switches == settled

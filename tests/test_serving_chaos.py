@@ -63,7 +63,9 @@ def _knockout_chaos(schedule, rebalance: bool = True):
     return chaos
 
 
-@pytest.mark.parametrize("runtime", ["aifm", "trackfm", "fastswap", "hybrid"])
+@pytest.mark.parametrize(
+    "runtime", ["aifm", "trackfm", "fastswap", "hybrid", "adaptive"]
+)
 def test_knockout_run_completes_every_request(runtime):
     schedule = generate_schedule(TRAFFIC)
     cluster = _cluster(runtime)
@@ -74,7 +76,7 @@ def test_knockout_run_completes_every_request(runtime):
     assert report.cluster_stats["reseeded_keys"] > 0
 
 
-@pytest.mark.parametrize("runtime", ["aifm", "trackfm"])
+@pytest.mark.parametrize("runtime", ["aifm", "trackfm", "adaptive"])
 def test_surviving_shard_values_identical_to_fault_free(runtime):
     schedule = generate_schedule(TRAFFIC)
 
@@ -119,6 +121,68 @@ def test_surviving_shard_values_identical_to_fault_free(runtime):
         if int(((schedule.keys == k) & schedule.writes).sum()) > 0
     ]
     assert any(chaos_values[k] != base_values[k] for k in written_lost)
+
+
+def _adaptive_cluster_with_live_migrations() -> ShardedCluster:
+    """An adaptive cluster whose shards hold page-tier regions.
+
+    Each shard's selector is tightened (small hysteresis, short epochs)
+    and fed a deterministic dense warmup sweep over its first slot
+    region, flipping that region onto the page tier before any traffic
+    lands — so knockout and ring rebalance hit shards with migrations
+    already committed and a selector still watching.
+    """
+    from repro.hybrid.selector import SelectorConfig
+    from repro.machine.costs import AccessKind
+
+    cluster = _cluster("adaptive", local_memory=16 * 1024)
+    for shard in cluster.shards.values():
+        rt = shard.runtime
+        rt.selector.config = SelectorConfig(hysteresis=0.05, min_accesses=4)
+        rt.epoch_accesses = 64
+        for _ in range(16):
+            for off in range(0, 4096, 64):
+                rt.access(shard._base + off, AccessKind.READ, size=8)
+        rt.rebalance()
+    return cluster
+
+
+def test_adaptive_knockout_while_migrations_in_flight():
+    from repro.hybrid.placement import Placement
+
+    schedule = generate_schedule(TRAFFIC)
+    base_cluster = _adaptive_cluster_with_live_migrations()
+    # The warmup really moved regions onto the page tier, shard by shard.
+    for shard in base_cluster.shards.values():
+        assert shard.runtime.metrics.tier_switches >= 1
+        assert Placement.PAGES in shard.runtime.region_placements().values()
+    _base_report, base_values = run_serving(base_cluster, schedule)
+    lost_keys = {k for k in range(N_KEYS) if base_cluster.place(k) == LOST}
+    assert lost_keys and len(lost_keys) < N_KEYS
+
+    chaos_cluster = _adaptive_cluster_with_live_migrations()
+    report, chaos_values = run_serving(
+        chaos_cluster, schedule, _knockout_chaos(schedule)
+    )
+    # Losing a shard with page-tier regions live completes the run ...
+    assert report.requests == len(schedule)
+    assert report.cluster_stats["lost_shards"] == 1
+    assert report.cluster_stats["rebalances"] == 1
+    # ... and the blast radius is still exactly the lost shard's keys.
+    mismatched_survivors = [
+        k for k in range(N_KEYS)
+        if k not in lost_keys and base_values[k] != chaos_values[k]
+    ]
+    assert mismatched_survivors == []
+
+
+def test_adaptive_knockout_run_is_deterministic():
+    schedule = generate_schedule(TRAFFIC)
+    chaos = _knockout_chaos(schedule)
+    r1, v1 = run_serving(_adaptive_cluster_with_live_migrations(), schedule, chaos)
+    r2, v2 = run_serving(_adaptive_cluster_with_live_migrations(), schedule, chaos)
+    assert r1.to_dict() == r2.to_dict()
+    assert v1 == v2
 
 
 def test_exact_retry_and_degrade_accounting():
