@@ -43,6 +43,7 @@ class Knobs:
     tenant_quotas: bool = True
     adaptive_selector: bool = True
     evacuation_policy: bool = True
+    replication: bool = True
 
     def off(self, name: str) -> "Knobs":
         """The leave-one-out vector with ``name`` disabled."""
@@ -113,6 +114,13 @@ def _hybrid_fallback(kind: str, workload: str, runtime: str, scenario: str) -> b
 
 
 def _quotas(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    return kind == "serving"
+
+
+def _replication(kind: str, workload: str, runtime: str, scenario: str) -> bool:
+    # Replica sets only exist in the serving layer; ablating R=2 back to
+    # R=1 is meaningful in every serving cell (fault-free cells price
+    # the write fan-out, faulty cells lose the durability).
     return kind == "serving"
 
 
@@ -209,6 +217,15 @@ COMPONENTS: Tuple[Component, ...] = (
         "(ablated: strict LRU — no hot-bit protection for recently "
         "re-touched entries).",
         _evacuation_policy,
+    ),
+    Component(
+        "replication",
+        "Shard replication (R=2)",
+        "Quorum-replicated serving shards: every key on two nodes, "
+        "write-all/read-one with version tags, heartbeat failure "
+        "detection and lossless failover (ablated: R=1 — the "
+        "unreplicated posture where a lost shard's writes die with it).",
+        _replication,
     ),
 )
 

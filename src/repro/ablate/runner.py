@@ -31,6 +31,10 @@ Ablation postures worth spelling out:
 * **evacuation_policy off** flips every residency set from CLOCK
   second-chance to strict LRU (``use_clock=False``), removing the
   hot-bit protection recently re-touched entries get under pressure.
+* **replication off** drops the serving cells from the replicated
+  baseline (R=2 quorum writes with version tags and a failure
+  detector) to the unreplicated R=1 data plane — the cycles delta is
+  the replication tax, and under chaos the durability it buys.
 
 A cell that raises :class:`~repro.errors.FarMemoryUnavailableError` or
 :class:`~repro.errors.DataIntegrityError` under an ablation is reported
@@ -350,10 +354,13 @@ def _pattern_runtime(spec: CellSpec, knobs: Knobs, arena: int):
 
 
 def _run_serving(spec: CellSpec, knobs: Knobs) -> CellRun:
+    # Baseline serving posture is replicated (R=2); the ablation drops
+    # the cluster back to the unreplicated R=1 data plane.
     report = WebCacheWorkload().run(
         runtime=spec.runtime,
         fault_plan=spec.fault_plan(),
         quotas=knobs.tenant_quotas,
+        replication=2 if knobs.replication else 1,
     )
     return CellRun(
         ok=True,

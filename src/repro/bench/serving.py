@@ -3,8 +3,9 @@
 Sweeps the sharded serving simulation over a client-count × shard-count
 matrix ({100, 1k, 10k} open-loop clients against {1, 4, 16} far-node
 shards) plus one chaos cell (4 shards, one knocked out mid-run and
-rebalanced away), and reports throughput and p50/p95/p99 end-to-end
-latency per cell.
+rebalanced away) and one replicated pair (the same knockout at R=2,
+where failover promotes surviving replicas and zero keys re-seed), and
+reports throughput and p50/p95/p99 end-to-end latency per cell.
 
 Every cell is a deterministic discrete-event simulation — seeded
 arrivals, seeded Zipf keys, seeded fault schedules — so the full
@@ -57,6 +58,10 @@ CHAOS_LOSE_FRACTION = 0.4
 CHAOS_REBALANCE_FRACTION = 0.7
 CHAOS_LOST_SHARD = 1
 
+#: Replica count of the replicated bench cells (quorum: write-all,
+#: read-one).
+REPLICATION = 2
+
 DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
 
 RUNTIME_KIND = "trackfm"
@@ -71,7 +76,7 @@ def _traffic(clients: int) -> TrafficConfig:
     )
 
 
-def _cluster(n_shards: int) -> ShardedCluster:
+def _cluster(n_shards: int, replication: int = 1) -> ShardedCluster:
     return ShardedCluster(
         ClusterConfig(
             n_shards=n_shards,
@@ -79,28 +84,34 @@ def _cluster(n_shards: int) -> ShardedCluster:
             runtime=RUNTIME_KIND,
             local_memory=LOCAL_MEMORY,
             seed=SEED,
+            replication=replication,
         )
     )
 
 
-def run_cell(clients: int, n_shards: int) -> Dict[str, object]:
+def run_cell(clients: int, n_shards: int, replication: int = 1) -> Dict[str, object]:
     """One fault-free matrix cell; returns the exact report dict."""
     schedule = generate_schedule(_traffic(clients))
-    report = ServingSimulation(_cluster(n_shards), schedule).run()
+    report = ServingSimulation(_cluster(n_shards, replication), schedule).run()
     return report.to_dict()
 
 
-def run_chaos_cell(clients: int = 1_000) -> Dict[str, object]:
+def run_chaos_cell(clients: int = 1_000, replication: int = 1) -> Dict[str, object]:
     """The knockout cell: lose one of four shards mid-run, rebalance,
     and still finish — the report's degraded/reseeded counters are part
-    of the pinned baseline (exact retry/degrade accounting)."""
+    of the pinned baseline (exact retry/degrade accounting).  At
+    ``replication >= 2`` the failure detector suspects the dead shard
+    and failover promotes surviving replicas (zero re-seeds); the
+    scripted rebalance becomes a no-op if detection beat it."""
     schedule = generate_schedule(_traffic(clients))
     end = float(schedule.times[-1])
     chaos = (
         ChaosAction(end * CHAOS_LOSE_FRACTION, "lose", CHAOS_LOST_SHARD),
         ChaosAction(end * CHAOS_REBALANCE_FRACTION, "rebalance"),
     )
-    report = ServingSimulation(_cluster(CHAOS_SHARDS), schedule, chaos).run()
+    report = ServingSimulation(
+        _cluster(CHAOS_SHARDS, replication), schedule, chaos
+    ).run()
     return report.to_dict()
 
 
@@ -125,13 +136,31 @@ def measure_chaos() -> Dict[str, object]:
     }
 
 
+def measure_replicated() -> Dict[str, object]:
+    """The R=2 pair: fault-free (replication overhead vs the R=1 cells)
+    and the knockout (lossless failover — ``reseeded_keys`` stays 0 and
+    ``failovers``/``promoted_keys`` are pinned exactly)."""
+    return {
+        "bench": "serving_replicated",
+        "clients": 1_000,
+        "runtime": RUNTIME_KIND,
+        "replication": REPLICATION,
+        "cells": {
+            "fault_free": run_cell(1_000, CHAOS_SHARDS, REPLICATION),
+            "knockout": run_chaos_cell(replication=REPLICATION),
+        },
+    }
+
+
 def _bench_names() -> List[str]:
-    return [f"c{c}" for c in CLIENT_COUNTS] + ["chaos"]
+    return [f"c{c}" for c in CLIENT_COUNTS] + ["chaos", "replicated"]
 
 
 def measure(name: str) -> Dict[str, object]:
     if name == "chaos":
         return measure_chaos()
+    if name == "replicated":
+        return measure_replicated()
     return measure_client_count(int(name[1:]))
 
 
@@ -206,26 +235,29 @@ def _diff_cells(
 # -- human-readable curves ----------------------------------------------------
 
 
-def curves_text() -> str:
+def curves_text(replication: int = 1) -> str:
     """The throughput/latency matrix as a text table."""
+    posture = f", replication {replication}" if replication > 1 else ""
     lines = [
         "serving: open-loop clients vs far-node shards "
         f"({RUNTIME_KIND} shards, {TOTAL_REQUESTS} requests/cell, "
-        f"{N_KEYS} keys, seed {SEED})",
+        f"{N_KEYS} keys, seed {SEED}{posture})",
         "",
         f"{'clients':>8} {'shards':>7} {'req/Mcyc':>10} "
         f"{'p50':>9} {'p95':>10} {'p99':>11} {'degraded':>9}",
     ]
     for clients in CLIENT_COUNTS:
         for shards in SHARD_COUNTS:
-            cell = run_cell(clients, shards)
+            if shards < replication:
+                continue  # fewer shards than replicas: not a posture
+            cell = run_cell(clients, shards, replication)
             p = cell["latency_percentiles"]
             lines.append(
                 f"{clients:>8} {shards:>7} {cell['throughput_per_mcycle']:>10.1f} "
                 f"{p['p50']:>9.0f} {p['p95']:>10.0f} {p['p99']:>11.0f} "
                 f"{cell['degraded_requests']:>9}"
             )
-    chaos = run_chaos_cell()
+    chaos = run_chaos_cell(replication=replication)
     p = chaos["latency_percentiles"]
     lines.append(
         f"{1000:>8} {'4-1':>7} {chaos['throughput_per_mcycle']:>10.1f} "
@@ -233,11 +265,19 @@ def curves_text() -> str:
         f"{chaos['degraded_requests']:>9}  <- knockout + rebalance"
     )
     stats = chaos["cluster_stats"]
-    lines.append(
-        f"\nchaos cell: {stats['reseeded_keys']} keys re-seeded after losing "
-        f"shard {CHAOS_LOST_SHARD} of {CHAOS_SHARDS}; run completed with "
-        f"{chaos['degraded_requests']} degraded requests"
-    )
+    if replication > 1:
+        lines.append(
+            f"\nchaos cell (R={replication}): {stats['reseeded_keys']} keys "
+            f"re-seeded, {stats.get('promoted_keys', 0)} replica copies promoted "
+            f"after losing shard {CHAOS_LOST_SHARD} of {CHAOS_SHARDS}; run "
+            f"completed with {chaos['degraded_requests']} degraded requests"
+        )
+    else:
+        lines.append(
+            f"\nchaos cell: {stats['reseeded_keys']} keys re-seeded after losing "
+            f"shard {CHAOS_LOST_SHARD} of {CHAOS_SHARDS}; run completed with "
+            f"{chaos['degraded_requests']} degraded requests"
+        )
     return "\n".join(lines)
 
 
@@ -271,6 +311,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--out", type=Path, default=None, help="also write the check report JSON here"
     )
+    parser.add_argument(
+        "--replication", type=int, default=1, metavar="N",
+        help=(
+            "replica count for the printed curves (default 1; the "
+            "recorded 'replicated' baseline always uses "
+            f"R={REPLICATION})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.record:
@@ -290,7 +338,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(line, file=sys.stderr if status != "ok" else sys.stdout)
         return 0 if report["ok"] else 1
 
-    print(curves_text())
+    print(curves_text(replication=args.replication))
     return 0
 
 

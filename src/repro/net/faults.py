@@ -216,6 +216,19 @@ class FaultPlan:
         """The same fault mix under a different seed."""
         return replace(self, seed=seed)
 
+    def control_variant(self, channel_id: int, salt: int) -> "FaultPlan":
+        """The same fault mix reseeded for one control-plane channel.
+
+        Heartbeat probes (``repro.serve.replication``) ride the same
+        lossy fabric as the data links but must roll independent fates:
+        the variant mixes ``(seed, channel, salt)`` through splitmix64,
+        and its schedules run their own message counters, so arming a
+        control channel never perturbs an existing data-link replay.
+        """
+        return self.reseeded(
+            _splitmix64((self.seed & _MASK64) ^ (channel_id << 1) ^ (salt & _MASK64))
+        )
+
 
 @dataclass
 class FaultStats:

@@ -3,7 +3,9 @@
 One logical object pool spread across N far nodes: consistent-hash
 placement (:mod:`~repro.serve.ring`), deterministic open-loop traffic
 (:mod:`~repro.serve.traffic`), per-shard fault domains and tenant
-quotas (:mod:`~repro.serve.cluster`), and a discrete-event simulation
+quotas (:mod:`~repro.serve.cluster`), quorum replication with failure
+detection, lossless failover and anti-entropy repair
+(:mod:`~repro.serve.replication`), and a discrete-event simulation
 that measures end-to-end latency under load and under shard loss
 (:mod:`~repro.serve.simulation`).  See ``docs/serving.md``.
 """
@@ -17,8 +19,16 @@ from repro.serve.cluster import (
     default_value,
     next_value,
 )
-from repro.serve.ring import HashRing, hash_key, moved_keys
+from repro.serve.replication import (
+    FailureDetector,
+    HeartbeatChannel,
+    ReplicaTag,
+    initial_tag,
+    resolve_quorums,
+)
+from repro.serve.ring import HashRing, hash_key, moved_keys, moved_replica_keys
 from repro.serve.simulation import (
+    CHAOS_ACTIONS,
     ChaosAction,
     ServingReport,
     ServingSimulation,
@@ -27,10 +37,14 @@ from repro.serve.simulation import (
 from repro.serve.traffic import Schedule, TrafficConfig, generate_schedule
 
 __all__ = [
+    "CHAOS_ACTIONS",
     "ChaosAction",
     "ClusterConfig",
     "ClusterStats",
+    "FailureDetector",
     "HashRing",
+    "HeartbeatChannel",
+    "ReplicaTag",
     "RequestResult",
     "Schedule",
     "ServingReport",
@@ -41,7 +55,10 @@ __all__ = [
     "default_value",
     "generate_schedule",
     "hash_key",
+    "initial_tag",
     "moved_keys",
+    "moved_replica_keys",
     "next_value",
+    "resolve_quorums",
     "run_serving",
 ]

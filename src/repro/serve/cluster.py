@@ -14,15 +14,31 @@ each shard lazily assigns arriving keys to slots in its own heap, so a
 shard only pays local-memory pressure for keys it actually owns.
 
 **Data semantics.**  Each shard's key-value store models the far node's
-durable contents.  Losing a shard loses its data: requests for its keys
-are served *degraded* (stale reads, non-durable writes — counted in
-``degraded_accesses``) until ``rebalance()`` removes it from the ring
-and re-seeds its keys onto survivors from their initial values
-(restore from a cold replica).  Keys on surviving shards never notice:
-the chaos suite pins that their values are bit-identical to a
-fault-free run.  Joining a shard moves keys *to* it; moved keys that
-are resident on a surviving source are migrated through the source
-pool's evacuator (dirty ones cross the wire).
+durable contents.  What a loss costs depends on the replication factor:
+
+* **Unreplicated (``replication=1``, the default).**  Losing a shard
+  loses its data: requests for its keys are served *degraded* (stale
+  reads, non-durable writes — counted in ``degraded_accesses``) until
+  ``rebalance()`` removes it from the ring and re-seeds its keys onto
+  survivors from their initial values.  Keys on surviving shards never
+  notice: the chaos suite pins that their values are bit-identical to
+  a fault-free run.
+* **Replicated (``replication=R >= 2``).**  Every key lives on R
+  distinct shards (:meth:`HashRing.place_n`), writes are applied to
+  the whole live replica set with a monotonic per-key version tag
+  (committed once ``write_quorum`` replicas ack), reads consult a
+  ``read_quorum`` and take the max version (healing stale replicas
+  inline — read repair).  A heartbeat failure detector suspects dead
+  shards and **failover promotes surviving replicas losslessly**: zero
+  keys re-seed as long as one replica survives, and a background
+  anti-entropy sweep reconciles replicas that diverged during a
+  partition.  ``python -m repro.bench serving --replication 2`` pins
+  this posture; R=1 runs stay bit-identical to the historical
+  unreplicated baselines.
+
+Joining a shard moves keys *to* it; moved keys that are resident on a
+surviving source are migrated through the source pool's evacuator
+(dirty ones cross the wire).
 
 **Tenant quotas.**  Per-tenant local-memory quotas bound how much of a
 shard's residency one tenant can hold: when a tenant exceeds its
@@ -36,15 +52,22 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import RuntimeConfigError
+from repro.errors import DataIntegrityError, RuntimeConfigError
 from repro.machine.costs import AccessKind
 from repro.net.backends import make_shard_backend
 from repro.net.faults import FaultPlan
 from repro.sim.metrics import Metrics
 from repro.trace.histogram import StreamingHistogram
 from repro.trace.tracer import NULL_TRACER
+from repro.serve.replication import (
+    FailureDetector,
+    HeartbeatChannel,
+    ReplicaTag,
+    initial_tag,
+    resolve_quorums,
+)
 from repro.serve.ring import HashRing, _splitmix64
 from repro.units import BASE_PAGE, KB, align_up
 
@@ -93,6 +116,21 @@ class ClusterConfig:
     #: derived seed (independent fault domains).
     fault_plan: Optional[FaultPlan] = None
     degraded_stall_cycles: float = DEGRADED_STALL_CYCLES
+    #: Replicas per key (1 = the historical unreplicated posture, whose
+    #: request path and reports stay bit-identical to older baselines).
+    replication: int = 1
+    #: Write/read quorum sizes; ``None`` = write-all / read-one.  Any
+    #: explicit pair must satisfy ``W + R > replication``.
+    write_quorum: Optional[int] = None
+    read_quorum: Optional[int] = None
+    #: Failure-detector tuning: heartbeat cadence in simulated cycles
+    #: and consecutive misses before a shard is suspected.
+    heartbeat_interval_cycles: float = 200_000.0
+    suspicion_threshold: int = 3
+    #: Fail over suspected shards automatically at detection time.
+    auto_failover: bool = True
+    #: Background anti-entropy sweep cadence (None = only on demand).
+    anti_entropy_interval_cycles: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -105,6 +143,37 @@ class ClusterConfig:
             )
         if self.tenant_quota_bytes is not None and self.tenant_quota_bytes < self.object_size:
             raise RuntimeConfigError("tenant quota smaller than one object")
+        # Validates replication >= 1 and quorum intersection eagerly.
+        resolve_quorums(
+            self.effective_replication, self.write_quorum, self.read_quorum
+        )
+        if self.heartbeat_interval_cycles <= 0:
+            raise RuntimeConfigError("heartbeat_interval_cycles must be > 0")
+        if self.suspicion_threshold < 1:
+            raise RuntimeConfigError("suspicion_threshold must be >= 1")
+        if (
+            self.anti_entropy_interval_cycles is not None
+            and self.anti_entropy_interval_cycles <= 0
+        ):
+            raise RuntimeConfigError("anti_entropy_interval_cycles must be > 0")
+
+    @property
+    def effective_replication(self) -> int:
+        """Replicas a key actually gets (bounded by the shard count)."""
+        if self.replication < 1:
+            return self.replication  # let resolve_quorums raise
+        return min(self.replication, self.n_shards)
+
+    @property
+    def replicated(self) -> bool:
+        return self.effective_replication > 1
+
+    @property
+    def quorums(self) -> Tuple[int, int]:
+        """The resolved ``(write_quorum, read_quorum)`` pair."""
+        return resolve_quorums(
+            self.effective_replication, self.write_quorum, self.read_quorum
+        )
 
     @property
     def shard_heap_bytes(self) -> int:
@@ -126,10 +195,19 @@ class Shard:
         self.shard_id = shard_id
         self.config = config
         self.lost = False
+        #: Data links dropped (reversible), control plane still up —
+        #: the gray-failure regime anti-entropy exists for.
+        self.partitioned = False
         #: key -> heap offset of its slot in this shard's heap.
         self.slots: Dict[int, int] = {}
         #: The far node's durable contents (key -> value).
         self.store: Dict[int, int] = {}
+        #: Per-key replica metadata (monotonic write version + the
+        #: integrity layer's object checksum), kept next to the value.
+        self.tags: Dict[int, ReplicaTag] = {}
+        #: The control-plane probe channel the failure detector polls.
+        self.heartbeat = HeartbeatChannel(shard_id, config.fault_plan)
+        self._saved_faults: Optional[list] = None
         #: End-to-end request latency (queue wait + service), cycles.
         self.latency = StreamingHistogram()
         self.requests = 0
@@ -262,6 +340,24 @@ class Shard:
         """Forget a key that moved away (its slot is not reused)."""
         self.slots.pop(key, None)
         self.store.pop(key, None)
+        self.tags.pop(key, None)
+
+    def version_of(self, key: int) -> int:
+        """The write version this replica holds (0 = seeded default)."""
+        tag = self.tags.get(key)
+        return tag.version if tag is not None else 0
+
+    def tag_of(self, key: int) -> ReplicaTag:
+        tag = self.tags.get(key)
+        return tag if tag is not None else initial_tag(key)
+
+    def apply_write(self, key: int, value: int, tag: ReplicaTag) -> bool:
+        """Apply a replicated write to durable state; False = unreachable."""
+        if self.lost or self.partitioned:
+            return False
+        self.store[key] = value
+        self.tags[key] = tag
+        return True
 
     # -- the service path ---------------------------------------------------
 
@@ -318,11 +414,45 @@ class Shard:
         return self.runtime.remote_backends()
 
     def knock_out(self) -> None:
-        """Arm a dead fault schedule on every link of this shard."""
+        """Arm a dead fault schedule on every link of this shard.
+
+        The heartbeat channel goes dark too: suspicion is a consequence
+        of the loss (missed probes), not an oracle flag the detector
+        reads.
+        """
         dead = FaultPlan(seed=self.shard_id ^ 0xDEAD, drop_rate=1.0)
         for backend in self.remote_backends():
             backend.link.faults = dead.schedule()
+        self.heartbeat.down = True
         self.lost = True
+
+    def partition(self) -> None:
+        """Drop every data link, reversibly; heartbeats stay up.
+
+        Models a gray failure: the node answers control-plane probes
+        but its data path is unreachable, so the detector never fires,
+        writes stop landing here, and the replica goes stale until
+        :meth:`heal` + anti-entropy reconcile it.
+        """
+        if self.lost:
+            raise RuntimeConfigError(f"shard {self.shard_id} is lost, not partitionable")
+        if self.partitioned:
+            raise RuntimeConfigError(f"shard {self.shard_id} already partitioned")
+        backends = self.remote_backends()
+        self._saved_faults = [backend.link.faults for backend in backends]
+        cut = FaultPlan(seed=self.shard_id ^ 0x9A97, drop_rate=1.0)
+        for backend in backends:
+            backend.link.faults = cut.schedule()
+        self.partitioned = True
+
+    def heal(self) -> None:
+        """Restore the data links a :meth:`partition` cut."""
+        if not self.partitioned:
+            raise RuntimeConfigError(f"shard {self.shard_id} is not partitioned")
+        for backend, faults in zip(self.remote_backends(), self._saved_faults or ()):
+            backend.link.faults = faults
+        self._saved_faults = None
+        self.partitioned = False
 
     def record_latency(self, latency_cycles: float) -> None:
         self.requests += 1
@@ -337,6 +467,11 @@ class RequestResult:
     value: int
     service_cycles: float
     degraded: bool
+    #: Replication view (replicated clusters only; R=1 keeps defaults).
+    #: Version tag the request committed/observed.
+    version: int = 0
+    #: Replicas that durably applied a write (reads: replicas consulted).
+    acks: int = 0
 
 
 @dataclass
@@ -347,15 +482,27 @@ class ClusterStats:
     degraded_requests: int = 0
     lost_shards: int = 0
     rebalances: int = 0
-    #: Keys re-seeded onto survivors after a shard loss (data restored
-    #: from initial values — the cold-replica model).
+    #: Keys re-seeded from initial values after a loss.  Unreplicated
+    #: clusters re-seed every lost key; replicated ones only when *all*
+    #: replicas of a key died — the chaos suite pins this at 0 for R>=2
+    #: single-shard knockouts.
     reseeded_keys: int = 0
     #: Keys migrated survivor → survivor through the evacuator (joins).
     migrated_keys: int = 0
     migration_cycles: float = 0.0
+    #: Replication counters — serialized sparsely (only when nonzero)
+    #: so unreplicated reports keep their historical exact form.
+    #: Dead shards failed over (surviving replicas promoted).
+    failovers: int = 0
+    #: Replica copies materialized on new replica-set members at failover.
+    promoted_keys: int = 0
+    #: Stale replicas reconciled by anti-entropy sweeps.
+    healed_stale_replicas: int = 0
+    #: Gray partitions injected (data links cut, heartbeats alive).
+    partitions: int = 0
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "requests": self.requests,
             "degraded_requests": self.degraded_requests,
             "lost_shards": self.lost_shards,
@@ -364,6 +511,16 @@ class ClusterStats:
             "migrated_keys": self.migrated_keys,
             "migration_cycles": self.migration_cycles,
         }
+        for key in (
+            "failovers",
+            "promoted_keys",
+            "healed_stale_replicas",
+            "partitions",
+        ):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
+        return out
 
 
 class ShardedCluster:
@@ -380,8 +537,16 @@ class ShardedCluster:
         )
         #: Cached placement (kept exactly consistent with the ring).
         self._owner: Dict[int, int] = {}
+        #: Cached replica sets (replicated clusters; primary first).
+        self._replica_sets: Dict[int, Tuple[int, ...]] = {}
         self.stats = ClusterStats()
         self._next_shard_id = config.n_shards
+        self.detector: Optional[FailureDetector] = None
+        if config.replicated:
+            self._write_quorum, self._read_quorum = config.quorums
+            self.detector = FailureDetector(config.suspicion_threshold)
+            for sid, shard in sorted(self.shards.items()):
+                self.detector.watch(sid, shard.heartbeat)
         if tracer is not None:
             self.set_tracer(tracer)
 
@@ -393,14 +558,36 @@ class ShardedCluster:
     # -- placement ----------------------------------------------------------
 
     def place(self, key: int) -> int:
+        if self.config.replicated:
+            return self.replicas(key)[0]
         sid = self._owner.get(key)
         if sid is None:
             sid = self.ring.place(key)
             self._owner[key] = sid
         return sid
 
+    def replicas(self, key: int) -> Tuple[int, ...]:
+        """The key's replica set (primary first), cached like ``place``."""
+        reps = self._replica_sets.get(key)
+        if reps is None:
+            reps = self.ring.place_n(key, self.config.replication)
+            self._replica_sets[key] = reps
+            self._owner[key] = reps[0]
+        return reps
+
     def live_shards(self) -> List[int]:
         return [sid for sid, shard in sorted(self.shards.items()) if not shard.lost]
+
+    def _routable(self, replicas: Iterable[int]) -> List[int]:
+        """Replicas requests are sent to: the not-yet-suspected ones.
+
+        Before the failure detector fires, a dead replica is still
+        routed to (and pays degraded service) — suspicion, not an
+        oracle, is what removes it from the request path.
+        """
+        suspected = self.detector.suspected if self.detector is not None else ()
+        routable = [sid for sid in replicas if sid not in suspected]
+        return routable if routable else list(replicas)
 
     # -- the request path ---------------------------------------------------
 
@@ -416,6 +603,8 @@ class ShardedCluster:
             raise RuntimeConfigError(
                 f"key {key} outside [0, {self.config.n_keys})"
             )
+        if self.config.replicated:
+            return self._serve_replicated(key, tenant, write)
         sid = self.place(key)
         shard = self.shards[sid]
         kind = AccessKind.WRITE if write else AccessKind.READ
@@ -443,8 +632,99 @@ class ShardedCluster:
             self.stats.degraded_requests += 1
         return RequestResult(sid, value, cycles, degraded)
 
+    # -- the replicated request path -----------------------------------------
+
+    def _freshest(self, key: int, shard_ids: Iterable[int]) -> Tuple[int, int, ReplicaTag]:
+        """``(shard, value, tag)`` of the max-version copy among
+        ``shard_ids`` (ties broken by iteration order — replica order,
+        so two runs always agree)."""
+        best_sid = -1
+        best_value = 0
+        best_tag: Optional[ReplicaTag] = None
+        for sid in shard_ids:
+            shard = self.shards[sid]
+            tag = shard.tag_of(key)
+            if best_tag is None or tag.version > best_tag.version:
+                best_sid = sid
+                best_value = shard.store.get(key, default_value(key))
+                best_tag = tag
+        if best_tag is None:
+            return -1, default_value(key), initial_tag(key)
+        return best_sid, best_value, best_tag
+
+    def _serve_replicated(self, key: int, tenant: int, write: bool) -> RequestResult:
+        """Quorum write / quorum read over the key's replica set.
+
+        Writes go to every routable replica with a bumped version tag;
+        the write is *committed* once ``write_quorum`` replicas durably
+        applied it (fewer = the request is degraded: acknowledged below
+        quorum).  Reads consult the first ``read_quorum`` routable
+        replicas, return the max-version value, and heal stale quorum
+        members inline (read repair).
+        """
+        reps = self.replicas(key)
+        routable = self._routable(reps)
+        coordinator = routable[0]
+        cycles = 0.0
+        degraded = False
+        if write:
+            _src, prev_value, prev_tag = self._freshest(key, reps)
+            value = next_value(key, prev_value)
+            tag = ReplicaTag.at(key, prev_tag.version + 1)
+            acks = 0
+            for sid in routable:
+                shard = self.shards[sid]
+                before = shard.metrics.degraded_accesses
+                cycles += shard.service(key, AccessKind.WRITE, tenant)
+                if shard.metrics.degraded_accesses > before or shard.lost:
+                    degraded = True
+                if shard.apply_write(key, value, tag):
+                    acks += 1
+                    if sid != coordinator:
+                        shard.metrics.replica_writes += 1
+            if acks < min(self._write_quorum, len(reps)):
+                degraded = True
+            version = tag.version
+        else:
+            targets = routable[: self._read_quorum]
+            for sid in targets:
+                shard = self.shards[sid]
+                before = shard.metrics.degraded_accesses
+                cycles += shard.service(key, AccessKind.READ, tenant)
+                if shard.metrics.degraded_accesses > before:
+                    degraded = True
+            self.shards[coordinator].metrics.quorum_reads += 1
+            _src, value, tag = self._freshest(key, targets)
+            version = tag.version
+            acks = len(targets)
+            # Read repair: stale quorum members adopt the winner.
+            for sid in targets:
+                shard = self.shards[sid]
+                if shard.version_of(key) < version and shard.apply_write(key, value, tag):
+                    shard.metrics.read_repairs += 1
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.replica(
+                            "read_repair", self._now(),
+                            key=key, shard=sid, version=version,
+                        )
+        self.stats.requests += 1
+        if degraded:
+            self.stats.degraded_requests += 1
+        return RequestResult(coordinator, value, cycles, degraded, version, acks)
+
     def read_value(self, key: int) -> int:
-        """The durable value of ``key`` right now (no cost accounting)."""
+        """The durable value of ``key`` right now (no cost accounting).
+
+        Replicated clusters answer with the freshest *reachable* copy
+        (max version over non-lost replicas); unreplicated ones read
+        the owner's store, exactly as before.
+        """
+        if self.config.replicated:
+            reps = self.replicas(key)
+            reachable = [sid for sid in reps if not self.shards[sid].lost]
+            _sid, value, _tag = self._freshest(key, reachable or reps)
+            return value
         shard = self.shards[self.place(key)]
         return shard.store.get(key, default_value(key))
 
@@ -464,14 +744,23 @@ class ShardedCluster:
             tracer.serve("shard_lost", self._now(), shard=shard_id)
 
     def rebalance(self) -> int:
-        """Remove lost shards from the ring; re-seed their keys.
+        """Remove lost shards from the ring; recover their keys.
 
-        Keys owned by a lost shard are re-placed on survivors and
-        re-seeded from their initial values (cold-replica restore) —
-        consistent hashing guarantees no other key moves.  Returns the
-        number of re-seeded keys.
+        Unreplicated clusters re-place every lost-shard key on a
+        survivor and re-seed it from its initial value — the write
+        history dies with the shard.  Replicated clusters fail over
+        instead: surviving replicas are promoted losslessly (zero
+        re-seeds while any replica of each key survives); see
+        :meth:`failover`.  Returns the number of keys whose placement
+        moved.
         """
         lost = [sid for sid, shard in self.shards.items() if shard.lost and sid in self.ring]
+        if self.config.replicated:
+            if not lost:
+                return 0
+            moved = self.failover(lost)
+            self.stats.rebalances += 1
+            return moved
         moved = 0
         for sid in lost:
             self.ring.remove_shard(sid)
@@ -496,6 +785,170 @@ class ShardedCluster:
                 )
         return moved
 
+    def failover(self, shard_ids: Iterable[int]) -> int:
+        """Remove dead shards from the ring and promote surviving replicas.
+
+        For every key whose replica set intersected the dead set, the
+        freshest *reachable* surviving copy (max version tag, verified
+        against the integrity checksum) is copied onto the set's new
+        members — lossless, so ``reseeded_keys`` stays untouched.  Only
+        when every replica of a key died does the key re-seed from its
+        initial value.  Keys whose replica sets did not contain a dead
+        shard keep their sets verbatim (the :meth:`HashRing.place_n`
+        leave law).  Returns the number of keys whose set changed.
+        """
+        if not self.config.replicated:
+            raise RuntimeConfigError("failover requires a replicated cluster")
+        dead = sorted({sid for sid in shard_ids if sid in self.ring})
+        if not dead:
+            return 0
+        if len(self.ring) - len(dead) < 1:
+            raise RuntimeConfigError("cannot fail over every ring member")
+        for sid in dead:
+            self.ring.remove_shard(sid)
+            if self.detector is not None:
+                # Routed around from now on, even if suspicion was a
+                # false positive on a lossy control plane.
+                self.detector.suspected.add(sid)
+        dead_set = set(dead)
+        moved = 0
+        promoted = 0
+        reseeded = 0
+        for key in sorted(self._replica_sets):
+            old = self._replica_sets[key]
+            if not dead_set.intersection(old):
+                continue
+            new = self.ring.place_n(key, self.config.replication)
+            self._replica_sets[key] = new
+            self._owner[key] = new[0]
+            moved += 1
+            survivors = [
+                sid for sid in old
+                if sid not in dead_set
+                and not self.shards[sid].lost
+                and not self.shards[sid].partitioned
+            ]
+            if survivors:
+                _src, value, tag = self._freshest(key, survivors)
+                if not tag.verify(key):
+                    raise DataIntegrityError(
+                        f"replica tag for key {key} failed verification at failover",
+                        obj_id=key,
+                    )
+                for sid in new:
+                    if sid in old:
+                        continue
+                    if self.shards[sid].apply_write(key, value, tag):
+                        promoted += 1
+            else:
+                # Every replica died: the write history is gone.
+                reseeded += 1
+            for sid in old:
+                if sid in dead_set:
+                    self.shards[sid].drop_key(key)
+        self.stats.failovers += len(dead)
+        self.stats.promoted_keys += promoted
+        self.stats.reseeded_keys += reseeded
+        live = self.live_shards()
+        if live:
+            self.shards[live[0]].metrics.failovers += len(dead)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.replica(
+                "failover", self._now(),
+                removed=dead, moved=moved, promoted=promoted, reseeded=reseeded,
+            )
+        return moved
+
+    def anti_entropy(self) -> int:
+        """One reconciliation sweep: heal every stale reachable replica.
+
+        For each key, the freshest reachable copy (not lost, not
+        partitioned) wins; lower-versioned reachable replicas adopt its
+        value and tag.  Idempotent — a second sweep with no intervening
+        writes heals nothing.  Returns the number of replicas healed.
+        """
+        if not self.config.replicated:
+            return 0
+        healed = 0
+        for key in range(self.config.n_keys):
+            reps = self.replicas(key)
+            reachable = [
+                sid for sid in reps
+                if not self.shards[sid].lost and not self.shards[sid].partitioned
+            ]
+            if not reachable:
+                continue
+            _src, value, tag = self._freshest(key, reachable)
+            if tag.version == 0:
+                continue  # nothing written: every replica is at the seed
+            if not tag.verify(key):
+                raise DataIntegrityError(
+                    f"replica tag for key {key} failed verification in anti-entropy",
+                    obj_id=key,
+                )
+            for sid in reachable:
+                shard = self.shards[sid]
+                if shard.version_of(key) < tag.version and shard.apply_write(
+                    key, value, tag
+                ):
+                    healed += 1
+                    shard.metrics.stale_replicas_healed += 1
+        if healed:
+            self.stats.healed_stale_replicas += healed
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.replica("anti_entropy", self._now(), healed=healed)
+        return healed
+
+    def partition_shard(self, shard_id: int) -> None:
+        """Cut a shard's data links, reversibly; its heartbeats stay up.
+
+        The gray-failure regime: the detector never fires, so the
+        replica silently goes stale until :meth:`heal_shard` restores
+        the links and :meth:`anti_entropy` reconciles it.
+        """
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise RuntimeConfigError(f"shard {shard_id} does not exist")
+        shard.partition()
+        self.stats.partitions += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.replica("partition", self._now(), shard=shard_id)
+
+    def heal_shard(self, shard_id: int) -> None:
+        """Restore the data links :meth:`partition_shard` cut."""
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise RuntimeConfigError(f"shard {shard_id} does not exist")
+        shard.heal()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.replica("heal", self._now(), shard=shard_id)
+
+    def tick(self) -> List[int]:
+        """One failure-detector round: probe every heartbeat channel.
+
+        Newly suspected shards (``suspicion_threshold`` consecutive
+        missed probes) are failed over immediately when
+        ``auto_failover`` is set — unless that would empty the ring, in
+        which case suspicion stands but the ring is left alone.
+        Returns the newly suspected shard ids.
+        """
+        if self.detector is None:
+            return []
+        newly = self.detector.tick()
+        if newly:
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.replica("suspect", self._now(), shards=list(newly))
+            if self.config.auto_failover:
+                in_ring = [sid for sid in newly if sid in self.ring]
+                if in_ring and len(self.ring) - len(in_ring) >= 1:
+                    self.failover(in_ring)
+        return newly
+
     def join_shard(self) -> int:
         """Bring up a fresh shard and migrate its keys onto it.
 
@@ -512,22 +965,57 @@ class ShardedCluster:
             shard.set_tracer(self.tracer)
         self.shards[sid] = shard
         self.ring.add_shard(sid)
+        if self.detector is not None:
+            self.detector.watch(sid, shard.heartbeat)
         migrated = 0
         cycles = 0.0
-        for key, owner in list(self._owner.items()):
-            new_sid = self.ring.place(key)
-            if new_sid == owner:
-                continue
-            source = self.shards[owner]
-            # Copy the durable value, then evacuate the source slot.
-            shard.store[key] = source.store.get(key, default_value(key))
-            pool = source.pool
-            slot = source.slots.get(key)
-            if pool is not None and slot is not None and not source.lost:
-                cycles += pool.expel(slot // self.config.object_size)
-            source.drop_key(key)
-            self._owner[key] = new_sid
-            migrated += 1
+        if self.config.replicated:
+            # Replica-set migration: a set that adopts the joiner copies
+            # the freshest verified surviving value onto it and evicts
+            # at most one old member (the place_n join law); sets that
+            # did not adopt it are untouched.
+            for key in sorted(self._replica_sets):
+                old = self._replica_sets[key]
+                new = self.ring.place_n(key, self.config.replication)
+                if set(new) == set(old):
+                    self._replica_sets[key] = new
+                    self._owner[key] = new[0]
+                    continue
+                sources = [
+                    s for s in old
+                    if not self.shards[s].lost and not self.shards[s].partitioned
+                ]
+                _src, value, tag = self._freshest(key, sources or old)
+                for member in new:
+                    if member not in old:
+                        self.shards[member].apply_write(key, value, tag)
+                for member in old:
+                    if member in new:
+                        continue
+                    source = self.shards[member]
+                    pool = source.pool
+                    slot = source.slots.get(key)
+                    if pool is not None and slot is not None and not source.lost:
+                        cycles += pool.expel(slot // self.config.object_size)
+                    source.drop_key(key)
+                self._replica_sets[key] = new
+                self._owner[key] = new[0]
+                migrated += 1
+        else:
+            for key, owner in list(self._owner.items()):
+                new_sid = self.ring.place(key)
+                if new_sid == owner:
+                    continue
+                source = self.shards[owner]
+                # Copy the durable value, then evacuate the source slot.
+                shard.store[key] = source.store.get(key, default_value(key))
+                pool = source.pool
+                slot = source.slots.get(key)
+                if pool is not None and slot is not None and not source.lost:
+                    cycles += pool.expel(slot // self.config.object_size)
+                source.drop_key(key)
+                self._owner[key] = new_sid
+                migrated += 1
         self.stats.migrated_keys += migrated
         self.stats.migration_cycles += cycles
         tracer = self.tracer

@@ -129,9 +129,51 @@ class HashRing:
             at = 0  # wrap: the first point owns the top arc
         return self._owners[at]
 
-    def placement(self, keys: Sequence[int]) -> Dict[int, int]:
-        """``{key: shard}`` for every key (bulk :meth:`place`)."""
-        return {key: self.place(key) for key in keys}
+    def place_n(self, key: int, n: int) -> Tuple[int, ...]:
+        """The replica set of ``key``: ``min(n, len(self))`` distinct shards.
+
+        The clockwise successor walk — collect the owner of each point
+        from the key's hash onward, skipping shards already collected —
+        makes the set a pure function of the shard set, and gives the
+        exact movement laws the replication layer leans on:
+
+        * **leave**: a key whose set did not contain the leaver keeps
+          its set; a key whose set did loses exactly that member and
+          gains at most one replacement (the next distinct survivor);
+        * **join**: the new set is a subset of the old set plus the
+          joiner, and a set that does not adopt the joiner is unchanged.
+
+        The first element is the key's *primary* — identical to
+        :meth:`place`, so ``place_n(key, 1) == (place(key),)``.
+        """
+        if n < 1:
+            raise RuntimeConfigError(f"replica count must be >= 1, got {n}")
+        if not self._points:
+            raise RuntimeConfigError("cannot place a key on an empty ring")
+        want = min(n, len(self._shards))
+        h = hash_key(key, self.seed) << 32
+        start = bisect.bisect_right(self._points, h)
+        owners = self._owners
+        total = len(owners)
+        replicas: List[int] = []
+        for step in range(total):
+            owner = owners[(start + step) % total]
+            if owner not in replicas:
+                replicas.append(owner)
+                if len(replicas) == want:
+                    break
+        return tuple(replicas)
+
+    def placement(self, keys: Sequence[int], n: int = 1) -> Dict[int, object]:
+        """Bulk placement: ``{key: shard}``, or ``{key: replica set}``.
+
+        With the default ``n=1`` this is exactly the historical
+        ``{key: shard}`` map (bulk :meth:`place`); with ``n > 1`` each
+        value is the :meth:`place_n` replica tuple.
+        """
+        if n == 1:
+            return {key: self.place(key) for key in keys}
+        return {key: self.place_n(key, n) for key in keys}
 
     # -- balance (arc-share view, used by the property suite) ---------------
 
@@ -163,4 +205,17 @@ def moved_keys(
         (key, old, after[key])
         for key, old in before.items()
         if after[key] != old
+    ]
+
+
+def moved_replica_keys(
+    before: Dict[int, Tuple[int, ...]], after: Dict[int, Tuple[int, ...]]
+) -> List[Tuple[int, Tuple[int, ...], Tuple[int, ...]]]:
+    """``(key, old_set, new_set)`` for every key whose *replica set*
+    changed as a set (reorderings within an unchanged set don't count —
+    replica membership, not coordinator choice, is what costs a copy)."""
+    return [
+        (key, old, after[key])
+        for key, old in before.items()
+        if set(after[key]) != set(old)
     ]

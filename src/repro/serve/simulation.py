@@ -11,10 +11,16 @@ simulates open-loop traffic instead of averaging closed-form costs.
 Chaos actions (:class:`ChaosAction`) fire at configured simulated
 times, *between* arrivals: a ``lose`` knocks a whole far node out
 mid-run (its requests degrade), ``rebalance`` shrinks the ring and
-re-seeds the dead shard's keys, ``join`` grows the ring and migrates.
-Everything — arrivals, service costs, fault schedules, chaos timing —
-is a pure function of seeds, so the full :class:`ServingReport`
-(fingerprints included) is bit-identical across reruns.
+recovers the dead shard's keys (re-seed when unreplicated, lossless
+failover when replicated), ``join`` grows the ring and migrates,
+``partition``/``heal`` cut and restore one shard's data links (gray
+failure), and ``anti_entropy`` forces a reconciliation sweep.  On
+replicated clusters the failure detector's heartbeat ticks and the
+optional periodic anti-entropy sweep are interleaved with chaos in
+simulated-time order.  Everything — arrivals, service costs, fault
+schedules, chaos timing — is a pure function of seeds, so the full
+:class:`ServingReport` (fingerprints included) is bit-identical across
+reruns.
 """
 
 from __future__ import annotations
@@ -32,20 +38,26 @@ _MASK64 = (1 << 64) - 1
 PERCENTILES = (50.0, 95.0, 99.0)
 
 
+#: Every scripted chaos kind; ``partition``/``heal``/``anti_entropy``
+#: are the replicated cluster's gray-failure repertoire.
+CHAOS_ACTIONS = ("lose", "rebalance", "join", "partition", "heal", "anti_entropy")
+
+
 @dataclass(frozen=True)
 class ChaosAction:
     """One scripted control-plane event at a simulated time."""
 
     at_cycles: float
-    #: ``lose`` (needs ``shard``), ``rebalance``, or ``join``.
+    #: One of :data:`CHAOS_ACTIONS`; ``lose``/``partition``/``heal``
+    #: need ``shard``.
     action: str
     shard: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.action not in ("lose", "rebalance", "join"):
+        if self.action not in CHAOS_ACTIONS:
             raise RuntimeConfigError(f"unknown chaos action {self.action!r}")
-        if self.action == "lose" and self.shard is None:
-            raise RuntimeConfigError("'lose' needs a shard id")
+        if self.action in ("lose", "partition", "heal") and self.shard is None:
+            raise RuntimeConfigError(f"{self.action!r} needs a shard id")
 
 
 @dataclass
@@ -103,15 +115,27 @@ class ServingSimulation:
         actions: List[ChaosAction] = sorted(
             self.chaos, key=lambda a: (a.at_cycles, a.action)
         )
-        next_action = 0
+        self._next_action = 0
+        # The replicated control plane ticks on simulated time: the
+        # failure detector probes every heartbeat interval, and the
+        # anti-entropy sweep (when configured) runs on its own cadence.
+        # Unreplicated clusters schedule neither, so their runs replay
+        # the historical event sequence exactly.
+        config = cluster.config
+        self._hb_interval = (
+            config.heartbeat_interval_cycles if cluster.detector is not None else None
+        )
+        self._next_hb = self._hb_interval
+        self._ae_interval = (
+            config.anti_entropy_interval_cycles if config.replicated else None
+        )
+        self._next_ae = self._ae_interval
         busy_until: Dict[int, float] = {}
         makespan = 0.0
         completions_acc = 0xCBF29CE484222325
 
         for now, _client, tenant, key, is_write in self.schedule.rows():
-            while next_action < len(actions) and actions[next_action].at_cycles <= now:
-                self._apply(actions[next_action])
-                next_action += 1
+            self._control_plane(actions, now)
             sid = cluster.place(key)
             start = max(now, busy_until.get(sid, 0.0))
             result = cluster.serve(key, tenant=tenant, write=is_write)
@@ -139,10 +163,22 @@ class ServingSimulation:
                 )
 
         # Chaos scripted past the last arrival still runs (e.g. a final
-        # rebalance whose re-seeding the report must reflect).
-        while next_action < len(actions):
-            self._apply(actions[next_action])
-            next_action += 1
+        # rebalance whose re-seeding the report must reflect), with the
+        # control plane ticking alongside in time order.
+        if actions:
+            self._control_plane(actions, actions[-1].at_cycles)
+        while self._next_action < len(actions):
+            self._apply(actions[self._next_action])
+            self._next_action += 1
+        # Trail the detector past the end of traffic: a knockout near
+        # (or after) the last arrival still crosses the suspicion
+        # threshold and fails over before the report is cut; then one
+        # closing sweep reconciles whatever the run left stale.
+        if cluster.detector is not None:
+            for _ in range(config.suspicion_threshold):
+                cluster.tick()
+            if self._ae_interval is not None:
+                cluster.anti_entropy()
 
         for key in range(cluster.config.n_keys):
             self.final_values[key] = cluster.read_value(key)
@@ -170,13 +206,51 @@ class ServingSimulation:
             completions_fingerprint=completions_acc,
         )
 
+    def _control_plane(self, actions: List[ChaosAction], until: float) -> None:
+        """Fire chaos, heartbeat ticks and sweeps due by ``until``, in
+        time order (ties: chaos, then heartbeat, then sweep)."""
+        cluster = self.cluster
+        while True:
+            best = None  # (time, priority, kind)
+            if (
+                self._next_action < len(actions)
+                and actions[self._next_action].at_cycles <= until
+            ):
+                best = (actions[self._next_action].at_cycles, 0, "chaos")
+            if self._next_hb is not None and self._next_hb <= until:
+                cand = (self._next_hb, 1, "hb")
+                if best is None or cand < best:
+                    best = cand
+            if self._next_ae is not None and self._next_ae <= until:
+                cand = (self._next_ae, 2, "ae")
+                if best is None or cand < best:
+                    best = cand
+            if best is None:
+                return
+            kind = best[2]
+            if kind == "chaos":
+                self._apply(actions[self._next_action])
+                self._next_action += 1
+            elif kind == "hb":
+                cluster.tick()
+                self._next_hb += self._hb_interval
+            else:
+                cluster.anti_entropy()
+                self._next_ae += self._ae_interval
+
     def _apply(self, action: ChaosAction) -> None:
         if action.action == "lose":
             self.cluster.lose_shard(action.shard)
         elif action.action == "rebalance":
             self.cluster.rebalance()
-        else:
+        elif action.action == "join":
             self.cluster.join_shard()
+        elif action.action == "partition":
+            self.cluster.partition_shard(action.shard)
+        elif action.action == "heal":
+            self.cluster.heal_shard(action.shard)
+        else:
+            self.cluster.anti_entropy()
 
 
 def run_serving(

@@ -63,6 +63,17 @@ class Metrics:
     tier_switches: int = 0
     #: Objects physically moved between tiers by those flips.
     objects_migrated: int = 0
+    #: Replication counters (``repro.serve`` quorum paths).
+    #: Secondary-replica write applications (beyond the coordinator's).
+    replica_writes: int = 0
+    #: Reads that consulted a read quorum of replicas.
+    quorum_reads: int = 0
+    #: Stale replicas healed inline by a divergent quorum read.
+    read_repairs: int = 0
+    #: Dead shards failed over (surviving replicas promoted).
+    failovers: int = 0
+    #: Stale replicas reconciled by the background anti-entropy sweep.
+    stale_replicas_healed: int = 0
 
     def count_guard(self, kind: GuardKind, n: int = 1) -> None:
         self.guards[kind] = self.guards.get(kind, 0) + n
@@ -126,6 +137,11 @@ class Metrics:
         self.journal_replays += other.journal_replays
         self.tier_switches += other.tier_switches
         self.objects_migrated += other.objects_migrated
+        self.replica_writes += other.replica_writes
+        self.quorum_reads += other.quorum_reads
+        self.read_repairs += other.read_repairs
+        self.failovers += other.failovers
+        self.stale_replicas_healed += other.stale_replicas_healed
 
     def reset(self) -> None:
         self.cycles = 0.0
@@ -150,6 +166,11 @@ class Metrics:
         self.journal_replays = 0
         self.tier_switches = 0
         self.objects_migrated = 0
+        self.replica_writes = 0
+        self.quorum_reads = 0
+        self.read_repairs = 0
+        self.failovers = 0
+        self.stale_replicas_healed = 0
 
     def snapshot(self) -> "Metrics":
         """A copy of the current counters."""
@@ -176,6 +197,11 @@ class Metrics:
             journal_replays=self.journal_replays,
             tier_switches=self.tier_switches,
             objects_migrated=self.objects_migrated,
+            replica_writes=self.replica_writes,
+            quorum_reads=self.quorum_reads,
+            read_repairs=self.read_repairs,
+            failovers=self.failovers,
+            stale_replicas_healed=self.stale_replicas_healed,
         )
         return copy
 
@@ -215,6 +241,11 @@ class Metrics:
             "journal_replays",
             "tier_switches",
             "objects_migrated",
+            "replica_writes",
+            "quorum_reads",
+            "read_repairs",
+            "failovers",
+            "stale_replicas_healed",
         ):
             value = getattr(self, key)
             if value:
@@ -246,6 +277,11 @@ class Metrics:
             journal_replays=int(data.get("journal_replays", 0)),
             tier_switches=int(data.get("tier_switches", 0)),
             objects_migrated=int(data.get("objects_migrated", 0)),
+            replica_writes=int(data.get("replica_writes", 0)),
+            quorum_reads=int(data.get("quorum_reads", 0)),
+            read_repairs=int(data.get("read_repairs", 0)),
+            failovers=int(data.get("failovers", 0)),
+            stale_replicas_healed=int(data.get("stale_replicas_healed", 0)),
         )
         for key, n in dict(data.get("guards", {})).items():
             if int(n):

@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--replication", type=int, default=1, metavar="N",
+        help=(
+            "replica count for the 'serve' workload (default 1; N>=2 "
+            "turns the knockout into a quorum failover — see "
+            "docs/serving.md)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the summary printed to stdout",
     )
@@ -86,7 +94,7 @@ def main(argv=None) -> int:
         integrity = parse_integrity_spec(args.integrity)
     result = run_traced(
         args.workload, args.runtime, seed=args.seed, fault_plan=fault_plan,
-        integrity=integrity,
+        integrity=integrity, replication=args.replication,
     )
     export_chrome_trace(result.tracer, args.out, metadata=result.metadata())
     jsonl_path = args.jsonl

@@ -354,7 +354,9 @@ def _run_adaptive(workload: str, seed: int, tracer: Tracer) -> TraceRunResult:
     )
 
 
-def _run_serve(runtime_name: str, seed: int, tracer: Tracer) -> TraceRunResult:
+def _run_serve(
+    runtime_name: str, seed: int, tracer: Tracer, replication: int = 1
+) -> TraceRunResult:
     """The ``serve`` workload: a small sharded cluster under chaos.
 
     Unlike the replay workloads, this one is not an access pattern over
@@ -363,7 +365,10 @@ def _run_serve(runtime_name: str, seed: int, tracer: Tracer) -> TraceRunResult:
     simulation, and knocks a shard out (then rebalances) mid-run, so
     the trace shows the whole serving story: ``serve`` request
     completions, ``shard_lost``/``rebalance`` markers, and the
-    per-shard ``retry``/``degrade`` storms a knockout causes.
+    per-shard ``retry``/``degrade`` storms a knockout causes.  With
+    ``replication > 1`` the knockout exercises the quorum path instead:
+    the trace gains ``replica`` events (suspect, failover, read repair)
+    and the failed shard's keys survive with their write history.
     """
     from repro.serve.cluster import ClusterConfig, ShardedCluster
     from repro.serve.simulation import ChaosAction, ServingSimulation
@@ -377,6 +382,7 @@ def _run_serve(runtime_name: str, seed: int, tracer: Tracer) -> TraceRunResult:
             local_memory=OBJECT_LOCAL,
             seed=seed,
             fault_plan=default_fault_plan(),
+            replication=replication,
         ),
         tracer=tracer,
     )
@@ -416,6 +422,7 @@ def run_traced(
     tracer: Optional[Tracer] = None,
     fault_plan: Optional[FaultPlan] = None,
     integrity: Optional[IntegrityConfig] = None,
+    replication: int = 1,
 ) -> TraceRunResult:
     """Run ``workload`` under ``runtime`` with tracing on; returns the run.
 
@@ -430,6 +437,10 @@ def run_traced(
     :class:`~repro.integrity.IntegrityChecker`, so fetched payloads are
     checksum-verified (and, with data-fault rates in the plan,
     corrupted / repaired / quarantined deterministically).
+
+    ``replication`` only applies to the ``serve`` workload (it sizes
+    the cluster's replica sets); the replay workloads run on a single
+    runtime and reject any other value.
     """
     if workload not in WORKLOADS:
         raise TraceError(
@@ -439,6 +450,10 @@ def run_traced(
         raise TraceError(
             f"unknown runtime {runtime!r}; have {sorted(RUNTIMES)}"
         )
+    if replication != 1 and workload != "serve":
+        raise TraceError(
+            f"--replication applies only to the 'serve' workload, not {workload!r}"
+        )
     if tracer is None:
         tracer = Tracer()
     with ExitStack() as stack:
@@ -447,5 +462,5 @@ def run_traced(
         if integrity is not None:
             stack.enter_context(installed_integrity_config(integrity))
         if workload == "serve":
-            return _run_serve(runtime, seed, tracer)
+            return _run_serve(runtime, seed, tracer, replication=replication)
         return RUNTIMES[runtime](workload, seed, tracer)

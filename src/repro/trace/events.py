@@ -26,6 +26,7 @@ category    meaning
 ``repair``  corrupted payload repaired by re-fetch / journal re-drive
 ``journal`` evacuation-journal event (replay, rollback, crash)
 ``serve``   serving-layer event (request done, shard lost, rebalance)
+``replica`` replication event (read repair, suspect, failover, sweep)
 ``tier``    adaptive-hybrid tier event (selector flip, object migration)
 ``phase``   workload-defined span (``B``/``E`` pairs)
 ``counter`` point-in-time counter sample (Chrome ``C`` events)
@@ -55,6 +56,7 @@ CAT_CORRUPT = "corrupt"
 CAT_REPAIR = "repair"
 CAT_JOURNAL = "journal"
 CAT_SERVE = "serve"
+CAT_REPLICA = "replica"
 CAT_TIER = "tier"
 CAT_PHASE = "phase"
 CAT_COUNTER = "counter"
@@ -73,6 +75,7 @@ ALL_CATEGORIES = (
     CAT_REPAIR,
     CAT_JOURNAL,
     CAT_SERVE,
+    CAT_REPLICA,
     CAT_TIER,
     CAT_PHASE,
     CAT_COUNTER,

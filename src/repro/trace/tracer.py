@@ -43,6 +43,7 @@ from repro.trace.events import (
     CAT_PHASE,
     CAT_PREFETCH,
     CAT_REPAIR,
+    CAT_REPLICA,
     CAT_RETRY,
     CAT_SERVE,
     CAT_TIER,
@@ -108,6 +109,9 @@ class NullTracer:
         pass
 
     def serve(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def replica(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def tier(self, *args: Any, **kwargs: Any) -> None:
@@ -258,6 +262,12 @@ class Tracer:
         """A serving-layer event: ``request`` completions (with shard,
         tenant and end-to-end latency), ``shard_lost``, ``rebalance``."""
         self.emit(CAT_SERVE, name, ts, **args)
+
+    def replica(self, name: str, ts: float, **args: Any) -> None:
+        """A replication event: ``read_repair``, ``suspect`` (failure
+        detector), ``failover`` (with promoted/reseeded counts),
+        ``partition``/``heal``, or an ``anti_entropy`` sweep."""
+        self.emit(CAT_REPLICA, name, ts, **args)
 
     def tier(self, name: str, ts: float, **args: Any) -> None:
         """An adaptive-hybrid tier event: ``switch`` (selector flip with

@@ -82,6 +82,7 @@ class WebCacheWorkload:
         runtime: str,
         fault_plan: Optional[FaultPlan] = None,
         quotas: bool = True,
+        replication: int = 1,
     ) -> "ClusterConfig":
         from repro.serve.cluster import ClusterConfig
 
@@ -95,6 +96,7 @@ class WebCacheWorkload:
             tenant_quota_bytes=cfg.tenant_quota_bytes if quotas else None,
             seed=cfg.seed,
             fault_plan=fault_plan,
+            replication=replication,
         )
 
     def run(
@@ -103,13 +105,16 @@ class WebCacheWorkload:
         fault_plan: Optional[FaultPlan] = None,
         quotas: bool = True,
         chaos: Sequence["ChaosAction"] = (),
+        replication: int = 1,
     ) -> "ServingReport":
         from repro.serve.cluster import ShardedCluster
         from repro.serve.simulation import ServingSimulation
         from repro.serve.traffic import generate_schedule
 
         schedule = generate_schedule(self.traffic_config())
-        cluster = ShardedCluster(self.cluster_config(runtime, fault_plan, quotas))
+        cluster = ShardedCluster(
+            self.cluster_config(runtime, fault_plan, quotas, replication)
+        )
         return ServingSimulation(cluster, schedule, chaos).run()
 
     def value(self, runtime: str = "aifm") -> int:

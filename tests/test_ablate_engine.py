@@ -46,8 +46,8 @@ from repro.ablate.score import (
 
 
 class TestRegistry:
-    def test_ten_components_with_matching_knobs(self):
-        assert len(COMPONENTS) == 10
+    def test_eleven_components_with_matching_knobs(self):
+        assert len(COMPONENTS) == 11
         assert {c.name for c in COMPONENTS} == set(KNOB_NAMES)
 
     def test_baseline_all_on(self):

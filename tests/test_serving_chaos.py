@@ -18,6 +18,8 @@ Everything is deterministic, so equality assertions are exact.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.serve import (
@@ -286,3 +288,145 @@ def test_join_shard_migrates_with_evacuator():
     for k in moved:
         assert cluster.read_value(k) == values_before[k]
     assert cluster.stats.migrated_keys == len(moved)
+
+
+# -- replicated clusters (R >= 2): lossless knockout survival ---------------
+
+
+def test_replicated_knockout_loses_no_data():
+    """The headline replication guarantee: with R=2, a single-shard
+    knockout re-seeds **zero** keys and every final value — including
+    the dead shard's — is identical to the fault-free run.  Detection
+    is heartbeat-driven (the scripted rebalance arrives after failover
+    already happened and becomes a no-op)."""
+    schedule = generate_schedule(TRAFFIC)
+    _base_report, base_values = run_serving(
+        _cluster("aifm", replication=2), schedule
+    )
+    cluster = _cluster("aifm", replication=2)
+    report, values = run_serving(cluster, schedule, _knockout_chaos(schedule))
+    assert report.requests == len(schedule)
+    stats = report.cluster_stats
+    assert stats["lost_shards"] == 1
+    assert stats["reseeded_keys"] == 0
+    assert stats["failovers"] == 1
+    assert stats["promoted_keys"] > 0
+    assert stats["rebalances"] == 0  # detection beat the scripted rebalance
+    mismatched = [k for k in range(N_KEYS) if values[k] != base_values[k]]
+    assert mismatched == [], "replication must make shard loss invisible"
+
+
+def test_replicated_failover_accounting_exact():
+    cluster = _cluster("aifm", replication=2)
+    affected = [k for k in range(N_KEYS) if LOST in cluster.replicas(k)]
+    assert affected and len(affected) < N_KEYS
+    for k in range(N_KEYS):
+        cluster.serve(k, write=True)
+    cluster.lose_shard(LOST)
+    moved = cluster.failover([LOST])
+    # Exactly the keys replicated on the dead shard move, each promoting
+    # one fresh copy onto its replacement replica (R=2: one survivor).
+    assert moved == len(affected)
+    assert cluster.stats.failovers == 1
+    assert cluster.stats.promoted_keys == len(affected)
+    assert cluster.stats.reseeded_keys == 0
+    assert LOST not in cluster.ring
+    merged = cluster.merged_metrics()
+    assert merged.failovers == 1
+    assert merged.replica_writes > 0
+    # Every key — the dead shard's included — kept its one-write chain.
+    for k in range(N_KEYS):
+        assert cluster.read_value(k) == next_value(k, default_value(k))
+    # Failover left nothing stale behind.
+    assert cluster.anti_entropy() == 0
+
+
+def test_gray_partition_heals_via_anti_entropy():
+    """A partitioned shard keeps answering heartbeats, so the detector
+    stays silent and its replicas silently go stale; after the links
+    heal, one anti-entropy sweep reconciles them and the run's final
+    values match fault-free exactly."""
+    schedule = generate_schedule(TRAFFIC)
+    end = float(schedule.times[-1])
+    victim = 2
+    chaos = [
+        ChaosAction(end * 0.25, "partition", victim),
+        ChaosAction(end * 0.70, "heal", victim),
+        ChaosAction(end * 0.75, "anti_entropy"),
+    ]
+    _base_report, base_values = run_serving(
+        _cluster("aifm", replication=2), schedule
+    )
+    cluster = _cluster("aifm", replication=2)
+    report, values = run_serving(cluster, schedule, chaos)
+    stats = report.cluster_stats
+    assert stats["partitions"] == 1
+    assert stats["healed_stale_replicas"] > 0
+    assert "failovers" not in stats, "a gray partition must not trip failover"
+    assert values == base_values
+    assert cluster.anti_entropy() == 0  # converged
+
+
+def test_replicated_chaos_run_is_deterministic():
+    schedule = generate_schedule(TRAFFIC)
+    chaos = _knockout_chaos(schedule)
+    r1, v1 = run_serving(_cluster("aifm", replication=2), schedule, chaos)
+    r2, v2 = run_serving(_cluster("aifm", replication=2), schedule, chaos)
+    assert r1.to_dict() == r2.to_dict()
+    assert v1 == v2
+
+
+def test_unreplicated_path_untouched_by_replication_plumbing():
+    """R=1 reports keep their historical exact shape: no replication
+    counters appear anywhere in a plain knockout run's report."""
+    schedule = generate_schedule(TRAFFIC)
+    cluster = _cluster("aifm")
+    report, _ = run_serving(cluster, schedule, _knockout_chaos(schedule))
+    stats = report.cluster_stats
+    for key in ("failovers", "promoted_keys", "healed_stale_replicas",
+                "partitions"):
+        assert key not in stats
+    for key in ("replica_writes", "quorum_reads", "read_repairs",
+                "failovers", "stale_replicas_healed"):
+        assert key not in report.metrics
+
+
+#: Seeded chaos-schedule fuzzing: ``REPRO_SERVE_CHAOS_SEEDS`` widens the
+#: corpus (the nightly fuzz workflow runs 25); the PR gate runs 3.
+SERVE_CHAOS_SEEDS = list(
+    range(int(os.environ.get("REPRO_SERVE_CHAOS_SEEDS", "3")))
+)
+
+
+@pytest.mark.parametrize("seed", SERVE_CHAOS_SEEDS)
+def test_fuzz_replicated_partition_then_knockout(seed):
+    """Seeded knockout+partition schedules: every combination of a gray
+    partition (healed and reconciled) followed by a detector-driven
+    knockout must re-seed nothing and end bit-identical to fault-free."""
+    traffic = TrafficConfig(
+        clients=20, requests_per_client=30, n_keys=N_KEYS, seed=101 + seed
+    )
+    schedule = generate_schedule(traffic)
+    end = float(schedule.times[-1])
+    victim = seed % N_SHARDS
+    partitioned = (victim + 1 + seed // N_SHARDS) % N_SHARDS
+    if partitioned == victim:
+        partitioned = (victim + 1) % N_SHARDS
+    chaos = [
+        ChaosAction(end * 0.15, "partition", partitioned),
+        ChaosAction(end * 0.35, "heal", partitioned),
+        ChaosAction(end * 0.40, "anti_entropy"),
+        ChaosAction(end * 0.60, "lose", victim),
+    ]
+    _base_report, base_values = run_serving(
+        _cluster("aifm", replication=2), schedule
+    )
+    cluster = _cluster("aifm", replication=2)
+    report, values = run_serving(cluster, schedule, chaos)
+    assert report.requests == len(schedule)
+    stats = report.cluster_stats
+    assert stats["reseeded_keys"] == 0
+    assert stats["failovers"] == 1
+    assert stats["partitions"] == 1
+    assert values == base_values
+    assert cluster.anti_entropy() == 0
